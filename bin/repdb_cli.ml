@@ -1,0 +1,173 @@
+(* repdb — command-line front end.
+
+     repdb run --protocol backedge -b 0.4 --check
+     repdb experiment fig2a --steps 5 --txns 200
+     repdb protocols
+     repdb table1
+*)
+
+open Cmdliner
+module Params = Repdb_workload.Params
+
+(* --- shared parameter flags --------------------------------------------- *)
+
+let params_term =
+  let open Term in
+  let docs = "WORKLOAD PARAMETERS (Table 1 of the paper)" in
+  let int_flag name ~doc default =
+    Arg.(value & opt int default & info [ name ] ~docs ~doc)
+  in
+  let float_flag ?short name ~doc default =
+    let names = match short with Some s -> [ s; name ] | None -> [ name ] in
+    Arg.(value & opt float default & info names ~docs ~doc)
+  in
+  let d = Params.default in
+  let make sites items r s b ops threads txns read_op read_txn latency timeout seed retry check =
+    {
+      d with
+      n_sites = sites;
+      n_items = items;
+      replication_prob = r;
+      site_prob = s;
+      backedge_prob = b;
+      ops_per_txn = ops;
+      threads_per_site = threads;
+      txns_per_thread = txns;
+      read_op_prob = read_op;
+      read_txn_prob = read_txn;
+      latency;
+      lock_timeout = timeout;
+      seed;
+      retry_aborted = retry;
+      record_history = check;
+    }
+  in
+  const make
+  $ int_flag "sites" ~doc:"Number of sites $(i,m)." d.n_sites
+  $ int_flag "items" ~doc:"Number of distinct items $(i,n)." d.n_items
+  $ float_flag ~short:"r" "replication" ~doc:"Replication probability $(i,r)." d.replication_prob
+  $ float_flag ~short:"s" "site-prob" ~doc:"Site probability $(i,s)." d.site_prob
+  $ float_flag ~short:"b" "backedge" ~doc:"Backedge probability $(i,b)." d.backedge_prob
+  $ int_flag "ops" ~doc:"Operations per transaction." d.ops_per_txn
+  $ int_flag "threads" ~doc:"Threads per site." d.threads_per_site
+  $ int_flag "txns" ~doc:"Transactions per thread." d.txns_per_thread
+  $ float_flag "read-op" ~doc:"Read operation probability." d.read_op_prob
+  $ float_flag "read-txn" ~doc:"Read transaction probability." d.read_txn_prob
+  $ float_flag "latency" ~doc:"One-way network latency (ms)." d.latency
+  $ float_flag "timeout" ~doc:"Deadlock timeout interval (ms)." d.lock_timeout
+  $ int_flag "seed" ~doc:"RNG seed (runs are deterministic in it)." d.seed
+  $ Arg.(value & flag & info [ "retry" ] ~docs ~doc:"Retry aborted transactions until they commit.")
+  $ Arg.(
+      value & flag
+      & info [ "check" ] ~docs
+          ~doc:
+            "Record the access history and verify global serializability and replica convergence.")
+
+(* --- run ------------------------------------------------------------------ *)
+
+let protocol_conv =
+  let parse s =
+    match Repdb.Registry.find s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown protocol %S (try: %s)" s
+               (String.concat ", " Repdb.Registry.names)))
+  in
+  Arg.conv (parse, fun ppf p -> Fmt.string ppf (Repdb.Protocol.name p))
+
+let run_cmd =
+  let protocol =
+    Arg.(
+      value
+      & opt protocol_conv (module Repdb.Backedge_proto : Repdb.Protocol.S)
+      & info [ "p"; "protocol" ] ~doc:"Protocol to run (see $(b,repdb protocols)).")
+  in
+  let run params protocol =
+    match Repdb.Driver.run params protocol with
+    | report -> Fmt.pr "%a@." Repdb.Driver.pp_report report
+    | exception Invalid_argument msg ->
+        Fmt.epr "error: %s@." msg;
+        Fmt.epr "hint: the DAG protocols need an acyclic copy graph — pass '-b 0'.@.";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one protocol on one parameter setting and print the report.")
+    Term.(const run $ params_term $ protocol)
+
+(* --- experiment ------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let exp_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:
+            "One of: fig2a, fig2b, fig3a, fig3b, resp, sites, threads, latency, readtxn, \
+             ablation, eager-scaling, tree-routing, deadlock-policy, dummy-period, hotspot, \
+             straggler.")
+  in
+  let steps =
+    Arg.(value & opt int 10 & info [ "steps" ] ~doc:"Sweep resolution for probability axes.")
+  in
+  let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Print CSV only.") in
+  let run params exp_name steps csv =
+    let base = params in
+    let print fig =
+      if csv then print_string (Repdb.Experiment.to_csv fig)
+      else Fmt.pr "%a@." Repdb.Experiment.pp_figure fig
+    in
+    let reports rs = Fmt.pr "%a@." Repdb.Experiment.pp_reports rs in
+    match exp_name with
+    | "fig2a" -> print (Repdb.Experiment.fig2a ~base ~steps ())
+    | "fig2b" -> print (Repdb.Experiment.fig2b ~base ~steps ())
+    | "fig3a" -> print (Repdb.Experiment.fig3a ~base ~steps ())
+    | "fig3b" -> print (Repdb.Experiment.fig3b ~base ~steps ())
+    | "resp" -> reports (Repdb.Experiment.response_times ~base ())
+    | "sites" -> print (Repdb.Experiment.sweep_sites ~base ())
+    | "threads" -> print (Repdb.Experiment.sweep_threads ~base ())
+    | "latency" -> print (Repdb.Experiment.sweep_latency ~base ())
+    | "readtxn" -> print (Repdb.Experiment.sweep_read_txn ~base ())
+    | "ablation" -> reports (Repdb.Experiment.ablation_protocols ~base ())
+    | "eager-scaling" -> print (Repdb.Experiment.ablation_eager_scaling ~base ())
+    | "tree-routing" -> print (Repdb.Experiment.ablation_tree_routing ~base ())
+    | "deadlock-policy" -> reports (Repdb.Experiment.ablation_deadlock_policy ~base ())
+    | "dummy-period" -> print (Repdb.Experiment.ablation_dummy_period ~base ())
+    | "hotspot" -> print (Repdb.Experiment.ablation_hotspot ~base ())
+    | "straggler" -> print (Repdb.Experiment.ablation_straggler ~base ())
+    | "site-order" -> reports (Repdb.Experiment.ablation_site_order ~base ())
+    | other -> Fmt.epr "unknown experiment %S@." other
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables/figures or a sweep.")
+    Term.(const run $ params_term $ exp_name $ steps $ csv)
+
+(* --- protocols / table1 ------------------------------------------------------ *)
+
+let protocols_cmd =
+  let run () =
+    List.iter
+      (fun (p : Repdb.Protocol.t) ->
+        let module P = (val p) in
+        Fmt.pr "%-9s %s@." P.name
+          (if P.updates_replicas then "(physically updates replicas)" else "(replicas virtual)"))
+      Repdb.Registry.all
+  in
+  Cmd.v (Cmd.info "protocols" ~doc:"List the available protocols.") Term.(const run $ const ())
+
+let table1_cmd =
+  let run params =
+    Fmt.pr "%-32s %-8s %-24s %s@." "Parameter" "Symbol" "Default Value" "Range";
+    List.iter
+      (fun (name, symbol, value, range) -> Fmt.pr "%-32s %-8s %-24s %s@." name symbol value range)
+      (Params.table1 params)
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Print Table 1 (parameter settings).")
+    Term.(const run $ params_term)
+
+let () =
+  let doc = "update propagation protocols for replicated databases (SIGMOD 1999 reproduction)" in
+  let info = Cmd.info "repdb" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; experiment_cmd; protocols_cmd; table1_cmd ]))

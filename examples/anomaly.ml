@@ -1,0 +1,94 @@
+(* The paper's two running examples, executed for real.
+
+     dune exec examples/anomaly.exe
+
+   Example 1.1 — a DAG copy graph where indiscriminate lazy propagation
+   produces a non-serializable execution: T1 updates a at s1; the update
+   reaches s2 before T2 (which reads a and writes b) but reaches s3 only
+   after T3 has read both items there. DAG(WT) and DAG(T) both prevent it.
+
+   Example 4.1 — a cyclic copy graph where no lazy order can serialize two
+   concurrent transactions; the BackEdge protocol turns the conflict into a
+   global deadlock and aborts one of them. *)
+
+module Sim = Repdb_sim.Sim
+module Txn = Repdb_txn.Txn
+module Serializability = Repdb_txn.Serializability
+module Params = Repdb_workload.Params
+module Placement = Repdb_workload.Placement
+module Cluster = Repdb.Cluster
+
+let params =
+  { Params.default with n_sites = 3; n_items = 2; record_history = true; txns_per_thread = 1 }
+
+(* a = item 0: primary s1(=0), replicas s2(=1), s3(=2);
+   b = item 1: primary s2(=1), replica s3(=2). *)
+let placement_1_1 =
+  { Placement.n_sites = 3; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 1; 2 ]; [ 2 ] |] }
+
+(* The slow link s1 -> s3 that makes the indiscriminate schedule possible. *)
+let slow src dst = if src = 0 && dst = 2 then 200.0 else 1.0
+
+let run_example_1_1 (proto : Repdb.Protocol.t) =
+  let module P = (val proto) in
+  let c = Cluster.create_with ~latency:slow params placement_1_1 in
+  let p = P.create c in
+  let submit_at time spec =
+    Cluster.client_started c;
+    Sim.at c.sim time (fun () ->
+        Sim.spawn c.sim (fun () ->
+            ignore (P.submit p spec);
+            Cluster.client_finished c))
+  in
+  submit_at 0.0 { Txn.origin = 0; ops = [ Txn.Write 0 ] } (* T1: w(a) at s1 *);
+  submit_at 50.0 { Txn.origin = 1; ops = [ Txn.Read 0; Txn.Write 1 ] } (* T2 at s2 *);
+  submit_at 70.0 { Txn.origin = 2; ops = [ Txn.Read 0; Txn.Read 1 ] } (* T3 at s3 *);
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 100_000.0;
+  Sim.run c.sim;
+  (P.name, Serializability.check c.history)
+
+let placement_4_1 =
+  { Placement.n_sites = 2; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 1 ]; [ 0 ] |] }
+
+let run_example_4_1 () =
+  let c = Cluster.create_with { params with Params.n_sites = 2 } placement_4_1 in
+  let p = Repdb.Backedge_proto.create c in
+  let outcomes = Array.make 2 Txn.Committed in
+  let submit idx spec =
+    Cluster.client_started c;
+    Sim.spawn c.sim (fun () ->
+        outcomes.(idx) <- Repdb.Backedge_proto.submit p spec;
+        Cluster.client_finished c)
+  in
+  submit 0 { Txn.origin = 0; ops = [ Txn.Read 1; Txn.Write 0 ] } (* T1: r(b) w(a) *);
+  submit 1 { Txn.origin = 1; ops = [ Txn.Read 0; Txn.Write 1 ] } (* T2: r(a) w(b) *);
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 100_000.0;
+  Sim.run c.sim;
+  (outcomes, Serializability.check c.history)
+
+let () =
+  Fmt.pr "== Example 1.1: DAG copy graph, slow direct link s1->s3 ==@.";
+  List.iter
+    (fun proto ->
+      let name, verdict = run_example_1_1 proto in
+      Fmt.pr "  %-8s -> %a@." name Serializability.pp_verdict verdict)
+    [
+      (module Repdb.Naive : Repdb.Protocol.S);
+      (module Repdb.Dag_wt : Repdb.Protocol.S);
+      (module Repdb.Dag_t : Repdb.Protocol.S);
+    ];
+  Fmt.pr
+    "@.Naive propagation lets T1's update overtake on the multi-hop path;@.\
+     DAG(WT) forwards it through s2's tree edge and DAG(T) orders it by@.\
+     timestamp, so both serialize the same schedule.@.@.";
+  Fmt.pr "== Example 4.1: cyclic copy graph under BackEdge ==@.";
+  let outcomes, verdict = run_example_4_1 () in
+  Fmt.pr "  T1 (no backedge subtransaction): %a@." Txn.pp_outcome outcomes.(0);
+  Fmt.pr "  T2 (backedge subtransaction at s1): %a@." Txn.pp_outcome outcomes.(1);
+  Fmt.pr "  history: %a@." Serializability.pp_verdict verdict;
+  Fmt.pr
+    "@.T2 must hold its locks until its special subtransaction message returns,@.\
+     which closes the global deadlock of Example 4.1; the protocol victimises@.\
+     T2 and the execution stays serializable.@."

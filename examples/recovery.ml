@@ -1,0 +1,57 @@
+(* Crash recovery of replicated sites.
+
+     dune exec examples/recovery.exe
+
+   The paper's substrate (DataBlitz) is a recoverable main-memory storage
+   manager. This example attaches a redo log to every site store, runs a full
+   BackEdge workload over a cyclic copy graph, then "crashes" every site and
+   rebuilds it from its checkpoint + log, verifying the rebuilt stores match
+   the live ones bit for bit — and that the recovered cluster still passes
+   the replica-convergence check. *)
+
+module Store = Repdb_store.Store
+module Wal = Repdb_store.Wal
+module Params = Repdb_workload.Params
+
+let () =
+  let params =
+    {
+      Params.default with
+      n_sites = 6;
+      n_items = 60;
+      replication_prob = 0.4;
+      backedge_prob = 0.3;
+      threads_per_site = 2;
+      txns_per_thread = 150;
+      record_history = true;
+      seed = 31;
+    }
+  in
+  let c = Repdb.Cluster.create params in
+  let wals =
+    Array.map
+      (fun store ->
+        let wal = Wal.create () in
+        Wal.attach wal store;
+        wal)
+      c.stores
+  in
+  Fmt.pr "Running a BackEdge workload with a redo log attached to every site...@.";
+  let r = Repdb.Driver.run_on c (module Repdb.Backedge_proto) in
+  Fmt.pr "  %d commits, %d aborts, %a@.@." r.summary.commits r.summary.aborts
+    (Fmt.option Repdb_txn.Serializability.pp_verdict)
+    r.serializability;
+  Fmt.pr "Crashing and recovering every site from its log:@.";
+  Array.iteri
+    (fun site wal ->
+      let recovered = Wal.recover wal ~site in
+      let ok = Store.contents recovered = Store.contents c.stores.(site) in
+      Fmt.pr "  site %d: %d records replayed over a %d-item checkpoint -> %s@." site
+        (Wal.length wal)
+        (List.length (Wal.snapshot wal))
+        (if ok then "identical to the live store" else "MISMATCH");
+      if not ok then exit 1)
+    wals;
+  Fmt.pr "@.All sites recovered exactly; a recovered replica set is as consistent@.";
+  Fmt.pr "as the live one (convergence: %s).@."
+    (match Repdb.Convergence.check c with [] -> "ok" | l -> Printf.sprintf "%d divergent" (List.length l))

@@ -1,0 +1,80 @@
+(* Telecom network management — the paper's introduction motivates lazy
+   replication with "network management applications require real-time
+   dissemination of updates to replicas with strong consistency guarantees".
+
+     dune exec examples/telecom.exe
+
+   A management station (site 0) owns the configuration state of a region;
+   element managers (sites 1..5) each own their device counters and replicate
+   the station's configuration. The station replicates a status summary of
+   every element manager — a copy graph WITH backedges, so only the BackEdge
+   protocol (among the serializable ones) can run it. We compare recency
+   (update-propagation delay) and consistency across BackEdge, the eager
+   baseline and indiscriminate propagation. *)
+
+module Placement = Repdb_workload.Placement
+module Params = Repdb_workload.Params
+module Serializability = Repdb_txn.Serializability
+
+let n_managers = 5
+let n_config = 12 (* station-owned, replicated everywhere *)
+let n_status_per_mgr = 4 (* manager-owned, replicated back at the station *)
+
+let placement =
+  let n_items = n_config + (n_managers * n_status_per_mgr) in
+  let primary = Array.make n_items 0 in
+  let replicas = Array.make n_items [] in
+  for i = 0 to n_config - 1 do
+    primary.(i) <- 0;
+    replicas.(i) <- List.init n_managers (fun k -> k + 1)
+  done;
+  for mgr = 1 to n_managers do
+    for k = 0 to n_status_per_mgr - 1 do
+      let i = n_config + ((mgr - 1) * n_status_per_mgr) + k in
+      primary.(i) <- mgr;
+      replicas.(i) <- [ 0 ] (* status flows back: a backedge *)
+    done
+  done;
+  { Placement.n_sites = n_managers + 1; n_items; primary; replicas }
+
+let params =
+  {
+    Params.default with
+    n_sites = n_managers + 1;
+    n_items = Placement.(placement.n_items);
+    threads_per_site = 2;
+    txns_per_thread = 150;
+    read_op_prob = 0.6;
+    read_txn_prob = 0.3;
+    record_history = true;
+    seed = 23;
+  }
+
+let () =
+  Fmt.pr "Copy graph has %d backedges (status flowing back to the station).@.@."
+    (List.length (Placement.backedges placement));
+  Fmt.pr "%-9s %11s %11s %9s %14s %s@." "protocol" "thr/site" "recency(ms)" "abort%" "serializable?"
+    "";
+  List.iter
+    (fun (proto : Repdb.Protocol.t) ->
+      let r = Repdb.Driver.run ~placement params proto in
+      Fmt.pr "%-9s %11.1f %11.1f %9.2f %14s@." (Repdb.Protocol.name proto)
+        r.summary.throughput_per_site r.summary.avg_propagation r.summary.abort_rate
+        (match r.serializability with
+        | Some Serializability.Serializable -> "yes"
+        | Some (Serializability.Not_serializable _) -> "NO"
+        | None -> "-"))
+    [
+      (module Repdb.Backedge_proto : Repdb.Protocol.S);
+      (module Repdb.Lazy_master : Repdb.Protocol.S);
+      (module Repdb.Central : Repdb.Protocol.S);
+      (module Repdb.Eager : Repdb.Protocol.S);
+      (module Repdb.Naive : Repdb.Protocol.S);
+    ];
+  Fmt.pr
+    "@.Every status update crosses a backedge, so this topology is the@.\
+     BackEdge protocol's documented worst case (Section 5.3.3 of the paper):@.\
+     it stays serializable but pays for the global deadlocks with aborts.@.\
+     Eager replication gets the best recency at the cost of running 2PC@.\
+     inside every update; indiscriminate propagation is fastest but gives@.\
+     up serializability — exactly the trade-off the paper maps out.@."

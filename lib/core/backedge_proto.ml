@@ -1,0 +1,442 @@
+module Sim = Repdb_sim.Sim
+module Condvar = Repdb_sim.Condvar
+module Mailbox = Repdb_sim.Mailbox
+module Lock_mgr = Repdb_lock.Lock_mgr
+module History = Repdb_txn.History
+module Digraph = Repdb_graph.Digraph
+module Tree = Repdb_graph.Tree
+module Backedge = Repdb_graph.Backedge
+module Network = Repdb_net.Network
+module Placement = Repdb_workload.Placement
+module Txn = Repdb_txn.Txn
+
+let name = "backedge"
+let updates_replicas = true
+
+(* How long a primary waits for its special message before giving up, and how
+   many lock-wait rounds a backedge subtransaction retries before notifying
+   its origin. Both are safety nets on top of victimisation. *)
+let origin_wait_factor = 40.0
+let max_participant_retries = 50
+
+type chain_msg =
+  | Normal of { gid : int; writes : int list; origin_commit : float }
+  | Special of { gid : int; origin : int; writes : int list }
+
+type direct_msg =
+  | Exec_request of { gid : int; origin : int; writes : int list }
+  | Decide of { gid : int; commit : bool; origin_commit : float }
+  | Exec_failed of { gid : int }
+
+type pending = {
+  p_gid : int;
+  mutable p_state : [ `Waiting | `Special_arrived | `Failed of Txn.abort_reason ];
+  p_cv : Condvar.t;
+}
+
+type participant = {
+  bp_gid : int;
+  bp_origin : int;
+  bp_attempt : int;
+  bp_items : int list; (* replicas staged at this site *)
+  mutable bp_state : [ `Executing | `Staged | `Cancelled ];
+}
+
+type t = {
+  c : Cluster.t;
+  tr : Tree.t;
+  tree_net : chain_msg Network.t;
+  direct_net : direct_msg Network.t;
+  in_subtree : bool array array; (* site -> item -> replica within subtree(site) *)
+  pending_by_attempt : (int, pending) Hashtbl.t array; (* per site *)
+  pending_by_gid : (int, pending) Hashtbl.t;
+  participants : (int, participant) Hashtbl.t array; (* per site, by gid *)
+  participants_by_attempt : (int, participant) Hashtbl.t array;
+  aborted_gids : (int, unit) Hashtbl.t array;
+}
+
+let tree t = t.tr
+
+let backedges t =
+  List.filter
+    (fun (u, v) -> Tree.is_ancestor t.tr v u)
+    (Digraph.edges (Placement.copy_graph t.c.placement))
+
+(* --- placement / routing helpers ---------------------------------------- *)
+
+(* Replica sites that are strict tree ancestors of [site], sorted by depth:
+   the eager targets of a transaction writing [writes]; the head is the
+   farthest from [site] (closest to the root). *)
+let backedge_targets t site writes =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun item ->
+      List.iter
+        (fun s -> if s <> site && Tree.is_ancestor t.tr s site then Hashtbl.replace tbl s ())
+        t.c.placement.replicas.(item))
+    writes;
+  let targets = Hashtbl.fold (fun s () acc -> s :: acc) tbl [] in
+  List.sort (fun a b -> compare (Tree.depth t.tr a) (Tree.depth t.tr b)) targets
+
+(* Forward a normal (lazy) subtransaction to every relevant tree child.
+   Non-blocking. Returns the number of sends. *)
+let forward_normal t site (gid, writes, origin_commit) =
+  let children = Routing.relevant_children t.in_subtree t.tr site writes in
+  List.iter
+    (fun child ->
+      Cluster.inc_outstanding t.c;
+      Network.send t.tree_net ~src:site ~dst:child (Normal { gid; writes; origin_commit }))
+    children;
+  List.length children
+
+(* The unique child of [site] on the tree path towards [origin]. *)
+let next_hop t site origin =
+  match Tree.path_down t.tr site origin with
+  | hop :: _ -> hop
+  | [] -> invalid_arg "Backedge_proto: no path to origin"
+
+(* --- deadlock victimisation -------------------------------------------- *)
+
+(* A lock wait at [site] timed out while items were needed by a secondary or
+   backedge subtransaction. Abort blockers that are parked backedge
+   primaries; notify the origins of blockers that are staged backedge
+   subtransactions (the paper's rule: the primary in backedge wait is the
+   victim, never the secondary that must eventually complete). *)
+let victimise t site items =
+  let locks = t.c.locks.(site) in
+  let blockers =
+    List.concat_map (fun item -> List.map fst (Lock_mgr.holders locks item)) items
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun attempt ->
+      match Hashtbl.find_opt t.pending_by_attempt.(site) attempt with
+      | Some p when p.p_state = `Waiting ->
+          p.p_state <- `Failed Txn.Deadlock;
+          Condvar.broadcast p.p_cv
+      | _ -> (
+          match Hashtbl.find_opt t.participants_by_attempt.(site) attempt with
+          | Some bp when bp.bp_state <> `Cancelled ->
+              Cluster.inc_outstanding t.c;
+              Network.send t.direct_net ~src:site ~dst:bp.bp_origin (Exec_failed { gid = bp.bp_gid })
+          | _ -> ()))
+    blockers
+
+(* Apply a normal secondary, victimising blockers after every failed round
+   (a timed-out wait is the paper's deadlock signal). *)
+let apply_secondary t ~gid ~site items ~finally =
+  let c = t.c in
+  if items = [] then finally ()
+  else begin
+    let rec round tries =
+      let attempt = Cluster.fresh_attempt c in
+      match Exec.acquire_writes c ~gid ~attempt ~site items with
+      | Ok () ->
+          Exec.commit_cost c ~site;
+          Exec.apply_writes c ~gid ~site items;
+          Exec.release c ~attempt ~site;
+          finally ()
+      | Error _ ->
+          Exec.abort_local c ~attempt ~site;
+          victimise t site items;
+          round (tries + 1)
+    in
+    round 0
+  end
+
+(* --- backedge subtransactions ------------------------------------------ *)
+
+(* Execute a backedge subtransaction at a target site: exclusive locks on the
+   local replicas, writes staged but not applied, locks kept. Returns the
+   participant on success. *)
+let run_participant t ~gid ~origin ~site items =
+  let c = t.c in
+  let rec attempt_loop tries =
+    if Hashtbl.mem t.aborted_gids.(site) gid then None
+    else if tries > max_participant_retries then begin
+      Cluster.inc_outstanding c;
+      Network.send t.direct_net ~src:site ~dst:origin (Exec_failed { gid });
+      None
+    end
+    else begin
+      let attempt = Cluster.fresh_attempt c in
+      let bp =
+        { bp_gid = gid; bp_origin = origin; bp_attempt = attempt; bp_items = items; bp_state = `Executing }
+      in
+      Hashtbl.replace t.participants.(site) gid bp;
+      Hashtbl.replace t.participants_by_attempt.(site) attempt bp;
+      match Exec.acquire_writes c ~gid ~attempt ~site items with
+      | Ok () when bp.bp_state = `Executing ->
+          bp.bp_state <- `Staged;
+          Some bp
+      | Ok () ->
+          (* Cancelled (Decide abort) while waiting for the last lock. *)
+          Exec.abort_local c ~attempt ~site;
+          Hashtbl.remove t.participants.(site) gid;
+          Hashtbl.remove t.participants_by_attempt.(site) attempt;
+          None
+      | Error _ ->
+          Exec.abort_local c ~attempt ~site;
+          Hashtbl.remove t.participants.(site) gid;
+          Hashtbl.remove t.participants_by_attempt.(site) attempt;
+          if bp.bp_state = `Cancelled then None
+          else begin
+            victimise t site items;
+            attempt_loop (tries + 1)
+          end
+    end
+  in
+  attempt_loop 0
+
+let forward_special t ~src (gid, origin, writes) =
+  Cluster.inc_outstanding t.c;
+  Network.send t.tree_net ~src ~dst:(next_hop t src origin) (Special { gid; origin; writes })
+
+(* --- tree applier -------------------------------------------------------- *)
+
+let process_tree_msg t site msg =
+  let c = t.c in
+  Cluster.use_cpu c site c.params.cpu_msg;
+  match msg with
+  | Normal { gid; writes; origin_commit } ->
+      let items = Routing.local_replicas c.placement site writes in
+      let sent = ref 0 in
+      apply_secondary t ~gid ~site items ~finally:(fun () ->
+          if items <> [] then
+            Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. origin_commit);
+          sent := forward_normal t site (gid, writes, origin_commit);
+          Cluster.dec_outstanding c);
+      if !sent > 0 then Cluster.use_cpu c site (float_of_int !sent *. c.params.cpu_msg)
+  | Special { gid; origin; writes } ->
+      if site = origin then begin
+        (* All earlier secondaries have committed here: wake the primary. *)
+        (match Hashtbl.find_opt t.pending_by_gid gid with
+        | Some p when p.p_state = `Waiting ->
+            p.p_state <- `Special_arrived;
+            Condvar.broadcast p.p_cv
+        | _ -> ());
+        Cluster.dec_outstanding c
+      end
+      else begin
+        let items = Routing.local_replicas c.placement site writes in
+        let proceed =
+          if items = [] || Hashtbl.mem t.aborted_gids.(site) gid then
+            not (Hashtbl.mem t.aborted_gids.(site) gid)
+          else
+            match run_participant t ~gid ~origin ~site items with
+            | Some _ -> true
+            | None -> false
+        in
+        if proceed then forward_special t ~src:site (gid, origin, writes);
+        Cluster.dec_outstanding c
+      end
+
+let tree_applier t site =
+  let inbox = Network.inbox t.tree_net site in
+  let rec loop () =
+    let _, msg = Mailbox.recv inbox in
+    process_tree_msg t site msg;
+    loop ()
+  in
+  loop ()
+
+(* --- direct message handling ------------------------------------------- *)
+
+let handle_direct t site msg =
+  let c = t.c in
+  Cluster.use_cpu c site c.params.cpu_msg;
+  match msg with
+  | Exec_request { gid; origin; writes } ->
+      let items = Routing.local_replicas c.placement site writes in
+      (match run_participant t ~gid ~origin ~site items with
+      | Some _ -> forward_special t ~src:site (gid, origin, writes)
+      | None -> ());
+      Cluster.dec_outstanding c
+  | Decide { gid; commit; origin_commit } ->
+      (match Hashtbl.find_opt t.participants.(site) gid with
+      | Some bp -> begin
+          match bp.bp_state with
+          | `Staged ->
+              if commit then begin
+                Exec.apply_writes c ~gid ~site bp.bp_items;
+                Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. origin_commit)
+              end
+              else History.discard_attempt c.history ~attempt:bp.bp_attempt;
+              Exec.release c ~attempt:bp.bp_attempt ~site;
+              Hashtbl.remove t.participants.(site) gid;
+              Hashtbl.remove t.participants_by_attempt.(site) bp.bp_attempt;
+              if not commit then Hashtbl.replace t.aborted_gids.(site) gid ()
+          | `Executing ->
+              (* Still fighting for locks; flag it and unpark the wait. *)
+              assert (not commit);
+              bp.bp_state <- `Cancelled;
+              Hashtbl.replace t.aborted_gids.(site) gid ();
+              ignore (Lock_mgr.abort_waiter c.locks.(site) ~owner:bp.bp_attempt)
+          | `Cancelled -> ()
+        end
+      | None -> if not commit then Hashtbl.replace t.aborted_gids.(site) gid ());
+      Cluster.dec_outstanding c
+  | Exec_failed { gid } ->
+      (match Hashtbl.find_opt t.pending_by_gid gid with
+      | Some p when p.p_state = `Waiting ->
+          p.p_state <- `Failed Txn.Deadlock;
+          Condvar.broadcast p.p_cv
+      | _ -> ());
+      Cluster.dec_outstanding c
+
+let direct_server t site =
+  let inbox = Network.inbox t.direct_net site in
+  let rec loop () =
+    let _, msg = Mailbox.recv inbox in
+    (* Each request runs in its own process: Exec_request can block on locks
+       and must not hold up Decide / Exec_failed traffic behind it. *)
+    Sim.spawn t.c.sim (fun () -> handle_direct t site msg);
+    loop ()
+  in
+  loop ()
+
+(* --- construction -------------------------------------------------------- *)
+
+(* Every copy-graph edge must connect tree-comparable sites: descendants get
+   lazy propagation, ancestors eager backedge subtransactions. *)
+let validate_tree g tr =
+  List.for_all
+    (fun (u, v) -> Tree.is_ancestor tr u v || Tree.is_ancestor tr v u)
+    (Digraph.edges g)
+
+let create_with_tree (c : Cluster.t) tr =
+  let g = Placement.copy_graph c.placement in
+  if not (validate_tree g tr) then
+    invalid_arg "Backedge_proto: tree leaves a copy-graph edge between incomparable sites";
+  let m = c.params.n_sites in
+  let t =
+    {
+      c;
+      tr;
+      tree_net = Cluster.make_net c;
+      direct_net = Cluster.make_net c;
+      in_subtree = Routing.subtree_replicas c.placement tr;
+      pending_by_attempt = Array.init m (fun _ -> Hashtbl.create 8);
+      pending_by_gid = Hashtbl.create 32;
+      participants = Array.init m (fun _ -> Hashtbl.create 8);
+      participants_by_attempt = Array.init m (fun _ -> Hashtbl.create 8);
+      aborted_gids = Array.init m (fun _ -> Hashtbl.create 32);
+    }
+  in
+  for site = 0 to m - 1 do
+    if Tree.parent tr site <> -1 then Sim.spawn c.sim (fun () -> tree_applier t site);
+    Sim.spawn c.sim (fun () -> direct_server t site)
+  done;
+  t
+
+(* The paper's evaluated variant: the chain over the total site order. *)
+let create (c : Cluster.t) =
+  create_with_tree c (Tree.chain_of_order (Array.init c.params.n_sites Fun.id))
+
+let create_with_order (c : Cluster.t) order =
+  let m = c.params.n_sites in
+  if Array.length order <> m then invalid_arg "Backedge_proto: order has the wrong length";
+  let seen = Array.make m false in
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= m || seen.(s) then invalid_arg "Backedge_proto: order is not a permutation";
+      seen.(s) <- true)
+    order;
+  create_with_tree c (Tree.chain_of_order order)
+
+(* The general variant: delete a minimal DFS backedge set, then chain every
+   weakly-connected component of the *full* copy graph in a topological order
+   of the residual DAG (so unrelated components never exchange messages). *)
+let create_general (c : Cluster.t) =
+  let g = Placement.copy_graph c.placement in
+  let gdag = Digraph.remove_edges g (Backedge.minimal_set g) in
+  let order =
+    match Digraph.topo_sort gdag with
+    | Some o -> o
+    | None -> assert false (* removing a backedge set always yields a DAG *)
+  in
+  let pos = Array.make (Digraph.n_vertices g) 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  let parents = Array.make (Digraph.n_vertices g) (-1) in
+  List.iter
+    (fun component ->
+      let sorted = List.sort (fun a b -> compare pos.(a) pos.(b)) component in
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+            parents.(b) <- a;
+            link rest
+        | [ _ ] | [] -> ()
+      in
+      link sorted)
+    (Digraph.weak_components g);
+  create_with_tree c (Tree.of_parents parents)
+
+(* --- primary transactions -------------------------------------------------- *)
+
+let abort_primary t ~site ~attempt ~gid ~targets reason =
+  let c = t.c in
+  Exec.abort_local c ~attempt ~site;
+  Hashtbl.remove t.pending_by_gid gid;
+  Hashtbl.remove t.pending_by_attempt.(site) attempt;
+  List.iter
+    (fun target ->
+      Cluster.inc_outstanding c;
+      Network.send t.direct_net ~src:site ~dst:target
+        (Decide { gid; commit = false; origin_commit = 0.0 }))
+    targets;
+  Txn.Aborted reason
+
+let commit_primary t ~site ~attempt ~gid ~writes ~targets =
+  let c = t.c in
+  Exec.commit_cost c ~site;
+  (* Atomic commit section: apply, release, decide, lazy-forward. *)
+  Exec.apply_writes c ~gid ~site writes;
+  Exec.release c ~attempt ~site;
+  Hashtbl.remove t.pending_by_gid gid;
+  Hashtbl.remove t.pending_by_attempt.(site) attempt;
+  let now = Sim.now c.sim in
+  List.iter
+    (fun target ->
+      Cluster.inc_outstanding c;
+      Network.send t.direct_net ~src:site ~dst:target
+        (Decide { gid; commit = true; origin_commit = now }))
+    targets;
+  let sent = if writes = [] then 0 else forward_normal t site (gid, writes, now) in
+  let n_msgs = sent + List.length targets in
+  if n_msgs > 0 then Cluster.use_cpu c site (float_of_int n_msgs *. c.params.cpu_msg);
+  Txn.Committed
+
+let submit t (spec : Txn.spec) =
+  let c = t.c in
+  let site = spec.origin in
+  let gid = Cluster.fresh_gid c in
+  let attempt = Cluster.fresh_attempt c in
+  match Exec.run_ops c ~gid ~attempt ~site spec.ops with
+  | Error reason ->
+      Exec.abort_local c ~attempt ~site;
+      Txn.Aborted reason
+  | Ok () -> (
+      let writes = List.sort_uniq compare (Txn.writes spec) in
+      match backedge_targets t site writes with
+      | [] -> commit_primary t ~site ~attempt ~gid ~writes ~targets:[]
+      | farthest :: _ as targets ->
+          let p = { p_gid = gid; p_state = `Waiting; p_cv = Condvar.create () } in
+          Hashtbl.replace t.pending_by_gid gid p;
+          Hashtbl.replace t.pending_by_attempt.(site) attempt p;
+          Cluster.inc_outstanding c;
+          Network.send t.direct_net ~src:site ~dst:farthest (Exec_request { gid; origin = site; writes });
+          Cluster.use_cpu c site c.params.cpu_msg;
+          let deadline = origin_wait_factor *. c.params.lock_timeout in
+          let rec wait () =
+            match p.p_state with
+            | `Special_arrived -> commit_primary t ~site ~attempt ~gid ~writes ~targets
+            | `Failed reason -> abort_primary t ~site ~attempt ~gid ~targets reason
+            | `Waiting ->
+                let woken = Condvar.await_timeout c.sim p.p_cv deadline in
+                (match p.p_state with
+                | `Waiting when not woken ->
+                    p.p_state <- `Failed Txn.Propagation_timeout;
+                    abort_primary t ~site ~attempt ~gid ~targets Txn.Propagation_timeout
+                | _ -> wait ())
+          in
+          wait ())

@@ -1,0 +1,177 @@
+module Sim = Repdb_sim.Sim
+module Mailbox = Repdb_sim.Mailbox
+module Lock_mgr = Repdb_lock.Lock_mgr
+module History = Repdb_txn.History
+module Store = Repdb_store.Store
+module Value = Repdb_store.Value
+module Network = Repdb_net.Network
+module Txn = Repdb_txn.Txn
+
+let name = "central"
+let updates_replicas = true
+
+let central_site = 0
+
+type cert_msg =
+  | Certify of { reads : (int * int) list; writes : int list; reply : bool -> unit }
+  | Certify_reply of { ok : bool; deliver : bool -> unit }
+
+type update_msg = { gid : int; writes : int list; origin_commit : float }
+
+type t = {
+  c : Cluster.t;
+  net : cert_msg Network.t;
+  update_net : update_msg Network.t;
+  committed_version : int array; (* per item, at the central site *)
+  mutable n_certified : int;
+  mutable n_rejected : int;
+}
+
+let certified t = t.n_certified
+let rejected t = t.n_rejected
+
+(* The certification check itself: every read must still be current. Charged
+   to the central site's CPU by the caller. *)
+let decide t ~reads ~writes =
+  let ok = List.for_all (fun (item, version) -> t.committed_version.(item) = version) reads in
+  if ok then begin
+    List.iter (fun item -> t.committed_version.(item) <- t.committed_version.(item) + 1) writes;
+    t.n_certified <- t.n_certified + 1
+  end
+  else t.n_rejected <- t.n_rejected + 1;
+  ok
+
+let serve_certify t ~src ~reads ~writes ~reply =
+  let c = t.c in
+  (* The central site's CPU is the shared bottleneck. *)
+  Cluster.use_cpu c central_site (c.params.cpu_msg +. c.params.cpu_op);
+  let ok = decide t ~reads ~writes in
+  Network.send t.net ~src:central_site ~dst:src (Certify_reply { ok; deliver = reply })
+
+let cert_server t site =
+  let c = t.c in
+  let inbox = Network.inbox t.net site in
+  let rec loop () =
+    let src, msg = Mailbox.recv inbox in
+    (match msg with
+    | Certify { reads; writes; reply } ->
+        (* The request's outstanding count carries over to the reply. *)
+        Sim.spawn c.sim (fun () -> serve_certify t ~src ~reads ~writes ~reply)
+    | Certify_reply { ok; deliver } ->
+        Cluster.dec_outstanding c;
+        deliver ok);
+    loop ()
+  in
+  loop ()
+
+(* One sequential applier per site: updates of an item all originate at its
+   primary, so FIFO delivery + in-order application preserves the
+   certification order (concurrent application could invert two updates that
+   overlap on some items but not others). *)
+let update_applier t site =
+  let c = t.c in
+  let inbox = Network.inbox t.update_net site in
+  let rec loop () =
+    let _, { gid; writes; origin_commit } = Mailbox.recv inbox in
+    Cluster.use_cpu c site c.params.cpu_msg;
+    let items = List.filter (fun item -> List.mem site c.placement.replicas.(item)) writes in
+    Exec.apply_secondary c ~gid ~site items ~finally:(fun () ->
+        if items <> [] then
+          Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. origin_commit);
+        Cluster.dec_outstanding c);
+    loop ()
+  in
+  loop ()
+
+let create (c : Cluster.t) =
+  let t =
+    {
+      c;
+      net = Cluster.make_net c;
+      update_net = Cluster.make_net c;
+      committed_version = Array.make c.params.n_items 0;
+      n_certified = 0;
+      n_rejected = 0;
+    }
+  in
+  for site = 0 to c.params.n_sites - 1 do
+    Sim.spawn c.sim (fun () -> cert_server t site);
+    Sim.spawn c.sim (fun () -> update_applier t site)
+  done;
+  t
+
+(* Execute ops locally under strict 2PL, capturing the version of every item
+   read (the certification evidence). *)
+let run_ops_versioned (c : Cluster.t) ~gid ~attempt ~site ops =
+  let reads = ref [] in
+  let rec go = function
+    | [] -> Ok (List.rev !reads)
+    | op :: rest -> (
+        let item, mode, kind =
+          match op with
+          | Txn.Read item -> (item, Lock_mgr.Shared, History.R)
+          | Txn.Write item -> (item, Lock_mgr.Exclusive, History.W)
+        in
+        match Lock_mgr.acquire c.locks.(site) ~owner:attempt item mode with
+        | Lock_mgr.Granted ->
+            Cluster.use_cpu c site c.params.cpu_op;
+            (match op with
+            | Txn.Read item ->
+                let v = Store.read c.stores.(site) item in
+                reads := (item, v.Value.version) :: !reads
+            | Txn.Write _ -> ());
+            History.record c.history ~site ~item ~gid ~attempt kind;
+            go rest
+        | (Lock_mgr.Timed_out | Lock_mgr.Deadlock_victim) as o ->
+            Error (Exec.abort_reason_of_outcome o))
+  in
+  go ops
+
+let certify t ~site ~reads ~writes =
+  let c = t.c in
+  if site = central_site then begin
+    Cluster.use_cpu c central_site c.params.cpu_op;
+    decide t ~reads ~writes
+  end
+  else begin
+    Cluster.use_cpu c site c.params.cpu_msg;
+    Sim.suspend (fun resume ->
+        Cluster.inc_outstanding c;
+        Network.send t.net ~src:site ~dst:central_site (Certify { reads; writes; reply = resume }))
+  end
+
+let submit t (spec : Txn.spec) =
+  let c = t.c in
+  let site = spec.origin in
+  let gid = Cluster.fresh_gid c in
+  let attempt = Cluster.fresh_attempt c in
+  match run_ops_versioned c ~gid ~attempt ~site spec.ops with
+  | Error reason ->
+      Exec.abort_local c ~attempt ~site;
+      Txn.Aborted reason
+  | Ok reads ->
+      let writes = List.sort_uniq compare (Txn.writes spec) in
+      if certify t ~site ~reads ~writes then begin
+        Exec.commit_cost c ~site;
+        Exec.apply_writes c ~gid ~site writes;
+        Exec.release c ~attempt ~site;
+        (* Lazy direct propagation; per-item streams are FIFO from the
+           primary, so replicas apply in certification order. *)
+        let dests = Hashtbl.create 4 in
+        List.iter
+          (fun item -> List.iter (fun s -> Hashtbl.replace dests s ()) c.placement.replicas.(item))
+          writes;
+        let now = Sim.now c.sim in
+        Hashtbl.iter
+          (fun dst () ->
+            Cluster.inc_outstanding c;
+            Network.send t.update_net ~src:site ~dst { gid; writes; origin_commit = now })
+          dests;
+        if Hashtbl.length dests > 0 then
+          Cluster.use_cpu c site (float_of_int (Hashtbl.length dests) *. c.params.cpu_msg);
+        Txn.Committed
+      end
+      else begin
+        Exec.abort_local c ~attempt ~site;
+        Txn.Aborted Txn.Remote_denied
+      end

@@ -1,0 +1,117 @@
+module Sim = Repdb_sim.Sim
+module Rng = Repdb_sim.Rng
+module Resource = Repdb_sim.Resource
+module Condvar = Repdb_sim.Condvar
+module Store = Repdb_store.Store
+module Lock_mgr = Repdb_lock.Lock_mgr
+module History = Repdb_txn.History
+module Params = Repdb_workload.Params
+module Placement = Repdb_workload.Placement
+
+type t = {
+  sim : Sim.t;
+  params : Params.t;
+  placement : Placement.t;
+  lat_fn : int -> int -> float;
+  stores : Store.t array;
+  locks : Lock_mgr.t array;
+  cpus : Resource.t array;
+  history : History.t;
+  metrics : Metrics.t;
+  rng : Rng.t;
+  mutable next_gid : int;
+  mutable next_attempt : int;
+  mutable messages : int;
+  mutable outstanding : int;
+  mutable clients_running : int;
+  mutable stopped : bool;
+  quiesced : Condvar.t;
+}
+
+let create_with ?latency (params : Params.t) placement =
+  Params.validate params;
+  let lat_fn = match latency with Some f -> f | None -> fun _ _ -> params.latency in
+  let sim = Sim.create () in
+  let m = params.n_sites in
+  let stores = Array.init m (fun site -> Store.create ~site (Placement.placed_at placement site)) in
+  let policy : Lock_mgr.policy =
+    match params.deadlock_policy with
+    | `Timeout -> `Timeout params.lock_timeout
+    | `Detect -> `Detect (Some params.lock_timeout)
+  in
+  let locks = Array.init m (fun _ -> Lock_mgr.create ~sim ~policy ()) in
+  let n_machines = min params.n_machines m in
+  let cpus = Array.init n_machines (fun _ -> Resource.create ~capacity:1 ()) in
+  {
+    sim;
+    params;
+    placement;
+    lat_fn;
+    stores;
+    locks;
+    cpus;
+    history = History.create ~enabled:params.record_history ~n_sites:m ();
+    metrics = Metrics.create ();
+    rng = Rng.create (params.seed * 31 + 7);
+    next_gid = 0;
+    next_attempt = 0;
+    messages = 0;
+    outstanding = 0;
+    clients_running = 0;
+    stopped = false;
+    quiesced = Condvar.create ();
+  }
+
+let create (params : Params.t) =
+  let placement_rng = Rng.create params.seed in
+  create_with params (Placement.generate placement_rng params)
+
+let fresh_gid t =
+  t.next_gid <- t.next_gid + 1;
+  t.next_gid
+
+let fresh_attempt t =
+  t.next_attempt <- t.next_attempt + 1;
+  t.next_attempt
+
+let use_cpu t site d =
+  if d > 0.0 then begin
+    let machine = site mod Array.length t.cpus in
+    let d =
+      if machine = t.params.straggler_machine then d *. t.params.straggler_factor else d
+    in
+    Resource.use t.cpus.(machine) d
+  end
+
+let latency_fn t src dst = t.lat_fn src dst
+
+let make_net t =
+  Repdb_net.Network.create ~sim:t.sim ~n_sites:t.params.n_sites ~latency:(latency_fn t)
+    ~on_send:(fun () -> t.messages <- t.messages + 1)
+    ()
+
+let maybe_wake t =
+  if t.clients_running = 0 && t.outstanding = 0 then Condvar.broadcast t.quiesced
+
+let inc_outstanding t = t.outstanding <- t.outstanding + 1
+
+let dec_outstanding t =
+  t.outstanding <- t.outstanding - 1;
+  assert (t.outstanding >= 0);
+  maybe_wake t
+
+let client_started t = t.clients_running <- t.clients_running + 1
+
+let client_finished t =
+  t.clients_running <- t.clients_running - 1;
+  assert (t.clients_running >= 0);
+  Metrics.client_done t.metrics ~time:(Sim.now t.sim);
+  maybe_wake t
+
+let quiescent t = t.clients_running = 0 && t.outstanding = 0
+
+let await_quiescence t =
+  while not (quiescent t) do
+    Condvar.await t.quiesced
+  done;
+  t.stopped <- true

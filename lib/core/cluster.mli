@@ -1,0 +1,76 @@
+(** Shared site runtime: one simulated distributed database instance.
+
+    A cluster bundles the substrate a protocol runs on — simulation kernel,
+    per-site stores and lock managers, per-machine CPUs, the data placement,
+    the access history and metric counters — plus the bookkeeping the driver
+    needs to detect quiescence (outstanding in-flight work, running clients,
+    the stop flag that shuts periodic processes down). *)
+
+module Sim = Repdb_sim.Sim
+module Rng = Repdb_sim.Rng
+module Resource = Repdb_sim.Resource
+module Condvar = Repdb_sim.Condvar
+module Store = Repdb_store.Store
+module Lock_mgr = Repdb_lock.Lock_mgr
+module History = Repdb_txn.History
+module Params = Repdb_workload.Params
+module Placement = Repdb_workload.Placement
+
+type t = {
+  sim : Sim.t;
+  params : Params.t;
+  placement : Placement.t;
+  lat_fn : int -> int -> float;  (** One-way latency per ordered site pair. *)
+  stores : Store.t array;
+  locks : Lock_mgr.t array;
+  cpus : Resource.t array;  (** One per machine; sites map round-robin. *)
+  history : History.t;
+  metrics : Metrics.t;
+  rng : Rng.t;  (** Workload stream; derived from [params.seed]. *)
+  mutable next_gid : int;
+  mutable next_attempt : int;
+  mutable messages : int;  (** Network messages sent, all networks combined. *)
+  mutable outstanding : int;  (** In-flight messages / pending remote work. *)
+  mutable clients_running : int;
+  mutable stopped : bool;  (** Set once quiescent; periodic processes exit. *)
+  quiesced : Condvar.t;  (** Broadcast on transitions relevant to quiescence. *)
+}
+
+(** [create params] — build the cluster; the placement is drawn from a
+    generator derived from [params.seed]. *)
+val create : Params.t -> t
+
+(** [create_with ?latency params placement] — same but with a fixed placement
+    (used by examples and tests that need a hand-built copy graph), and
+    optionally a per-pair latency function (e.g. to model one slow link, the
+    condition that exposes Example 1.1 under indiscriminate propagation). *)
+val create_with : ?latency:(int -> int -> float) -> Params.t -> Placement.t -> t
+
+(** Fresh global transaction id. *)
+val fresh_gid : t -> int
+
+(** Fresh execution-attempt id (lock owner). *)
+val fresh_attempt : t -> int
+
+(** [use_cpu t site d] — consume [d] ms of the site's machine CPU (FIFO). *)
+val use_cpu : t -> int -> float -> unit
+
+(** Constant-latency function for building networks from [params.latency]. *)
+val latency_fn : t -> int -> int -> float
+
+(** [make_net t] — a fresh network wired to the cluster's simulation, latency
+    and message counter. Each protocol builds its own typed network(s). *)
+val make_net : t -> 'a Repdb_net.Network.t
+
+(** {1 Quiescence accounting} *)
+
+val inc_outstanding : t -> unit
+val dec_outstanding : t -> unit
+val client_started : t -> unit
+val client_finished : t -> unit
+
+(** [quiescent t] — no clients running and nothing outstanding. *)
+val quiescent : t -> bool
+
+(** Block until {!quiescent}, then set [stopped]. *)
+val await_quiescence : t -> unit

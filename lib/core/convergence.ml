@@ -1,0 +1,27 @@
+module Store = Repdb_store.Store
+module Value = Repdb_store.Value
+
+type divergence = {
+  item : int;
+  site : int;
+  primary_value : Value.t;
+  replica_value : Value.t;
+}
+
+let check (c : Cluster.t) =
+  let acc = ref [] in
+  let placement = c.placement in
+  for item = placement.n_items - 1 downto 0 do
+    let primary_value = Store.read c.stores.(placement.primary.(item)) item in
+    List.iter
+      (fun site ->
+        let replica_value = Store.read c.stores.(site) item in
+        if not (Value.equal primary_value replica_value) then
+          acc := { item; site; primary_value; replica_value } :: !acc)
+      placement.replicas.(item)
+  done;
+  !acc
+
+let pp_divergence ppf d =
+  Fmt.pf ppf "item %d at site %d: primary=%a replica=%a" d.item d.site Value.pp d.primary_value
+    Value.pp d.replica_value

@@ -1,0 +1,301 @@
+module Sim = Repdb_sim.Sim
+module Condvar = Repdb_sim.Condvar
+module Digraph = Repdb_graph.Digraph
+module Network = Repdb_net.Network
+module Placement = Repdb_workload.Placement
+module Txn = Repdb_txn.Txn
+
+let name = "dag-t"
+let updates_replicas = true
+
+type msg = {
+  ts : Timestamp.t;
+  gid : int;
+  writes : int list; (* [] for dummies *)
+  dummy : bool;
+  origin_commit : float;
+}
+
+type site_state = {
+  mutable lts : int;
+  mutable ts : Timestamp.t;
+  queues : (int, msg Queue.t) Hashtbl.t; (* one per copy-graph parent *)
+  arrivals : Condvar.t;
+  last_sent : float array; (* per child site id *)
+  (* Pipelined-applier bookkeeping (the Section 3.2.3 relaxation): *)
+  mutable tickets : int; (* secondaries dispatched, in timestamp order *)
+  mutable commits_done : int; (* secondaries committed *)
+  item_queues : (int, int Queue.t) Hashtbl.t; (* item -> pending tickets *)
+  turn : Condvar.t;
+}
+
+type t = {
+  c : Cluster.t;
+  graph : Digraph.t;
+  rank : int array;
+  net : msg Network.t;
+  states : site_state array;
+  pipelined : bool;
+}
+
+let ranks t = t.rank
+let site_timestamp t site = t.states.(site).ts
+
+(* Pick the parent queue whose head has the minimum timestamp; None unless
+   every queue is non-empty (Section 3.2.3). *)
+let min_head (st : site_state) : (msg Queue.t * msg) option =
+  let best = ref None in
+  let all = ref true in
+  Hashtbl.iter
+    (fun _parent q ->
+      match Queue.peek_opt q with
+      | None -> all := false
+      | Some (msg : msg) -> (
+          match !best with
+          | Some (_, (m : msg)) when Timestamp.compare m.ts msg.ts <= 0 -> ()
+          | _ -> best := Some (q, msg)))
+    st.queues;
+  if !all then !best else None
+
+(* Commit a secondary (or dummy) at [site]: the site timestamp becomes
+   TS(Ti) . (site, LTS), with Ti's epoch (Sections 3.2.3 and 3.3). *)
+let advance_site_ts t site (msg : msg) =
+  let st = t.states.(site) in
+  st.ts <- Timestamp.concat msg.ts ~site:t.rank.(site) ~lts:st.lts
+
+let process t site (msg : msg) =
+  let c = t.c in
+  Cluster.use_cpu c site c.params.cpu_msg;
+  if msg.dummy then advance_site_ts t site msg
+  else begin
+    let items = List.filter (fun item -> List.mem site c.placement.replicas.(item)) msg.writes in
+    Exec.apply_secondary c ~gid:msg.gid ~site items ~finally:(fun () ->
+        if items <> [] then
+          Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. msg.origin_commit);
+        advance_site_ts t site msg;
+        Cluster.dec_outstanding c)
+  end
+
+let applier t site =
+  let st = t.states.(site) in
+  let rec loop () =
+    match min_head st with
+    | Some (q, msg) ->
+        ignore (Queue.pop q);
+        process t site msg;
+        loop ()
+    | None ->
+        Condvar.await st.arrivals;
+        loop ()
+  in
+  loop ()
+
+(* The Section 3.2.3 relaxation: several secondaries execute concurrently.
+   Dispatch (and hence commit tickets) still follows timestamp order; a
+   worker may only start locking once it is the oldest pending secondary on
+   every item it writes (which rules out lock inversions between
+   secondaries), and commits are serialised by ticket so the site timestamp
+   evolves exactly as in the serial applier. *)
+let pipelined_worker t site (msg : msg) ~ticket ~items =
+  let c = t.c in
+  let st = t.states.(site) in
+  Cluster.use_cpu c site c.params.cpu_msg;
+  let my_turn_on_items () =
+    List.for_all
+      (fun item ->
+        match Hashtbl.find_opt st.item_queues item with
+        | Some q -> Queue.peek_opt q = Some ticket
+        | None -> false)
+      items
+  in
+  while not (my_turn_on_items ()) do
+    Condvar.await st.turn
+  done;
+  let attempt = ref (-1) in
+  if items <> [] then begin
+    let rec acquire () =
+      attempt := Cluster.fresh_attempt c;
+      match Exec.acquire_writes c ~gid:msg.gid ~attempt:!attempt ~site items with
+      | Ok () -> ()
+      | Error _ ->
+          Exec.abort_local c ~attempt:!attempt ~site;
+          acquire ()
+    in
+    acquire ();
+    Exec.commit_cost c ~site
+  end;
+  (* Commit strictly in dispatch (= timestamp) order. *)
+  while st.commits_done <> ticket do
+    Condvar.await st.turn
+  done;
+  if items <> [] then begin
+    Exec.apply_writes c ~gid:msg.gid ~site items;
+    Exec.release c ~attempt:!attempt ~site;
+    Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. msg.origin_commit)
+  end;
+  advance_site_ts t site msg;
+  List.iter
+    (fun item ->
+      let q = Hashtbl.find st.item_queues item in
+      ignore (Queue.pop q);
+      if Queue.is_empty q then Hashtbl.remove st.item_queues item)
+    items;
+  st.commits_done <- st.commits_done + 1;
+  if not msg.dummy then Cluster.dec_outstanding c;
+  Condvar.broadcast st.turn
+
+let pipelined_applier t site =
+  let c = t.c in
+  let st = t.states.(site) in
+  let rec loop () =
+    match min_head st with
+    | Some (q, msg) ->
+        ignore (Queue.pop q);
+        let ticket = st.tickets in
+        st.tickets <- st.tickets + 1;
+        let items =
+          if msg.dummy then []
+          else List.filter (fun item -> List.mem site c.placement.replicas.(item)) msg.writes
+        in
+        (* Register per-item FIFO position synchronously, before yielding. *)
+        List.iter
+          (fun item ->
+            let iq =
+              match Hashtbl.find_opt st.item_queues item with
+              | Some iq -> iq
+              | None ->
+                  let iq = Queue.create () in
+                  Hashtbl.replace st.item_queues item iq;
+                  iq
+            in
+            Queue.add ticket iq)
+          items;
+        Sim.spawn c.sim (fun () -> pipelined_worker t site msg ~ticket ~items);
+        loop ()
+    | None ->
+        Condvar.await st.arrivals;
+        loop ()
+  in
+  loop ()
+
+let send t ~src ~dst msg =
+  if not msg.dummy then Cluster.inc_outstanding t.c;
+  t.states.(src).last_sent.(dst) <- Sim.now t.c.sim;
+  Network.send t.net ~src ~dst msg
+
+(* A site that stayed silent towards a child pushes the child's clock with a
+   dummy carrying the current site timestamp. *)
+let dummy_timer t site children =
+  let c = t.c in
+  let st = t.states.(site) in
+  let rec loop () =
+    Sim.delay c.params.dummy_idle;
+    if not c.stopped then begin
+      List.iter
+        (fun child ->
+          if Sim.now c.sim -. st.last_sent.(child) >= c.params.dummy_idle then
+            send t ~src:site ~dst:child
+              { ts = st.ts; gid = 0; writes = []; dummy = true; origin_commit = Sim.now c.sim })
+        children;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Sources advance the global epoch (Section 3.3). *)
+let epoch_timer t site =
+  let c = t.c in
+  let st = t.states.(site) in
+  let rec loop () =
+    Sim.delay c.params.epoch_period;
+    if not c.stopped then begin
+      st.ts <- Timestamp.with_epoch st.ts (st.ts.Timestamp.epoch + 1);
+      loop ()
+    end
+  in
+  loop ()
+
+let create_internal ~pipelined (c : Cluster.t) =
+  let graph = Placement.copy_graph c.placement in
+  let order =
+    match Digraph.topo_sort graph with
+    | Some o -> o
+    | None -> invalid_arg "Dag_t: copy graph has a cycle (use the BackEdge protocol)"
+  in
+  let m = c.params.n_sites in
+  let rank = Array.make m 0 in
+  List.iteri (fun i site -> rank.(site) <- i) order;
+  let net = Cluster.make_net c in
+  let states =
+    Array.init m (fun site ->
+        let queues = Hashtbl.create 4 in
+        List.iter (fun parent -> Hashtbl.replace queues parent (Queue.create ())) (Digraph.pred graph site);
+        {
+          lts = 0;
+          ts = Timestamp.initial rank.(site);
+          queues;
+          arrivals = Condvar.create ();
+          last_sent = Array.make m 0.0;
+          tickets = 0;
+          commits_done = 0;
+          item_queues = Hashtbl.create 16;
+          turn = Condvar.create ();
+        })
+  in
+  let t = { c; graph; rank; net; states; pipelined } in
+  for site = 0 to m - 1 do
+    let st = states.(site) in
+    Network.set_handler net site (fun ~src msg ->
+        match Hashtbl.find_opt st.queues src with
+        | Some q ->
+            Queue.add msg q;
+            Condvar.broadcast st.arrivals
+        | None -> invalid_arg "Dag_t: message from a non-parent site");
+    if Digraph.pred graph site <> [] then
+      Sim.spawn c.sim (fun () -> if t.pipelined then pipelined_applier t site else applier t site);
+    let children = Digraph.succ graph site in
+    if children <> [] then begin
+      Sim.spawn c.sim (fun () -> dummy_timer t site children);
+      if Digraph.pred graph site = [] then Sim.spawn c.sim (fun () -> epoch_timer t site)
+    end
+  done;
+  t
+
+let create c = create_internal ~pipelined:false c
+let create_pipelined c = create_internal ~pipelined:true c
+
+let submit t (spec : Txn.spec) =
+  let c = t.c in
+  let site = spec.origin in
+  let gid = Cluster.fresh_gid c in
+  let attempt = Cluster.fresh_attempt c in
+  match Exec.run_ops c ~gid ~attempt ~site spec.ops with
+  | Error reason ->
+      Exec.abort_local c ~attempt ~site;
+      Txn.Aborted reason
+  | Ok () ->
+      let writes = List.sort_uniq compare (Txn.writes spec) in
+      Exec.commit_cost c ~site;
+      (* Atomic commit section (the "critical section" of Section 3.2.2):
+         bump the local counter, stamp the transaction, apply, release and
+         schedule the secondaries at the relevant children. *)
+      let st = t.states.(site) in
+      st.lts <- st.lts + 1;
+      st.ts <- Timestamp.bump_own st.ts t.rank.(site);
+      let ts = st.ts in
+      Exec.apply_writes c ~gid ~site writes;
+      Exec.release c ~attempt ~site;
+      let relevant =
+        List.filter
+          (fun child ->
+            List.exists (fun item -> List.mem child c.placement.replicas.(item)) writes)
+          (Digraph.succ t.graph site)
+      in
+      let now = Sim.now c.sim in
+      List.iter
+        (fun child ->
+          send t ~src:site ~dst:child { ts; gid; writes; dummy = false; origin_commit = now })
+        relevant;
+      if relevant <> [] then
+        Cluster.use_cpu c site (float_of_int (List.length relevant) *. c.params.cpu_msg);
+      Txn.Committed

@@ -1,0 +1,96 @@
+module Sim = Repdb_sim.Sim
+module Mailbox = Repdb_sim.Mailbox
+module Tree = Repdb_graph.Tree
+module Network = Repdb_net.Network
+module Placement = Repdb_workload.Placement
+module Txn = Repdb_txn.Txn
+
+let name = "dag-wt"
+let updates_replicas = true
+
+type msg = { gid : int; writes : int list; origin_commit : float }
+
+type t = {
+  c : Cluster.t;
+  tr : Tree.t;
+  net : msg Network.t;
+  in_subtree : bool array array; (* site -> item -> some replica lives in subtree(site) *)
+}
+
+let tree t = t.tr
+
+(* Children whose subtree holds a replica of some written item. *)
+let relevant_children t site writes =
+  Routing.relevant_children t.in_subtree t.tr site writes
+
+(* Forward a subtransaction to the relevant children; non-blocking, so it can
+   sit inside an atomic commit section. Returns the number of sends. *)
+let forward t site (msg : msg) =
+  let children = relevant_children t site msg.writes in
+  List.iter
+    (fun child ->
+      Cluster.inc_outstanding t.c;
+      Network.send t.net ~src:site ~dst:child msg)
+    children;
+  List.length children
+
+
+(* One secondary subtransaction, received from the tree parent. *)
+let process_secondary t site (msg : msg) =
+  let c = t.c in
+  Cluster.use_cpu c site c.params.cpu_msg;
+  let items = Routing.local_replicas c.placement site msg.writes in
+  let sent = ref 0 in
+  Exec.apply_secondary c ~gid:msg.gid ~site items ~finally:(fun () ->
+      if items <> [] then
+        Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. msg.origin_commit);
+      sent := forward t site msg;
+      Cluster.dec_outstanding c);
+  if !sent > 0 then Cluster.use_cpu c site (float_of_int !sent *. c.params.cpu_msg)
+
+let applier t site =
+  let inbox = Network.inbox t.net site in
+  let rec loop () =
+    let _, msg = Mailbox.recv inbox in
+    process_secondary t site msg;
+    loop ()
+  in
+  loop ()
+
+let create_with_tree (c : Cluster.t) tr =
+  let g = Placement.copy_graph c.placement in
+  if not (Repdb_graph.Digraph.is_dag g) then
+    invalid_arg "Dag_wt: copy graph has a cycle (use the BackEdge protocol)";
+  if not (Tree.satisfies g tr) then invalid_arg "Dag_wt: tree lacks the ancestor property";
+  let net = Cluster.make_net c in
+  let t = { c; tr; net; in_subtree = Routing.subtree_replicas c.placement tr } in
+  for site = 0 to c.params.n_sites - 1 do
+    if Tree.parent tr site <> -1 then Sim.spawn c.sim (fun () -> applier t site)
+  done;
+  t
+
+let create (c : Cluster.t) =
+  let g = Placement.copy_graph c.placement in
+  if not (Repdb_graph.Digraph.is_dag g) then
+    invalid_arg "Dag_wt: copy graph has a cycle (use the BackEdge protocol)";
+  create_with_tree c (Tree.of_dag g)
+
+let submit t (spec : Txn.spec) =
+  let c = t.c in
+  let site = spec.origin in
+  let gid = Cluster.fresh_gid c in
+  let attempt = Cluster.fresh_attempt c in
+  match Exec.run_ops c ~gid ~attempt ~site spec.ops with
+  | Error reason ->
+      Exec.abort_local c ~attempt ~site;
+      Txn.Aborted reason
+  | Ok () ->
+      let writes = List.sort_uniq compare (Txn.writes spec) in
+      Exec.commit_cost c ~site;
+      (* Atomic commit section: apply, release, forward. *)
+      Exec.apply_writes c ~gid ~site writes;
+      Exec.release c ~attempt ~site;
+      let msg = { gid; writes; origin_commit = Sim.now c.sim } in
+      let sent = if writes = [] then 0 else forward t site msg in
+      if sent > 0 then Cluster.use_cpu c site (float_of_int sent *. c.params.cpu_msg);
+      Txn.Committed

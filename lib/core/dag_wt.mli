@@ -1,0 +1,22 @@
+(** The DAG(WT) protocol — "DAG Without Timestamps" (Section 2).
+
+    Requires an acyclic copy graph. Updates are propagated along the edges of
+    a tree [T] in which every copy-graph child of a site is a tree descendant
+    of it. A transaction executes entirely locally; at commit its updates are
+    forwarded to the {e relevant} tree children (those whose subtree holds a
+    replica of an updated item). Each site commits the secondary
+    subtransactions received from its single tree parent in FIFO order and
+    forwards them, atomically with commit, so that when a secondary executes
+    at a site every transaction serialized before it has already committed
+    there. *)
+
+include Protocol.S
+
+(** [create_with_tree cluster tree] — like [create] but with an explicit
+    propagation tree (must satisfy {!Repdb_graph.Tree.satisfies} for the
+    placement's copy graph).
+    @raise Invalid_argument if the copy graph is cyclic or the tree invalid. *)
+val create_with_tree : Cluster.t -> Repdb_graph.Tree.t -> t
+
+(** The tree in use (for tests and examples). *)
+val tree : t -> Repdb_graph.Tree.t

@@ -1,0 +1,110 @@
+module Sim = Repdb_sim.Sim
+module Rng = Repdb_sim.Rng
+module Lock_mgr = Repdb_lock.Lock_mgr
+module Params = Repdb_workload.Params
+module Generator = Repdb_workload.Generator
+module Placement = Repdb_workload.Placement
+module Txn = Repdb_txn.Txn
+module Serializability = Repdb_txn.Serializability
+
+type report = {
+  protocol : string;
+  params : Params.t;
+  summary : Metrics.summary;
+  serializability : Serializability.verdict option;
+  divergent : Convergence.divergence list option;
+  copy_graph_edges : int;
+  n_backedges : int;
+  n_replicas : int;
+  lock_stats : Lock_mgr.stats;
+  sim_events : int;
+  sim_time : float;
+}
+
+let client (c : Cluster.t) submit gen rng ~site =
+  let p = c.params in
+  for _ = 1 to p.txns_per_thread do
+    let spec = Generator.gen_with gen rng ~site in
+    let start = Sim.now c.sim in
+    let rec attempt () =
+      match submit spec with
+      | Txn.Committed -> Metrics.commit c.metrics ~response:(Sim.now c.sim -. start)
+      | Txn.Aborted reason ->
+          Metrics.abort c.metrics reason;
+          if p.retry_aborted then begin
+            Sim.delay (Rng.float_range rng 1.0 10.0);
+            attempt ()
+          end
+    in
+    attempt ()
+  done;
+  Cluster.client_finished c
+
+let run_on (c : Cluster.t) (module P : Protocol.S) =
+  let p = c.params in
+  let proto = P.create c in
+  let gen = Generator.create c.rng p c.placement in
+  for site = 0 to p.n_sites - 1 do
+    for thread = 0 to p.threads_per_site - 1 do
+      Cluster.client_started c;
+      let rng = Rng.create ((p.seed * 1_000_003) + (site * 131) + thread) in
+      Sim.spawn c.sim (fun () -> client c (P.submit proto) gen rng ~site)
+    done
+  done;
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  let total_txns = p.n_sites * p.threads_per_site * p.txns_per_thread in
+  let horizon = 120_000.0 +. (2_000.0 *. float_of_int total_txns /. float_of_int p.n_sites) in
+  Sim.run_until c.sim horizon;
+  if not (Cluster.quiescent c) then
+    failwith
+      (Printf.sprintf "Driver.run: %s failed to quiesce (clients=%d outstanding=%d t=%.0fms)"
+         P.name c.clients_running c.outstanding (Sim.now c.sim));
+  (* Drain any leftover timer wake-ups past the stop flag. *)
+  Sim.run c.sim;
+  let lock_stats =
+    Array.fold_left
+      (fun (acc : Lock_mgr.stats) lm ->
+        let s = Lock_mgr.stats lm in
+        {
+          Lock_mgr.acquires = acc.acquires + s.acquires;
+          waits = acc.waits + s.waits;
+          timeouts = acc.timeouts + s.timeouts;
+          deadlock_aborts = acc.deadlock_aborts + s.deadlock_aborts;
+        })
+      { Lock_mgr.acquires = 0; waits = 0; timeouts = 0; deadlock_aborts = 0 }
+      c.locks
+  in
+  {
+    protocol = P.name;
+    params = p;
+    summary = Metrics.summarize c.metrics ~n_sites:p.n_sites ~messages:c.messages;
+    serializability =
+      (if Repdb_txn.History.enabled c.history then Some (Serializability.check c.history) else None);
+    divergent = (if P.updates_replicas then Some (Convergence.check c) else None);
+    copy_graph_edges = Repdb_graph.Digraph.n_edges (Placement.copy_graph c.placement);
+    n_backedges = List.length (Placement.backedges c.placement);
+    n_replicas = Placement.n_replicas c.placement;
+    lock_stats;
+    sim_events = Sim.events_executed c.sim;
+    sim_time = Sim.now c.sim;
+  }
+
+let run ?placement params protocol =
+  let c =
+    match placement with
+    | Some pl -> Cluster.create_with params pl
+    | None -> Cluster.create params
+  in
+  run_on c protocol
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>[%s] %a@ %a@ copy-graph edges=%d backedges=%d replicas=%d@ locks: %d acquires, %d waits, %d timeouts, %d deadlock aborts@ %a%a@]"
+    r.protocol Params.pp r.params Metrics.pp_summary r.summary r.copy_graph_edges r.n_backedges
+    r.n_replicas r.lock_stats.acquires r.lock_stats.waits r.lock_stats.timeouts
+    r.lock_stats.deadlock_aborts
+    (Fmt.option (fun ppf v -> Fmt.pf ppf "serializability: %a@ " Serializability.pp_verdict v))
+    r.serializability
+    (Fmt.option (fun ppf d ->
+         Fmt.pf ppf "convergence: %s"
+           (if d = [] then "ok" else Printf.sprintf "%d divergent copies" (List.length d))))
+    r.divergent

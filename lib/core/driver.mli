@@ -1,0 +1,36 @@
+(** Workload driver: runs one protocol on one parameter setting and reports.
+
+    Spawns [threads_per_site] client processes per site, each executing
+    [txns_per_thread] generated transactions back to back (the paper's
+    closed-loop clients), plus a quiescence watcher that lets the propagation
+    machinery drain and then stops the periodic processes. Each client thread
+    draws from its own RNG stream derived from the seed, so every protocol
+    faces the identical workload. *)
+
+type report = {
+  protocol : string;
+  params : Repdb_workload.Params.t;
+  summary : Metrics.summary;
+  serializability : Repdb_txn.Serializability.verdict option;
+      (** [Some] iff [params.record_history]. *)
+  divergent : Convergence.divergence list option;
+      (** [Some] for protocols that physically update replicas. *)
+  copy_graph_edges : int;
+  n_backedges : int;  (** Under the chain site order. *)
+  n_replicas : int;
+  lock_stats : Repdb_lock.Lock_mgr.stats;  (** Summed over sites. *)
+  sim_events : int;
+  sim_time : float;  (** ms at full quiescence. *)
+}
+
+(** [run ?placement params protocol] — build a cluster (with the given or a
+    generated placement), run the workload to quiescence, and report.
+    @raise Failure if the system fails to quiesce within a generous horizon
+    (indicates a protocol bug). *)
+val run : ?placement:Repdb_workload.Placement.t -> Repdb_workload.Params.t -> Protocol.t -> report
+
+(** [run_on cluster protocol] — like {!run} on a pre-built cluster; exposed
+    for tests that need to inspect cluster state afterwards. *)
+val run_on : Cluster.t -> Protocol.t -> report
+
+val pp_report : Format.formatter -> report -> unit

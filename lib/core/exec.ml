@@ -1,0 +1,62 @@
+module Txn = Repdb_txn.Txn
+module History = Repdb_txn.History
+module Lock_mgr = Repdb_lock.Lock_mgr
+module Store = Repdb_store.Store
+
+let abort_reason_of_outcome = function
+  | Lock_mgr.Timed_out -> Txn.Lock_timeout
+  | Lock_mgr.Deadlock_victim -> Txn.Deadlock
+  | Lock_mgr.Granted -> invalid_arg "Exec.abort_reason_of_outcome: Granted"
+
+let run_op (c : Cluster.t) ~gid ~attempt ~site op =
+  let locks = c.locks.(site) in
+  let item, mode, kind =
+    match op with
+    | Txn.Read item -> (item, Lock_mgr.Shared, History.R)
+    | Txn.Write item -> (item, Lock_mgr.Exclusive, History.W)
+  in
+  match Lock_mgr.acquire locks ~owner:attempt item mode with
+  | Lock_mgr.Granted ->
+      Cluster.use_cpu c site c.params.cpu_op;
+      (match op with
+      | Txn.Read item -> ignore (Store.read c.stores.(site) item)
+      | Txn.Write _ -> () (* deferred to commit *));
+      History.record c.history ~site ~item ~gid ~attempt kind;
+      Ok ()
+  | (Lock_mgr.Timed_out | Lock_mgr.Deadlock_victim) as o -> Error (abort_reason_of_outcome o)
+
+let run_ops c ~gid ~attempt ~site ops =
+  let rec go = function
+    | [] -> Ok ()
+    | op :: rest -> ( match run_op c ~gid ~attempt ~site op with Ok () -> go rest | e -> e)
+  in
+  go ops
+
+let acquire_writes c ~gid ~attempt ~site items =
+  run_ops c ~gid ~attempt ~site (List.map (fun item -> Txn.Write item) items)
+
+let apply_writes (c : Cluster.t) ~gid ~site items =
+  List.iter (fun item -> Store.apply c.stores.(site) item ~writer:gid ()) items
+
+let commit_cost (c : Cluster.t) ~site = Cluster.use_cpu c site c.params.cpu_commit
+
+let release (c : Cluster.t) ~attempt ~site = Lock_mgr.release_all c.locks.(site) ~owner:attempt
+
+let abort_local (c : Cluster.t) ~attempt ~site =
+  History.discard_attempt c.history ~attempt;
+  release c ~attempt ~site
+
+let rec apply_secondary c ~gid ~site items ~finally =
+  if items = [] then finally ()
+  else begin
+    let attempt = Cluster.fresh_attempt c in
+    match acquire_writes c ~gid ~attempt ~site items with
+    | Ok () ->
+        commit_cost c ~site;
+        apply_writes c ~gid ~site items;
+        release c ~attempt ~site;
+        finally ()
+    | Error _ ->
+        abort_local c ~attempt ~site;
+        apply_secondary c ~gid ~site items ~finally
+  end

@@ -1,0 +1,62 @@
+(** Common building blocks for executing (sub)transactions at a site.
+
+    Writes are deferred: during execution a transaction only acquires locks
+    (exclusive for writes, shared for reads), charges CPU and records the
+    access in the history; the store is modified at commit time, so aborts
+    need no undo. Strict 2PL holds because locks are only released by
+    {!commit_local} and {!abort_local}. *)
+
+module Txn = Repdb_txn.Txn
+module Lock_mgr = Repdb_lock.Lock_mgr
+
+(** [run_ops c ~gid ~attempt ~site ops] executes [ops] locally: for each
+    operation, acquire the lock, charge [cpu_op], record the access. On lock
+    failure returns [Error reason] with all locks still held — the caller
+    must {!abort_local}. *)
+val run_ops :
+  Cluster.t ->
+  gid:int ->
+  attempt:int ->
+  site:int ->
+  Txn.op list ->
+  (unit, Txn.abort_reason) result
+
+(** [acquire_writes c ~gid ~attempt ~site items] — the secondary-
+    subtransaction variant of {!run_ops}: exclusive locks + [cpu_op] + W
+    records for each item, which must all be placed at [site]. *)
+val acquire_writes :
+  Cluster.t ->
+  gid:int ->
+  attempt:int ->
+  site:int ->
+  int list ->
+  (unit, Txn.abort_reason) result
+
+(** [apply_writes c ~gid ~site items] — install the deferred writes into the
+    site store (no locking; caller holds the exclusive locks). *)
+val apply_writes : Cluster.t -> gid:int -> site:int -> int list -> unit
+
+(** [commit_cost c ~site] — charge [cpu_commit] (blocking). Call {e before}
+    the atomic commit section. *)
+val commit_cost : Cluster.t -> site:int -> unit
+
+(** [release c ~attempt ~site] — release every lock of [attempt]. *)
+val release : Cluster.t -> attempt:int -> site:int -> unit
+
+(** [abort_local c ~attempt ~site] — discard the attempt's recorded accesses
+    and release its locks. *)
+val abort_local : Cluster.t -> attempt:int -> site:int -> unit
+
+(** [apply_secondary c ~gid ~site items ~finally] — run a secondary
+    subtransaction: acquire exclusive locks on [items] (retrying with a fresh
+    attempt after every timeout, as the paper's repeated resubmission), charge
+    the commit cost, then {e atomically} apply the writes, release the locks
+    and run [finally] — which must not block, and is where the caller updates
+    site timestamps and forwards messages so that commit order equals forward
+    order. With [items = []] only [finally] runs. *)
+val apply_secondary :
+  Cluster.t -> gid:int -> site:int -> int list -> finally:(unit -> unit) -> unit
+
+(** Map a lock-wait outcome to an abort reason.
+    @raise Invalid_argument on [Granted]. *)
+val abort_reason_of_outcome : Lock_mgr.outcome -> Txn.abort_reason

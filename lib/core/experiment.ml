@@ -1,0 +1,273 @@
+module Params = Repdb_workload.Params
+
+type point = { x : float; reports : (string * Driver.report) list }
+type figure = { id : string; title : string; xlabel : string; points : point list }
+
+let be_psl : Protocol.t list = [ (module Backedge_proto : Protocol.S); (module Psl : Protocol.S) ]
+
+let run_point params protocols x =
+  let reports =
+    List.map (fun p -> (Protocol.name p, Driver.run params p)) protocols
+  in
+  { x; reports }
+
+let sweep ~id ~title ~xlabel ~protocols ~values ~params_of () =
+  { id; title; xlabel; points = List.map (fun x -> run_point (params_of x) protocols x) values }
+
+let probs steps = List.init (steps + 1) (fun i -> float_of_int i /. float_of_int steps)
+
+let fig2a ?(base = Params.default) ?(steps = 10) () =
+  sweep ~id:"fig2a" ~title:"Throughput vs backedge probability (Figure 2a)"
+    ~xlabel:"backedge probability b" ~protocols:be_psl ~values:(probs steps)
+    ~params_of:(fun b -> { base with backedge_prob = b })
+    ()
+
+let fig2b ?(base = Params.default) ?(steps = 10) () =
+  sweep ~id:"fig2b" ~title:"Throughput vs replication probability (Figure 2b)"
+    ~xlabel:"replication probability r" ~protocols:be_psl ~values:(probs steps)
+    ~params_of:(fun r -> { base with replication_prob = r })
+    ()
+
+let extreme base = { base with Params.replication_prob = 0.5; read_txn_prob = 0.0 }
+
+let fig3a ?(base = Params.default) ?(steps = 10) () =
+  let base = { (extreme base) with backedge_prob = 0.0 } in
+  sweep ~id:"fig3a" ~title:"Throughput vs read-op probability, b=0 (Figure 3a)"
+    ~xlabel:"read operation probability" ~protocols:be_psl ~values:(probs steps)
+    ~params_of:(fun p -> { base with read_op_prob = p })
+    ()
+
+let fig3b ?(base = Params.default) ?(steps = 10) () =
+  let base = { (extreme base) with backedge_prob = 1.0 } in
+  sweep ~id:"fig3b" ~title:"Throughput vs read-op probability, b=1 (Figure 3b)"
+    ~xlabel:"read operation probability" ~protocols:be_psl ~values:(probs steps)
+    ~params_of:(fun p -> { base with read_op_prob = p })
+    ()
+
+let response_times ?(base = Params.default) () =
+  List.map (fun p -> (Protocol.name p, Driver.run base p)) be_psl
+
+let sweep_sites ?(base = Params.default) () =
+  sweep ~id:"sites" ~title:"Throughput vs number of sites" ~xlabel:"sites m" ~protocols:be_psl
+    ~values:[ 3.0; 6.0; 9.0; 12.0; 15.0 ]
+    ~params_of:(fun m -> { base with n_sites = int_of_float m })
+    ()
+
+let sweep_threads ?(base = Params.default) () =
+  sweep ~id:"threads" ~title:"Throughput vs threads per site" ~xlabel:"threads/site"
+    ~protocols:be_psl
+    ~values:[ 1.0; 2.0; 3.0; 4.0; 5.0 ]
+    ~params_of:(fun k -> { base with threads_per_site = int_of_float k })
+    ()
+
+let sweep_latency ?(base = Params.default) () =
+  sweep ~id:"latency" ~title:"Throughput vs network latency" ~xlabel:"latency (ms)"
+    ~protocols:be_psl
+    ~values:[ 0.15; 1.0; 5.0; 20.0; 50.0; 100.0 ]
+    ~params_of:(fun l -> { base with latency = l })
+    ()
+
+let sweep_read_txn ?(base = Params.default) ?(steps = 5) () =
+  sweep ~id:"readtxn" ~title:"Throughput vs read-transaction probability"
+    ~xlabel:"read transaction probability" ~protocols:be_psl ~values:(probs steps)
+    ~params_of:(fun p -> { base with read_txn_prob = p })
+    ()
+
+let ablation_protocols ?(base = Params.default) () =
+  let params = { base with Params.backedge_prob = 0.0 } in
+  List.map (fun p -> (Protocol.name p, Driver.run params p)) (Registry.all @ [ Registry.dag_t_pipelined ])
+
+let ablation_eager_scaling ?(base = Params.default) () =
+  let protocols : Protocol.t list =
+    [
+      (module Eager : Protocol.S);
+      (module Central : Protocol.S);
+      (module Lazy_master : Protocol.S);
+      (module Backedge_proto : Protocol.S);
+      (module Psl : Protocol.S);
+    ]
+  in
+  sweep ~id:"eager-scaling" ~title:"Eager / central-cert / lazy-master vs lazy as sites grow"
+    ~xlabel:"sites m" ~protocols
+    ~values:[ 3.0; 6.0; 9.0; 12.0; 15.0 ]
+    ~params_of:(fun m -> { base with n_sites = int_of_float m })
+    ()
+
+let ablation_tree_routing ?(base = Params.default) ?(steps = 5) () =
+  let protocols : Protocol.t list = [ (module Backedge_proto : Protocol.S); Registry.backedge_general ] in
+  sweep ~id:"tree-routing" ~title:"BackEdge: chain tree vs general per-component tree"
+    ~xlabel:"backedge probability b" ~protocols ~values:(probs steps)
+    ~params_of:(fun b -> { base with backedge_prob = b })
+    ()
+
+let ablation_deadlock_policy ?(base = Params.default) () =
+  List.concat_map
+    (fun (label, policy) ->
+      let params = { base with Params.deadlock_policy = policy } in
+      List.map
+        (fun p -> (Protocol.name p ^ "/" ^ label, Driver.run params p))
+        be_psl)
+    [ ("timeout", `Timeout); ("detect", `Detect) ]
+
+let ablation_dummy_period ?(base = Params.default) () =
+  let base = { base with Params.backedge_prob = 0.0 } in
+  sweep ~id:"dummy-period" ~title:"DAG(T): propagation delay vs dummy idle threshold"
+    ~xlabel:"dummy idle threshold (ms)"
+    ~protocols:[ (module Dag_t : Protocol.S) ]
+    ~values:[ 10.0; 25.0; 50.0; 100.0; 200.0 ]
+    ~params_of:(fun d -> { base with dummy_idle = d; epoch_period = 2.0 *. d })
+    ()
+
+let ablation_hotspot ?(base = Params.default) () =
+  sweep ~id:"hotspot" ~title:"Hotspot skew: throughput vs hot-access probability"
+    ~xlabel:"hot access probability (hot set = 20% of the pool)" ~protocols:be_psl
+    ~values:[ 0.0; 0.3; 0.5; 0.7; 0.9 ]
+    ~params_of:(fun h -> { base with hot_access_prob = h })
+    ()
+
+let ablation_straggler ?(base = Params.default) () =
+  let protocols : Protocol.t list =
+    [ (module Backedge_proto : Protocol.S); (module Psl : Protocol.S); (module Central : Protocol.S) ]
+  in
+  sweep ~id:"straggler" ~title:"Straggler machine: throughput vs CPU slowdown of machine 0"
+    ~xlabel:"straggler slowdown factor" ~protocols
+    ~values:[ 1.0; 2.0; 4.0; 8.0 ]
+    ~params_of:(fun f -> { base with straggler_machine = 0; straggler_factor = f })
+    ()
+
+let ordered_backedge name order : Protocol.t =
+  (module struct
+    type t = Backedge_proto.t
+
+    let name = name
+    let updates_replicas = true
+    let create c = Backedge_proto.create_with_order c order
+    let submit = Backedge_proto.submit
+  end : Protocol.S)
+
+let ablation_site_order ?(base = Params.default) () =
+  let m = base.Params.n_sites in
+  let hub = m - 1 in
+  let n_reference = 30 and n_local = 10 in
+  let n_items = n_reference + ((m - 1) * n_local) in
+  let primary = Array.make n_items hub in
+  let replicas = Array.make n_items [] in
+  let spokes = List.init (m - 1) Fun.id in
+  for i = 0 to n_reference - 1 do
+    replicas.(i) <- spokes
+  done;
+  for s = 0 to m - 2 do
+    for k = 0 to n_local - 1 do
+      primary.(n_reference + (s * n_local) + k) <- s
+    done
+  done;
+  let placement = { Repdb_workload.Placement.n_sites = m; n_items; primary; replicas } in
+  let params = { base with Params.n_items } in
+  (* FAS-derived order: peel the copy graph with the weighted greedy
+     heuristic; here it simply puts the hub before its spokes. *)
+  let g = Repdb_workload.Placement.copy_graph placement in
+  let fas = Repdb_graph.Backedge.greedy_fas g ~weight:(fun _ _ -> 1.0) in
+  let gdag = Repdb_graph.Digraph.remove_edges g fas in
+  let order =
+    match Repdb_graph.Digraph.topo_sort gdag with Some o -> Array.of_list o | None -> assert false
+  in
+  List.map
+    (fun (label, proto) -> (label, Driver.run ~placement params proto))
+    [
+      ("identity-order", ordered_backedge "backedge" (Array.init m Fun.id));
+      ("fas-order", ordered_backedge "backedge" order);
+    ]
+
+let pp_point ppf (pt : point) =
+  List.iter
+    (fun (name, (r : Driver.report)) ->
+      Fmt.pf ppf "  x=%-6g %-9s thr/site=%7.2f  abort=%6.2f%%  resp=%7.1fms  prop=%7.1fms  msgs=%d@,"
+        pt.x name r.summary.throughput_per_site r.summary.abort_rate r.summary.avg_response
+        r.summary.avg_propagation r.summary.messages)
+    pt.reports
+
+let pp_figure ppf fig =
+  Fmt.pf ppf "@[<v>== %s: %s (x = %s)@,%a@]" fig.id fig.title fig.xlabel
+    (fun ppf points -> List.iter (pp_point ppf) points)
+    fig.points
+
+let pp_reports ppf reports =
+  List.iter
+    (fun (name, r) -> Fmt.pf ppf "@[<v 2>-- %s --@,%a@]@." name Driver.pp_report r)
+    reports
+
+let render_ascii fig =
+  let width = 64 and height = 18 in
+  let protocols =
+    match fig.points with [] -> [] | pt :: _ -> List.map fst pt.reports
+  in
+  let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |] in
+  let glyph_of i = glyphs.(i mod Array.length glyphs) in
+  let xs = List.map (fun pt -> pt.x) fig.points in
+  let ys =
+    List.concat_map
+      (fun pt -> List.map (fun (_, (r : Driver.report)) -> r.summary.throughput_per_site) pt.reports)
+      fig.points
+  in
+  match (xs, ys) with
+  | [], _ | _, [] -> "(no data)\n"
+  | _ ->
+      let x_min = List.fold_left min (List.hd xs) xs
+      and x_max = List.fold_left max (List.hd xs) xs in
+      let y_max = List.fold_left max 0.0 ys in
+      let y_max = if y_max <= 0.0 then 1.0 else y_max *. 1.05 in
+      let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+      let grid = Array.init height (fun _ -> Bytes.make width ' ') in
+      List.iter
+        (fun pt ->
+          let col =
+            int_of_float ((pt.x -. x_min) /. x_span *. float_of_int (width - 1))
+          in
+          List.iteri
+            (fun i (_, (r : Driver.report)) ->
+              let y = r.summary.throughput_per_site in
+              let row =
+                height - 1 - int_of_float (y /. y_max *. float_of_int (height - 1))
+              in
+              let row = max 0 (min (height - 1) row) in
+              Bytes.set grid.(row) col (glyph_of i))
+            pt.reports)
+        fig.points;
+      let buf = Buffer.create 2048 in
+      Array.iteri
+        (fun row line ->
+          let label =
+            if row = 0 then Printf.sprintf "%8.1f |" y_max
+            else if row = height - 1 then Printf.sprintf "%8.1f |" 0.0
+            else "         |"
+          in
+          Buffer.add_string buf label;
+          Buffer.add_bytes buf line;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf ("         +" ^ String.make width '-' ^ "\n");
+      Buffer.add_string buf
+        (Printf.sprintf "          %-8g%s%8g\n" x_min
+           (String.make (width - 16) ' ')
+           x_max);
+      Buffer.add_string buf (Printf.sprintf "          x = %s; y = throughput/site;" fig.xlabel);
+      List.iteri
+        (fun i name -> Buffer.add_string buf (Printf.sprintf " %c %s" (glyph_of i) name))
+        protocols;
+      Buffer.add_char buf '\n';
+      Buffer.contents buf
+
+let to_csv fig =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "figure,x,protocol,throughput_per_site,abort_rate,avg_response,avg_propagation,messages\n";
+  List.iter
+    (fun pt ->
+      List.iter
+        (fun (name, (r : Driver.report)) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%g,%s,%.4f,%.4f,%.2f,%.2f,%d\n" fig.id pt.x name
+               r.summary.throughput_per_site r.summary.abort_rate r.summary.avg_response
+               r.summary.avg_propagation r.summary.messages))
+        pt.reports)
+    fig.points;
+  Buffer.contents buf

@@ -1,0 +1,150 @@
+module Sim = Repdb_sim.Sim
+module Mailbox = Repdb_sim.Mailbox
+module Lock_mgr = Repdb_lock.Lock_mgr
+module History = Repdb_txn.History
+module Store = Repdb_store.Store
+module Network = Repdb_net.Network
+module Txn = Repdb_txn.Txn
+
+let name = "lazy-master"
+let updates_replicas = true
+
+type msg =
+  | Read_request of { item : int; owner : int; reply : bool -> unit }
+  | Read_reply of { granted : bool; deliver : bool -> unit }
+  | Push of { gid : int; writes : int list; origin_commit : float; reply : unit -> unit }
+      (** Updates shipped to a replica site; acknowledged once applied. *)
+  | Push_ack of { deliver : unit -> unit }
+  | Release of { owner : int }
+
+type t = { c : Cluster.t; net : msg Network.t; mutable remote : int }
+
+let remote_reads t = t.remote
+
+(* Serve a shared-lock request at the primary (the value is then read from
+   the local replica at the requester — fresh, because writers hold their
+   locks until every replica acknowledged). *)
+let serve_read t site ~src ~item ~owner ~reply =
+  let c = t.c in
+  Cluster.use_cpu c site c.params.cpu_msg;
+  let respond granted =
+    Network.send t.net ~src:site ~dst:src (Read_reply { granted; deliver = reply })
+  in
+  match Lock_mgr.acquire c.locks.(site) ~owner item Lock_mgr.Shared with
+  | Lock_mgr.Granted ->
+      History.record c.history ~site ~item ~gid:owner ~attempt:owner History.R;
+      respond true
+  | Lock_mgr.Timed_out | Lock_mgr.Deadlock_victim -> respond false
+
+(* Apply a pushed update set at a replica site (short local X locks, retried
+   against concurrent pushes), then acknowledge. *)
+let serve_push t site ~src ~gid ~writes ~origin_commit ~reply =
+  let c = t.c in
+  Cluster.use_cpu c site c.params.cpu_msg;
+  let items = List.filter (fun item -> List.mem site c.placement.replicas.(item)) writes in
+  Exec.apply_secondary c ~gid ~site items ~finally:(fun () ->
+      if items <> [] then Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. origin_commit);
+      Network.send t.net ~src:site ~dst:src (Push_ack { deliver = reply }))
+
+let server t site =
+  let inbox = Network.inbox t.net site in
+  let rec loop () =
+    let src, msg = Mailbox.recv inbox in
+    (match msg with
+    | Read_request { item; owner; reply } ->
+        Sim.spawn t.c.sim (fun () -> serve_read t site ~src ~item ~owner ~reply)
+    | Read_reply { granted; deliver } ->
+        Cluster.dec_outstanding t.c;
+        deliver granted
+    | Push { gid; writes; origin_commit; reply } ->
+        Sim.spawn t.c.sim (fun () -> serve_push t site ~src ~gid ~writes ~origin_commit ~reply)
+    | Push_ack { deliver } ->
+        Cluster.dec_outstanding t.c;
+        deliver ()
+    | Release { owner } ->
+        Sim.spawn t.c.sim (fun () ->
+            Cluster.use_cpu t.c site t.c.params.cpu_msg;
+            Lock_mgr.release_all t.c.locks.(site) ~owner;
+            Cluster.dec_outstanding t.c));
+    loop ()
+  in
+  loop ()
+
+let create (c : Cluster.t) =
+  let t = { c; net = Cluster.make_net c; remote = 0 } in
+  for site = 0 to c.params.n_sites - 1 do
+    Sim.spawn c.sim (fun () -> server t site)
+  done;
+  t
+
+let rpc t ~site ~dst msg_of_reply =
+  let c = t.c in
+  Cluster.use_cpu c site c.params.cpu_msg;
+  Sim.suspend (fun resume ->
+      Cluster.inc_outstanding c;
+      Network.send t.net ~src:site ~dst (msg_of_reply resume))
+
+let submit t (spec : Txn.spec) =
+  let c = t.c in
+  let site = spec.origin in
+  let gid = Cluster.fresh_gid c in
+  let attempt = gid in
+  let remote_sites = Hashtbl.create 4 in
+  let cleanup_remote () =
+    Hashtbl.iter
+      (fun primary () ->
+        Cluster.inc_outstanding c;
+        Network.send t.net ~src:site ~dst:primary (Release { owner = attempt }))
+      remote_sites
+  in
+  let rec run = function
+    | [] -> Ok ()
+    | op :: rest -> (
+        match op with
+        | Txn.Write _ -> (
+            match Exec.run_ops c ~gid ~attempt ~site [ op ] with
+            | Ok () -> run rest
+            | Error reason -> Error reason)
+        | Txn.Read item ->
+            let primary = c.placement.primary.(item) in
+            if primary = site then (
+              match Exec.run_ops c ~gid ~attempt ~site [ op ] with
+              | Ok () -> run rest
+              | Error reason -> Error reason)
+            else begin
+              t.remote <- t.remote + 1;
+              Hashtbl.replace remote_sites primary ();
+              if rpc t ~site ~dst:primary (fun reply -> Read_request { item; owner = attempt; reply })
+              then begin
+                (* Read the local replica under the primary's lock. *)
+                Cluster.use_cpu c site c.params.cpu_op;
+                ignore (Store.read c.stores.(site) item);
+                run rest
+              end
+              else Error Txn.Remote_denied
+            end)
+  in
+  match run spec.ops with
+  | Error reason ->
+      Exec.abort_local c ~attempt ~site;
+      cleanup_remote ();
+      Txn.Aborted reason
+  | Ok () ->
+      let writes = List.sort_uniq compare (Txn.writes spec) in
+      Exec.commit_cost c ~site;
+      Exec.apply_writes c ~gid ~site writes;
+      (* Push the updates and hold every lock until all replicas ack. *)
+      let dests = Hashtbl.create 4 in
+      List.iter
+        (fun item -> List.iter (fun s -> Hashtbl.replace dests s ()) c.placement.replicas.(item))
+        writes;
+      let origin_commit = Sim.now c.sim in
+      Hashtbl.iter
+        (fun dst () ->
+          ignore
+            (rpc t ~site ~dst (fun resume ->
+                 Push { gid; writes; origin_commit; reply = (fun () -> resume true) })))
+        dests;
+      Exec.release c ~attempt ~site;
+      cleanup_remote ();
+      Txn.Committed

@@ -1,0 +1,100 @@
+module Txn = Repdb_txn.Txn
+
+type t = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable by_reason : (Txn.abort_reason * int) list;
+  mutable response_sum : float;
+  mutable responses : float array; (* all samples, grown geometrically *)
+  mutable prop_sum : float;
+  mutable prop_n : int;
+  mutable last_client_done : float;
+}
+
+let create () =
+  {
+    commits = 0;
+    aborts = 0;
+    by_reason = [];
+    response_sum = 0.0;
+    responses = [||];
+    prop_sum = 0.0;
+    prop_n = 0;
+    last_client_done = 0.0;
+  }
+
+let commit t ~response =
+  if t.commits = Array.length t.responses then begin
+    let ncap = max 256 (2 * Array.length t.responses) in
+    let grown = Array.make ncap 0.0 in
+    Array.blit t.responses 0 grown 0 t.commits;
+    t.responses <- grown
+  end;
+  t.responses.(t.commits) <- response;
+  t.commits <- t.commits + 1;
+  t.response_sum <- t.response_sum +. response
+
+let abort t reason =
+  t.aborts <- t.aborts + 1;
+  let n = try List.assoc reason t.by_reason with Not_found -> 0 in
+  t.by_reason <- (reason, n + 1) :: List.remove_assoc reason t.by_reason
+
+let propagation t ~delay =
+  t.prop_sum <- t.prop_sum +. delay;
+  t.prop_n <- t.prop_n + 1
+
+let client_done t ~time = if time > t.last_client_done then t.last_client_done <- time
+
+type summary = {
+  commits : int;
+  aborts : int;
+  abort_rate : float;
+  aborts_by_reason : (Txn.abort_reason * int) list;
+  duration : float;
+  throughput : float;
+  throughput_per_site : float;
+  avg_response : float;
+  p50_response : float;
+  p95_response : float;
+  avg_propagation : float;
+  n_propagations : int;
+  messages : int;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+let summarize (t : t) ~n_sites ~messages =
+  let attempts = t.commits + t.aborts in
+  let duration = t.last_client_done in
+  let seconds = duration /. 1000.0 in
+  let throughput = if seconds > 0.0 then float_of_int t.commits /. seconds else 0.0 in
+  let sorted = Array.sub t.responses 0 t.commits in
+  Array.sort compare sorted;
+  {
+    commits = t.commits;
+    aborts = t.aborts;
+    abort_rate = (if attempts = 0 then 0.0 else 100.0 *. float_of_int t.aborts /. float_of_int attempts);
+    aborts_by_reason = List.sort compare t.by_reason;
+    duration;
+    throughput;
+    throughput_per_site = throughput /. float_of_int n_sites;
+    avg_response = (if t.commits = 0 then 0.0 else t.response_sum /. float_of_int t.commits);
+    p50_response = percentile sorted 0.5;
+    p95_response = percentile sorted 0.95;
+    avg_propagation = (if t.prop_n = 0 then 0.0 else t.prop_sum /. float_of_int t.prop_n);
+    n_propagations = t.prop_n;
+    messages;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "@[<v>abort reasons: %a@ commits=%d aborts=%d (%.2f%%) duration=%.0fms@ \
+     throughput=%.2f txn/s (%.2f per site)@ \
+     response avg=%.1fms p50=%.1fms p95=%.1fms@ avg propagation=%.1fms (%d) messages=%d@]"
+    (Fmt.list ~sep:Fmt.sp (fun ppf (r, n) -> Fmt.pf ppf "%s=%d" (Txn.string_of_abort r) n))
+    s.aborts_by_reason s.commits s.aborts s.abort_rate s.duration s.throughput
+    s.throughput_per_site s.avg_response s.p50_response s.p95_response s.avg_propagation
+    s.n_propagations s.messages

@@ -1,0 +1,46 @@
+(** Run-time metrics (Section 5.3 of the paper).
+
+    The paper's primary metrics are {e average throughput} — the average of
+    the per-site primary-subtransaction throughputs — and {e abort rate} —
+    the percentage of primary subtransactions that abort. We also collect the
+    two §5.3.4 metrics: average response time of committed transactions and
+    the update-propagation delay to replicas. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording (called by protocols and the driver)} *)
+
+val commit : t -> response:float -> unit
+val abort : t -> Repdb_txn.Txn.abort_reason -> unit
+
+(** A replica applied updates [delay] ms after the primary committed. *)
+val propagation : t -> delay:float -> unit
+
+(** A client thread finished all its transactions at [time]. *)
+val client_done : t -> time:float -> unit
+
+(** {1 Summary} *)
+
+type summary = {
+  commits : int;
+  aborts : int;
+  abort_rate : float;  (** Percentage of attempts that aborted. *)
+  aborts_by_reason : (Repdb_txn.Txn.abort_reason * int) list;
+  duration : float;  (** ms from start until the last client finished. *)
+  throughput : float;  (** Committed primaries per second, whole system. *)
+  throughput_per_site : float;  (** [throughput / m] — the paper's metric. *)
+  avg_response : float;  (** ms, committed transactions only. *)
+  p50_response : float;  (** Median response, ms. *)
+  p95_response : float;  (** 95th-percentile response, ms. *)
+  avg_propagation : float;  (** ms from primary commit to replica apply. *)
+  n_propagations : int;
+  messages : int;  (** Total network messages (all kinds). *)
+}
+
+(** [summarize t ~n_sites ~messages] — compute the summary; [duration] is the
+    latest {!client_done} time. *)
+val summarize : t -> n_sites:int -> messages:int -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,11 @@
+(** Indiscriminate lazy propagation — the negative control.
+
+    What the paper says commercial systems of the time did: after a
+    transaction commits, its updates are sent directly to every replica site
+    and applied there in arrival order, with no cross-site coordination.
+    Fast, and replica copies still converge (per-item update streams are
+    FIFO from the single primary), but executions are {e not} serializable
+    in general: Example 1.1 of the paper is reproduced against this protocol
+    by the anomaly example and the test suite. *)
+
+include Protocol.S

@@ -1,0 +1,12 @@
+module type S = sig
+  type t
+
+  val name : string
+  val updates_replicas : bool
+  val create : Cluster.t -> t
+  val submit : t -> Repdb_txn.Txn.spec -> Repdb_txn.Txn.outcome
+end
+
+type t = (module S)
+
+let name (module P : S) = P.name

@@ -1,0 +1,29 @@
+(** Common interface implemented by every update-propagation protocol. *)
+
+module type S = sig
+  type t
+
+  (** Short name used in reports and benches ("dag-wt", "psl", ...). *)
+  val name : string
+
+  (** Protocols that never push physical updates to replicas (PSL) opt out of
+      the replica-convergence check. *)
+  val updates_replicas : bool
+
+  (** [create cluster] wires the protocol's background processes (appliers,
+      epoch/dummy timers, message handlers) into the cluster's simulation.
+      Must be called before {!Cluster.t.sim} runs. *)
+  val create : Cluster.t -> t
+
+  (** [submit t spec] executes one attempt of a transaction from within a
+      simulated client process, blocking until it commits or aborts. The
+      access history is recorded internally; commit/abort metrics are the
+      driver's responsibility (it knows about retries and response times). *)
+  val submit : t -> Repdb_txn.Txn.spec -> Repdb_txn.Txn.outcome
+end
+
+type t = (module S)
+
+(** All protocols, for iteration in benches: DAG(WT), DAG(T), BackEdge, PSL,
+    Eager, Naive — see the individual modules. *)
+val name : t -> string

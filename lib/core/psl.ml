@@ -1,0 +1,127 @@
+module Sim = Repdb_sim.Sim
+module Mailbox = Repdb_sim.Mailbox
+module Lock_mgr = Repdb_lock.Lock_mgr
+module History = Repdb_txn.History
+module Store = Repdb_store.Store
+module Network = Repdb_net.Network
+module Txn = Repdb_txn.Txn
+
+let name = "psl"
+let updates_replicas = false
+
+type msg =
+  | Read_request of { item : int; owner : int; reply : bool -> unit }
+  | Read_reply of { granted : bool; deliver : bool -> unit }
+      (** The grant (with the shipped value) or denial travelling back. *)
+  | Release of { owner : int }
+
+type t = { c : Cluster.t; net : msg Network.t; mutable remote : int }
+
+let remote_reads t = t.remote
+
+(* Serve a shared-lock request at the item's primary site; runs as its own
+   process since the lock wait can block. The reply is itself a network
+   message carrying the current value back with the lock grant. *)
+let serve_read t site ~src ~item ~owner ~reply =
+  let c = t.c in
+  Cluster.use_cpu c site c.params.cpu_msg;
+  let respond granted =
+    Network.send t.net ~src:site ~dst:src (Read_reply { granted; deliver = reply })
+  in
+  match Lock_mgr.acquire c.locks.(site) ~owner item Lock_mgr.Shared with
+  | Lock_mgr.Granted ->
+      Cluster.use_cpu c site c.params.cpu_op;
+      ignore (Store.read c.stores.(site) item);
+      History.record c.history ~site ~item ~gid:owner ~attempt:owner History.R;
+      respond true
+  | Lock_mgr.Timed_out | Lock_mgr.Deadlock_victim -> respond false
+
+let server t site =
+  let inbox = Network.inbox t.net site in
+  let rec loop () =
+    let src, msg = Mailbox.recv inbox in
+    (match msg with
+    | Read_request { item; owner; reply } ->
+        Sim.spawn t.c.sim (fun () -> serve_read t site ~src ~item ~owner ~reply)
+    | Read_reply { granted; deliver } ->
+        Cluster.dec_outstanding t.c;
+        deliver granted
+    | Release { owner } ->
+        Sim.spawn t.c.sim (fun () ->
+            Cluster.use_cpu t.c site t.c.params.cpu_msg;
+            Lock_mgr.release_all t.c.locks.(site) ~owner;
+            Cluster.dec_outstanding t.c));
+    loop ()
+  in
+  loop ()
+
+let create (c : Cluster.t) =
+  let net = Cluster.make_net c in
+  let t = { c; net; remote = 0 } in
+  for site = 0 to c.params.n_sites - 1 do
+    Sim.spawn c.sim (fun () -> server t site)
+  done;
+  t
+
+(* Blocking remote read: ask the primary for the shared lock and the current
+   value. Returns whether the lock was granted. *)
+let remote_read t ~site ~primary ~item ~owner =
+  let c = t.c in
+  t.remote <- t.remote + 1;
+  Cluster.use_cpu c site c.params.cpu_msg;
+  Sim.suspend (fun resume ->
+      Cluster.inc_outstanding c;
+      Network.send t.net ~src:site ~dst:primary (Read_request { item; owner; reply = resume }))
+
+let submit t (spec : Txn.spec) =
+  let c = t.c in
+  let site = spec.origin in
+  (* PSL locks span sites, so the gid doubles as the attempt/lock-owner id;
+     remote primaries record history under it directly. *)
+  let gid = Cluster.fresh_gid c in
+  let attempt = gid in
+  let remote_sites = Hashtbl.create 4 in
+  let cleanup_remote () =
+    Hashtbl.iter
+      (fun primary () ->
+        Cluster.inc_outstanding c;
+        Network.send t.net ~src:site ~dst:primary (Release { owner = attempt }))
+      remote_sites
+  in
+  let rec run = function
+    | [] -> Ok ()
+    | op :: rest -> (
+        match op with
+        | Txn.Write _ -> (
+            match Exec.run_ops c ~gid ~attempt ~site [ op ] with
+            | Ok () -> run rest
+            | Error reason -> Error reason)
+        | Txn.Read item ->
+            let primary = c.placement.primary.(item) in
+            if primary = site then (
+              match Exec.run_ops c ~gid ~attempt ~site [ op ] with
+              | Ok () -> run rest
+              | Error reason -> Error reason)
+            else begin
+              Hashtbl.replace remote_sites primary ();
+              if remote_read t ~site ~primary ~item ~owner:attempt then begin
+                Cluster.use_cpu c site c.params.cpu_msg;
+                run rest
+              end
+              else Error Txn.Remote_denied
+            end)
+  in
+  match run spec.ops with
+  | Error reason ->
+      Exec.abort_local c ~attempt ~site;
+      cleanup_remote ();
+      Txn.Aborted reason
+  | Ok () ->
+      let writes = List.sort_uniq compare (Txn.writes spec) in
+      Exec.commit_cost c ~site;
+      Exec.apply_writes c ~gid ~site writes;
+      Exec.release c ~attempt ~site;
+      cleanup_remote ();
+      if Hashtbl.length remote_sites > 0 then
+        Cluster.use_cpu c site (float_of_int (Hashtbl.length remote_sites) *. c.params.cpu_msg);
+      Txn.Committed

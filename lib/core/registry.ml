@@ -1,0 +1,45 @@
+let all : Protocol.t list =
+  [
+    (module Dag_wt : Protocol.S);
+    (module Dag_t : Protocol.S);
+    (module Backedge_proto : Protocol.S);
+    (module Psl : Protocol.S);
+    (module Lazy_master : Protocol.S);
+    (module Central : Protocol.S);
+    (module Eager : Protocol.S);
+    (module Naive : Protocol.S);
+  ]
+
+let cyclic_safe : Protocol.t list =
+  [
+    (module Backedge_proto : Protocol.S);
+    (module Psl : Protocol.S);
+    (module Lazy_master : Protocol.S);
+    (module Central : Protocol.S);
+    (module Eager : Protocol.S);
+    (module Naive : Protocol.S);
+  ]
+
+let dag_t_pipelined : Protocol.t =
+  (module struct
+    type t = Dag_t.t
+
+    let name = "dag-t-mc"
+    let updates_replicas = true
+    let create = Dag_t.create_pipelined
+    let submit = Dag_t.submit
+  end : Protocol.S)
+
+let backedge_general : Protocol.t =
+  (module struct
+    type t = Backedge_proto.t
+
+    let name = "backedge-gen"
+    let updates_replicas = true
+    let create = Backedge_proto.create_general
+    let submit = Backedge_proto.submit
+  end : Protocol.S)
+
+let variants = [ backedge_general; dag_t_pipelined ]
+let find name = List.find_opt (fun p -> Protocol.name p = name) (variants @ all)
+let names = List.map Protocol.name (all @ variants)

@@ -1,0 +1,23 @@
+(** Protocol registry: names to first-class protocol modules. *)
+
+(** All protocols: DAG(WT), DAG(T), BackEdge, PSL, Lazy-master, Central,
+    Eager, Naive. *)
+val all : Protocol.t list
+
+(** Protocols safe on arbitrary copy graphs (what the benchmark sweeps with
+    [b > 0] may run): BackEdge, PSL, Lazy-master, Central, Eager, Naive. *)
+val cyclic_safe : Protocol.t list
+
+(** The general-tree BackEdge variant ("backedge-gen"), kept out of {!all}
+    because the paper evaluates the chain variant; used by the tree-routing
+    ablation. *)
+val backedge_general : Protocol.t
+
+(** DAG(T) with the pipelined (multi-secondary) applier ("dag-t-mc"), the
+    relaxation Section 3.2.3 alludes to. *)
+val dag_t_pipelined : Protocol.t
+
+(** [find name] — look up by {!Protocol.name}; includes "backedge-gen". *)
+val find : string -> Protocol.t option
+
+val names : string list

@@ -1,0 +1,28 @@
+module Tree = Repdb_graph.Tree
+module Placement = Repdb_workload.Placement
+
+let subtree_replicas (placement : Placement.t) tree =
+  let m = placement.n_sites and n = placement.n_items in
+  let maps = Array.init m (fun _ -> Array.make n false) in
+  Array.iteri
+    (fun item _ -> List.iter (fun site -> maps.(site).(item) <- true) placement.replicas.(item))
+    placement.primary;
+  let rec fold site =
+    List.iter
+      (fun child ->
+        fold child;
+        for item = 0 to n - 1 do
+          if maps.(child).(item) then maps.(site).(item) <- true
+        done)
+      (Tree.children tree site)
+  in
+  List.iter fold (Tree.roots tree);
+  maps
+
+let relevant_children maps tree site writes =
+  List.filter
+    (fun child -> List.exists (fun item -> maps.(child).(item)) writes)
+    (Tree.children tree site)
+
+let local_replicas (placement : Placement.t) site writes =
+  List.filter (fun item -> List.mem site placement.replicas.(item)) writes

@@ -1,0 +1,18 @@
+(** Tree-routing helpers shared by DAG(WT) and the BackEdge protocol. *)
+
+module Tree = Repdb_graph.Tree
+module Placement = Repdb_workload.Placement
+
+(** [subtree_replicas placement tree] — per-site bitmap over items:
+    [(m site).(item)] is true iff some site in [subtree tree site] holds a
+    replica of [item]. Computed bottom-up over the forest. *)
+val subtree_replicas : Placement.t -> Tree.t -> bool array array
+
+(** [relevant_children maps tree site writes] — the children of [site] whose
+    subtree holds a replica of some written item (the paper's relevance rule
+    for forwarding secondary subtransactions). *)
+val relevant_children : bool array array -> Tree.t -> int -> int list -> int list
+
+(** [local_replicas placement site writes] — written items replicated at
+    [site] (the ones a secondary subtransaction applies there). *)
+val local_replicas : Placement.t -> int -> int list -> int list

@@ -1,0 +1,54 @@
+type tuple = { site : int; lts : int }
+type t = { epoch : int; tuples : tuple list }
+
+let initial site = { epoch = 0; tuples = [ { site; lts = 0 } ] }
+
+(* Lexicographic order on vectors: a proper prefix is smaller; at the first
+   difference, the *larger* site makes the smaller timestamp (Definition 3.3
+   reverses the site order there), equal sites compare by counter. *)
+let rec compare_tuples v1 v2 =
+  match (v1, v2) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | t1 :: r1, t2 :: r2 ->
+      if t1.site <> t2.site then Stdlib.compare t2.site t1.site
+      else if t1.lts <> t2.lts then Stdlib.compare t1.lts t2.lts
+      else compare_tuples r1 r2
+
+let compare a b =
+  if a.epoch <> b.epoch then Stdlib.compare a.epoch b.epoch
+  else compare_tuples a.tuples b.tuples
+
+let equal a b = compare a b = 0
+
+let bump_own t site =
+  let rec bump = function
+    | [] -> invalid_arg "Timestamp.bump_own: no tuple for site"
+    | [ last ] ->
+        if last.site = site then [ { last with lts = last.lts + 1 } ]
+        else invalid_arg "Timestamp.bump_own: site tuple is not last"
+    | tup :: rest -> tup :: bump rest
+  in
+  { t with tuples = bump t.tuples }
+
+let concat t ~site ~lts =
+  let rec last = function [] -> None | [ x ] -> Some x | _ :: rest -> last rest in
+  (match last t.tuples with
+  | Some tup when tup.site >= site ->
+      invalid_arg "Timestamp.concat: site order violated"
+  | _ -> ());
+  { t with tuples = t.tuples @ [ { site; lts } ] }
+
+let with_epoch t e = { t with epoch = e }
+
+let well_formed t =
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a.site < b.site && increasing rest
+    | [ _ ] | [] -> true
+  in
+  t.tuples <> [] && increasing t.tuples
+
+let pp ppf t =
+  Fmt.pf ppf "e%d:" t.epoch;
+  List.iter (fun tup -> Fmt.pf ppf "(s%d,%d)" tup.site tup.lts) t.tuples

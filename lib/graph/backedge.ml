@@ -1,0 +1,104 @@
+let of_order g order =
+  let pos = Array.make (Digraph.n_vertices g) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  List.filter (fun (u, v) -> pos.(v) < pos.(u)) (Digraph.edges g)
+
+let minimal_set g =
+  let n = Digraph.n_vertices g in
+  let state = Array.make n 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let back = ref [] in
+  let rec dfs u =
+    state.(u) <- 1;
+    List.iter
+      (fun v ->
+        match state.(v) with
+        | 1 -> back := (u, v) :: !back
+        | 0 -> dfs v
+        | _ -> ())
+      (Digraph.succ g u);
+    state.(u) <- 2
+  in
+  for v = 0 to n - 1 do
+    if state.(v) = 0 then dfs v
+  done;
+  List.rev !back
+
+let greedy_fas g ~weight =
+  let n = Digraph.n_vertices g in
+  let removed = Array.make n false in
+  let out_w = Array.make n 0.0 and in_w = Array.make n 0.0 in
+  for u = 0 to n - 1 do
+    List.iter
+      (fun v ->
+        out_w.(u) <- out_w.(u) +. weight u v;
+        in_w.(v) <- in_w.(v) +. weight u v)
+      (Digraph.succ g u)
+  done;
+  let live_out v = List.exists (fun w -> not removed.(w)) (Digraph.succ g v) in
+  let live_in v = List.exists (fun w -> not removed.(w)) (Digraph.pred g v) in
+  let remove v =
+    removed.(v) <- true;
+    List.iter (fun w -> in_w.(w) <- in_w.(w) -. weight v w) (Digraph.succ g v);
+    List.iter (fun w -> out_w.(w) <- out_w.(w) -. weight w v) (Digraph.pred g v)
+  in
+  let s1 = ref [] and s2 = ref [] in
+  let remaining = ref n in
+  while !remaining > 0 do
+    (* Peel sinks. *)
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for v = 0 to n - 1 do
+        if (not removed.(v)) && not (live_out v) then begin
+          s2 := v :: !s2;
+          remove v;
+          decr remaining;
+          progress := true
+        end
+      done
+    done;
+    (* Peel sources. *)
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for v = 0 to n - 1 do
+        if (not removed.(v)) && not (live_in v) then begin
+          s1 := v :: !s1;
+          remove v;
+          decr remaining;
+          progress := true
+        end
+      done
+    done;
+    if !remaining > 0 then begin
+      (* Remove the vertex maximising out-weight minus in-weight. *)
+      let best = ref (-1) and best_score = ref neg_infinity in
+      for v = 0 to n - 1 do
+        if not removed.(v) then begin
+          let score = out_w.(v) -. in_w.(v) in
+          if score > !best_score then begin
+            best := v;
+            best_score := score
+          end
+        end
+      done;
+      s1 := !best :: !s1;
+      remove !best;
+      decr remaining
+    end
+  done;
+  let order = Array.of_list (List.rev !s1 @ !s2) in
+  of_order g order
+
+let is_backedge_set g es = Digraph.is_dag (Digraph.remove_edges g es)
+
+let is_minimal g es =
+  is_backedge_set g es
+  && List.for_all
+       (fun (u, v) ->
+         let dag = Digraph.remove_edges g es in
+         Digraph.has_cycle_through dag u v)
+       es
+
+let total_weight es ~weight = List.fold_left (fun acc (u, v) -> acc +. weight u v) 0.0 es

@@ -1,0 +1,36 @@
+(** Backedge computation (Section 4 and 4.2 of the paper).
+
+    A set of edges of a copy graph is a set of {e backedges} if deleting them
+    breaks every cycle; the BackEdge protocol propagates eagerly along those
+    edges and lazily along the remaining DAG. The set should be {e minimal}:
+    re-inserting any one of its edges into the residual DAG closes a cycle.
+    Minimising the {e weight} of the set is the NP-hard feedback arc set
+    problem, for which a greedy heuristic is provided. *)
+
+(** [of_order g order] — the backedges of [g] with respect to a total site
+    order: every edge [(u, v)] where [v] precedes [u] in [order]. This is the
+    rule used by the paper's implementation (Section 5.2). The result is a
+    valid backedge set, and is minimal whenever [order] restricted to the
+    residual DAG is topological (always true here, since the residual edges
+    all go forward in [order]). *)
+val of_order : Digraph.t -> int array -> (int * int) list
+
+(** [minimal_set g] — a minimal backedge set computed by depth-first search
+    (the "simple depth first search" of Section 4): the DFS back edges. *)
+val minimal_set : Digraph.t -> (int * int) list
+
+(** [greedy_fas g ~weight] — a heuristic small-weight feedback arc set, via a
+    weighted Eades–Lin–Smyth vertex ordering: repeatedly peel sinks and
+    sources, otherwise remove the vertex maximising out-weight minus
+    in-weight; backward edges of the resulting sequence form the set. *)
+val greedy_fas : Digraph.t -> weight:(int -> int -> float) -> (int * int) list
+
+(** [is_backedge_set g es] — does removing [es] from [g] yield a DAG? *)
+val is_backedge_set : Digraph.t -> (int * int) list -> bool
+
+(** [is_minimal g es] — [es] is a backedge set and re-inserting any one edge
+    of [es] into the residual DAG closes a cycle. *)
+val is_minimal : Digraph.t -> (int * int) list -> bool
+
+(** Total weight of an edge set. *)
+val total_weight : (int * int) list -> weight:(int -> int -> float) -> float

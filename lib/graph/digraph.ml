@@ -1,0 +1,151 @@
+module ISet = Set.Make (Int)
+
+type t = { n : int; succs : ISet.t array; preds : ISet.t array; mutable m : int }
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative size";
+  { n; succs = Array.make n ISet.empty; preds = Array.make n ISet.empty; m = 0 }
+
+let n_vertices g = g.n
+let n_edges g = g.m
+
+let check g v = if v < 0 || v >= g.n then invalid_arg "Digraph: vertex out of range"
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if u <> v && not (ISet.mem v g.succs.(u)) then begin
+    g.succs.(u) <- ISet.add v g.succs.(u);
+    g.preds.(v) <- ISet.add u g.preds.(v);
+    g.m <- g.m + 1
+  end
+
+let has_edge g u v =
+  check g u;
+  check g v;
+  ISet.mem v g.succs.(u)
+
+let succ g v =
+  check g v;
+  ISet.elements g.succs.(v)
+
+let pred g v =
+  check g v;
+  ISet.elements g.preds.(v)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    ISet.fold (fun v l -> (u, v) :: l) g.succs.(u) !acc |> fun l -> acc := l
+  done;
+  List.sort compare !acc
+
+let copy g = { n = g.n; succs = Array.copy g.succs; preds = Array.copy g.preds; m = g.m }
+
+let remove_edges g es =
+  let h = copy g in
+  List.iter
+    (fun (u, v) ->
+      check h u;
+      check h v;
+      if ISet.mem v h.succs.(u) then begin
+        h.succs.(u) <- ISet.remove v h.succs.(u);
+        h.preds.(v) <- ISet.remove u h.preds.(v);
+        h.m <- h.m - 1
+      end)
+    es;
+  h
+
+(* Kahn's algorithm with a min-priority choice so the order is deterministic
+   and favours small vertex ids. *)
+let topo_sort g =
+  let indeg = Array.init g.n (fun v -> ISet.cardinal g.preds.(v)) in
+  let ready = ref ISet.empty in
+  for v = 0 to g.n - 1 do
+    if indeg.(v) = 0 then ready := ISet.add v !ready
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (ISet.is_empty !ready) do
+    let v = ISet.min_elt !ready in
+    ready := ISet.remove v !ready;
+    order := v :: !order;
+    incr count;
+    ISet.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then ready := ISet.add w !ready)
+      g.succs.(v)
+  done;
+  if !count = g.n then Some (List.rev !order) else None
+
+let is_dag g = topo_sort g <> None
+
+let reachable g start =
+  check g start;
+  let seen = Array.make g.n false in
+  let rec dfs v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      ISet.iter dfs g.succs.(v)
+    end
+  in
+  dfs start;
+  seen
+
+let has_cycle_through g u v =
+  check g u;
+  check g v;
+  u = v || (reachable g v).(u)
+
+let weak_components g =
+  let comp = Array.make g.n (-1) in
+  let rec flood c v =
+    if comp.(v) = -1 then begin
+      comp.(v) <- c;
+      ISet.iter (flood c) g.succs.(v);
+      ISet.iter (flood c) g.preds.(v)
+    end
+  in
+  let c = ref 0 in
+  for v = 0 to g.n - 1 do
+    if comp.(v) = -1 then begin
+      flood !c v;
+      incr c
+    end
+  done;
+  let buckets = Array.make !c [] in
+  for v = g.n - 1 downto 0 do
+    buckets.(comp.(v)) <- v :: buckets.(comp.(v))
+  done;
+  Array.to_list buckets
+
+let find_cycle g =
+  let state = Array.make g.n 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let exception Cycle of int list in
+  let rec dfs stack v =
+    match state.(v) with
+    | 1 ->
+        let rec cut acc = function
+          | [] -> acc
+          | x :: rest -> if x = v then x :: acc else cut (x :: acc) rest
+        in
+        raise (Cycle (cut [] stack))
+    | 2 -> ()
+    | _ ->
+        state.(v) <- 1;
+        ISet.iter (dfs (v :: stack)) g.succs.(v);
+        state.(v) <- 2
+  in
+  try
+    for v = 0 to g.n - 1 do
+      dfs [] v
+    done;
+    None
+  with Cycle c -> Some c
+
+let pp ppf g =
+  Fmt.pf ppf "digraph(%d) {" g.n;
+  List.iter (fun (u, v) -> Fmt.pf ppf " %d->%d" u v) (edges g);
+  Fmt.pf ppf " }"

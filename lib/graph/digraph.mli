@@ -1,0 +1,58 @@
+(** Simple directed graphs over vertices [0 .. n-1].
+
+    Used for copy graphs (vertices are sites) and for the serialization graph
+    built by the correctness checker. Self-loops and duplicate edges are
+    ignored on insertion. *)
+
+type t
+
+(** [create n] — the empty graph on [n] vertices. *)
+val create : int -> t
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+(** [add_edge g u v] inserts edge [u -> v]; no-op for duplicates and
+    self-loops.
+    @raise Invalid_argument if [u] or [v] is out of range. *)
+val add_edge : t -> int -> int -> unit
+
+val has_edge : t -> int -> int -> bool
+
+(** Successors of [v], ascending. *)
+val succ : t -> int -> int list
+
+(** Predecessors of [v], ascending. *)
+val pred : t -> int -> int list
+
+(** All edges as [(u, v)] pairs, lexicographic. *)
+val edges : t -> (int * int) list
+
+(** [copy g] — an independent copy. *)
+val copy : t -> t
+
+(** [remove_edges g es] — [g] without the edges in [es]. *)
+val remove_edges : t -> (int * int) list -> t
+
+(** [is_dag g] — no directed cycle. *)
+val is_dag : t -> bool
+
+(** [topo_sort g] — a topological order, smallest vertex first among ready
+    vertices (deterministic). [None] if [g] has a cycle. *)
+val topo_sort : t -> int list option
+
+(** [reachable g v] — vertices reachable from [v], including [v]. *)
+val reachable : t -> int -> bool array
+
+(** [has_cycle_through g u v] — would adding edge [u -> v] close a cycle
+    (i.e. is [u] reachable from [v])? *)
+val has_cycle_through : t -> int -> int -> bool
+
+(** Weakly connected components, each sorted ascending, in order of their
+    smallest vertex. *)
+val weak_components : t -> int list list
+
+(** [find_cycle g] — vertices of some directed cycle, in order, if any. *)
+val find_cycle : t -> int list option
+
+val pp : Format.formatter -> t -> unit

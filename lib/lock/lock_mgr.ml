@@ -1,0 +1,278 @@
+module Sim = Repdb_sim.Sim
+
+type item = int
+type owner = int
+type mode = Shared | Exclusive
+type outcome = Granted | Timed_out | Deadlock_victim
+type policy = [ `Timeout of float | `Detect of float option ]
+
+type stats = { acquires : int; waits : int; timeouts : int; deadlock_aborts : int }
+
+type request = {
+  req_owner : owner;
+  req_mode : mode;
+  req_item : item;
+  upgrade : bool;
+  arrival : int;
+  mutable state : [ `Waiting | `Done ];
+  mutable resume : outcome -> unit;
+}
+
+type entry = {
+  mutable holding : (owner * mode) list;
+  mutable queue : request list; (* front = next to grant; may contain `Done *)
+}
+
+type t = {
+  sim : Sim.t;
+  policy : policy;
+  entries : (item, entry) Hashtbl.t;
+  held : (owner, (item, mode) Hashtbl.t) Hashtbl.t;
+  waiting : (owner, request) Hashtbl.t;
+  mutable arrivals : int;
+  mutable n_acquires : int;
+  mutable n_waits : int;
+  mutable n_timeouts : int;
+  mutable n_deadlock_aborts : int;
+}
+
+let create ~sim ~policy () =
+  {
+    sim;
+    policy;
+    entries = Hashtbl.create 256;
+    held = Hashtbl.create 64;
+    waiting = Hashtbl.create 64;
+    arrivals = 0;
+    n_acquires = 0;
+    n_waits = 0;
+    n_timeouts = 0;
+    n_deadlock_aborts = 0;
+  }
+
+let entry_of t item =
+  match Hashtbl.find_opt t.entries item with
+  | Some e -> e
+  | None ->
+      let e = { holding = []; queue = [] } in
+      Hashtbl.replace t.entries item e;
+      e
+
+let held_table t owner =
+  match Hashtbl.find_opt t.held owner with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Hashtbl.replace t.held owner tbl;
+      tbl
+
+let record_hold t ~owner item mode = Hashtbl.replace (held_table t owner) item mode
+
+let compatible mode holding =
+  match mode with
+  | Shared -> List.for_all (fun (_, m) -> m = Shared) holding
+  | Exclusive -> holding = []
+
+let live_queue e = List.filter (fun r -> r.state = `Waiting) e.queue
+
+(* Grant queued requests from the front while possible. An upgrade request is
+   grantable when its owner is the sole remaining holder. *)
+let rec service t item e =
+  e.queue <- live_queue e;
+  match e.queue with
+  | [] -> ()
+  | req :: rest ->
+      let grantable =
+        if req.upgrade then
+          match e.holding with [ (o, Shared) ] when o = req.req_owner -> true | _ -> false
+        else compatible req.req_mode e.holding
+      in
+      if grantable then begin
+        if req.upgrade then e.holding <- [ (req.req_owner, Exclusive) ]
+        else e.holding <- (req.req_owner, req.req_mode) :: e.holding;
+        record_hold t ~owner:req.req_owner item req.req_mode;
+        e.queue <- rest;
+        req.state <- `Done;
+        Hashtbl.remove t.waiting req.req_owner;
+        t.n_acquires <- t.n_acquires + 1;
+        req.resume Granted;
+        service t item e
+      end
+
+(* Wake a waiting request with a failure outcome and let successors advance. *)
+let fail_request t req outcome =
+  if req.state = `Waiting then begin
+    req.state <- `Done;
+    Hashtbl.remove t.waiting req.req_owner;
+    (match outcome with
+    | Timed_out -> t.n_timeouts <- t.n_timeouts + 1
+    | Deadlock_victim -> t.n_deadlock_aborts <- t.n_deadlock_aborts + 1
+    | Granted -> assert false);
+    let e = entry_of t req.req_item in
+    req.resume outcome;
+    service t req.req_item e
+  end
+
+(* Owners a blocked request waits behind: current holders plus every live
+   request queued ahead of it (granting is FIFO, so those block it too). *)
+let blockers_of t req =
+  let e = entry_of t req.req_item in
+  let ahead =
+    let rec take acc = function
+      | [] -> acc
+      | r :: _ when r == req -> acc
+      | r :: rest -> take (if r.state = `Waiting then r.req_owner :: acc else acc) rest
+    in
+    take [] e.queue
+  in
+  let holders = List.map fst e.holding in
+  List.sort_uniq compare (List.filter (fun o -> o <> req.req_owner) (holders @ ahead))
+
+let waiting_for t ~owner =
+  match Hashtbl.find_opt t.waiting owner with None -> [] | Some req -> blockers_of t req
+
+(* Detect a waits-for cycle reachable from [start]; return its nodes. *)
+let find_cycle t start =
+  let on_stack = Hashtbl.create 16 in
+  let visited = Hashtbl.create 16 in
+  let exception Cycle of owner list in
+  let rec dfs stack o =
+    if Hashtbl.mem on_stack o then begin
+      (* Cut the stack down to the cycle. *)
+      let rec cut acc = function
+        | [] -> acc
+        | x :: rest -> if x = o then x :: acc else cut (x :: acc) rest
+      in
+      raise (Cycle (cut [] stack))
+    end;
+    if not (Hashtbl.mem visited o) then begin
+      Hashtbl.replace visited o ();
+      Hashtbl.replace on_stack o ();
+      List.iter (dfs (o :: stack)) (waiting_for t ~owner:o);
+      Hashtbl.remove on_stack o
+    end
+  in
+  try
+    dfs [] start;
+    None
+  with Cycle nodes -> Some nodes
+
+(* Abort the latest-arriving waiter in each cycle through [start] until no
+   cycle remains (the fair victim policy from Section 2 of the paper). *)
+let rec resolve_deadlocks t start =
+  match find_cycle t start with
+  | None -> ()
+  | Some nodes ->
+      let waiting_nodes = List.filter_map (Hashtbl.find_opt t.waiting) nodes in
+      (match waiting_nodes with
+      | [] -> () (* cannot happen: every node in a cycle is waiting *)
+      | first :: rest ->
+          let victim = List.fold_left (fun a r -> if r.arrival > a.arrival then r else a) first rest in
+          fail_request t victim Deadlock_victim;
+          if victim.req_owner <> start then resolve_deadlocks t start)
+
+let rec acquire t ~owner item mode =
+  let e = entry_of t item in
+  let current = Hashtbl.find_opt t.held owner |> Fun.flip Option.bind (fun tbl -> Hashtbl.find_opt tbl item) in
+  match (current, mode) with
+  | Some Exclusive, _ | Some Shared, Shared ->
+      t.n_acquires <- t.n_acquires + 1;
+      Granted (* re-entrant *)
+  | Some Shared, Exclusive -> begin
+      (* Upgrade: immediate if sole holder, else wait at the queue front. *)
+      match e.holding with
+      | [ (o, Shared) ] when o = owner ->
+          e.holding <- [ (owner, Exclusive) ];
+          record_hold t ~owner item Exclusive;
+          t.n_acquires <- t.n_acquires + 1;
+          Granted
+      | _ ->
+          t.arrivals <- t.arrivals + 1;
+          let req =
+            {
+              req_owner = owner;
+              req_mode = Exclusive;
+              req_item = item;
+              upgrade = true;
+              arrival = t.arrivals;
+              state = `Waiting;
+              resume = ignore;
+            }
+          in
+          e.queue <- req :: e.queue;
+          wait t req
+    end
+  | None, _ ->
+      if live_queue e = [] && compatible mode e.holding then begin
+        e.holding <- (owner, mode) :: e.holding;
+        record_hold t ~owner item mode;
+        t.n_acquires <- t.n_acquires + 1;
+        Granted
+      end
+      else begin
+        t.arrivals <- t.arrivals + 1;
+        let req =
+          {
+            req_owner = owner;
+            req_mode = mode;
+            req_item = item;
+            upgrade = false;
+            arrival = t.arrivals;
+            state = `Waiting;
+            resume = ignore;
+          }
+        in
+        e.queue <- e.queue @ [ req ];
+        wait t req
+      end
+
+and wait t req =
+  t.n_waits <- t.n_waits + 1;
+  Hashtbl.replace t.waiting req.req_owner req;
+  Sim.suspend (fun resume ->
+      req.resume <- resume;
+      (match t.policy with
+      | `Timeout d -> Sim.after t.sim d (fun () -> fail_request t req Timed_out)
+      | `Detect fallback ->
+          (match fallback with
+          | Some d -> Sim.after t.sim d (fun () -> fail_request t req Timed_out)
+          | None -> ());
+          resolve_deadlocks t req.req_owner))
+
+let release_all t ~owner =
+  (* A pending wait by this owner is aborted first so its process wakes. *)
+  (match Hashtbl.find_opt t.waiting owner with
+  | Some req -> fail_request t req Deadlock_victim
+  | None -> ());
+  match Hashtbl.find_opt t.held owner with
+  | None -> ()
+  | Some tbl ->
+      Hashtbl.remove t.held owner;
+      Hashtbl.iter
+        (fun item _ ->
+          let e = entry_of t item in
+          e.holding <- List.filter (fun (o, _) -> o <> owner) e.holding;
+          service t item e)
+        tbl
+
+let holders t item = match Hashtbl.find_opt t.entries item with None -> [] | Some e -> e.holding
+
+let abort_waiter t ~owner =
+  match Hashtbl.find_opt t.waiting owner with
+  | None -> false
+  | Some req ->
+      fail_request t req Deadlock_victim;
+      true
+
+let holds t ~owner item =
+  Hashtbl.find_opt t.held owner |> Fun.flip Option.bind (fun tbl -> Hashtbl.find_opt tbl item)
+
+let stats t =
+  {
+    acquires = t.n_acquires;
+    waits = t.n_waits;
+    timeouts = t.n_timeouts;
+    deadlock_aborts = t.n_deadlock_aborts;
+  }
+
+let locks_held t = Hashtbl.fold (fun _ e acc -> acc + List.length e.holding) t.entries 0

@@ -1,0 +1,63 @@
+module Sim = Repdb_sim.Sim
+module Mailbox = Repdb_sim.Mailbox
+
+type 'a target = Inbox of (int * 'a) Mailbox.t | Handler of (src:int -> 'a -> unit)
+
+type 'a t = {
+  sim : Sim.t;
+  n : int;
+  delays : float array array;
+  mutable targets : 'a target array;
+  mutable sent : int;
+  on_send : unit -> unit;
+}
+
+let create ~sim ~n_sites ~latency ?(on_send = fun () -> ()) () =
+  if n_sites < 1 then invalid_arg "Network.create: need at least one site";
+  let delays =
+    Array.init n_sites (fun src ->
+        Array.init n_sites (fun dst ->
+            let d = latency src dst in
+            if d < 0.0 then invalid_arg "Network.create: negative latency";
+            d))
+  in
+  {
+    sim;
+    n = n_sites;
+    delays;
+    targets = Array.init n_sites (fun _ -> Inbox (Mailbox.create ()));
+    sent = 0;
+    on_send;
+  }
+
+let n_sites t = t.n
+
+let check t v = if v < 0 || v >= t.n then invalid_arg "Network: site out of range"
+
+let send t ~src ~dst msg =
+  check t src;
+  check t dst;
+  if src = dst then invalid_arg "Network.send: src = dst";
+  t.sent <- t.sent + 1;
+  t.on_send ();
+  Sim.after t.sim t.delays.(src).(dst) (fun () ->
+      match t.targets.(dst) with
+      | Inbox mb -> Mailbox.send mb (src, msg)
+      | Handler f -> f ~src msg)
+
+let inbox t dst =
+  check t dst;
+  match t.targets.(dst) with
+  | Inbox mb -> mb
+  | Handler _ -> invalid_arg "Network.inbox: site has a custom handler"
+
+let set_handler t dst f =
+  check t dst;
+  t.targets.(dst) <- Handler f
+
+let messages_sent t = t.sent
+
+let latency t ~src ~dst =
+  check t src;
+  check t dst;
+  t.delays.(src).(dst)

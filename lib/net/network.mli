@@ -1,0 +1,46 @@
+(** Reliable FIFO point-to-point network between sites.
+
+    Models the paper's assumption that "the underlying network delivers
+    messages reliably and in FIFO order between any two sites": every message
+    sent from [src] to [dst] arrives exactly once, after the configured
+    latency, and messages on the same ordered pair never overtake each other
+    (latency is per-pair constant, so FIFO follows from the deterministic
+    event order of the kernel).
+
+    Delivery is either into the destination's inbox mailbox (default) or into
+    a registered handler, which runs as a plain event and must not block —
+    handlers are how protocols demultiplex traffic into per-parent queues
+    without an extra hop. *)
+
+type 'a t
+
+(** [create ~sim ~n_sites ~latency ()] — [latency src dst] gives the one-way
+    delay in ms for that ordered pair; it is sampled once per pair at
+    creation. [on_send] is invoked synchronously for every {!send} (used for
+    cluster-wide message accounting). *)
+val create :
+  sim:Repdb_sim.Sim.t ->
+  n_sites:int ->
+  latency:(int -> int -> float) ->
+  ?on_send:(unit -> unit) ->
+  unit ->
+  'a t
+
+val n_sites : 'a t -> int
+
+(** [send t ~src ~dst msg] — deliver [msg] to [dst] after the pair's latency.
+    @raise Invalid_argument on out-of-range sites or [src = dst]. *)
+val send : 'a t -> src:int -> dst:int -> 'a -> unit
+
+(** The default delivery target for [dst]: messages arrive as [(src, msg)]. *)
+val inbox : 'a t -> int -> (int * 'a) Repdb_sim.Mailbox.t
+
+(** [set_handler t dst f] — route [dst]'s traffic to [f ~src msg] instead of
+    the inbox. The handler runs at delivery time and must not block. *)
+val set_handler : 'a t -> int -> (src:int -> 'a -> unit) -> unit
+
+(** Total messages sent so far. *)
+val messages_sent : 'a t -> int
+
+(** One-way latency for a pair (as sampled at creation). *)
+val latency : 'a t -> src:int -> dst:int -> float

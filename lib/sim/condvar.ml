@@ -1,0 +1,48 @@
+type waiter = { mutable cancelled : bool; wake : bool -> unit }
+
+type t = { q : waiter Queue.t }
+
+let create () = { q = Queue.create () }
+
+let enqueue t wake =
+  let w = { cancelled = false; wake } in
+  Queue.add w t.q;
+  w
+
+let await t = Sim.suspend (fun resume -> ignore (enqueue t (fun _ -> resume ())))
+
+let await_timeout sim t d =
+  Sim.suspend (fun resume ->
+      let w = enqueue t (fun woken -> resume woken) in
+      Sim.after sim d (fun () ->
+          if not w.cancelled then begin
+            w.cancelled <- true;
+            w.wake false
+          end))
+
+(* Pop waiters until a live one is found; cancelled entries are left over by
+   timed-out waits. *)
+let rec pop_live t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some w -> if w.cancelled then pop_live t else Some w
+
+let signal t =
+  match pop_live t with
+  | None -> ()
+  | Some w ->
+      w.cancelled <- true;
+      w.wake true
+
+let broadcast t =
+  let rec go () =
+    match pop_live t with
+    | None -> ()
+    | Some w ->
+        w.cancelled <- true;
+        w.wake true;
+        go ()
+  in
+  go ()
+
+let waiters t = Queue.fold (fun acc w -> if w.cancelled then acc else acc + 1) 0 t.q

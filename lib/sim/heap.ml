@@ -1,0 +1,62 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let is_empty h = h.len = 0
+let size h = h.len
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow h entry =
+  let cap = Array.length h.data in
+  if h.len = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let ndata = Array.make ncap entry in
+    Array.blit h.data 0 ndata 0 h.len;
+    h.data <- ndata
+  end
+
+let push h ~time ~seq value =
+  let entry = { time; seq; value } in
+  grow h entry;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  (* Sift up. *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less h.data.(i) h.data.(parent) then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(parent);
+        h.data.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (h.len - 1)
+
+let pop_min h =
+  if h.len = 0 then raise Not_found;
+  let min = h.data.(0) in
+  h.len <- h.len - 1;
+  if h.len > 0 then begin
+    h.data.(0) <- h.data.(h.len);
+    (* Sift down. *)
+    let rec down i =
+      let l = (2 * i) + 1 and r = (2 * i) + 2 in
+      let smallest = ref i in
+      if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
+      if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+      if !smallest <> i then begin
+        let tmp = h.data.(i) in
+        h.data.(i) <- h.data.(!smallest);
+        h.data.(!smallest) <- tmp;
+        down !smallest
+      end
+    in
+    down 0
+  end;
+  (min.time, min.seq, min.value)
+
+let min_time h = if h.len = 0 then None else Some h.data.(0).time

@@ -1,0 +1,18 @@
+(** Binary min-heap of timestamped events, ties broken by insertion sequence
+    so that events scheduled at the same instant run in FIFO order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+(** [push h ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum entry.
+    @raise Not_found if the heap is empty. *)
+val pop_min : 'a t -> float * int * 'a
+
+(** [min_time h] is the priority of the minimum entry, if any. *)
+val min_time : 'a t -> float option

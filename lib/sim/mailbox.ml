@@ -1,0 +1,50 @@
+type 'a waiter = { mutable cancelled : bool; deliver : 'a option -> unit }
+
+type 'a t = { items : 'a Queue.t; waiters : 'a waiter Queue.t }
+
+let create () = { items = Queue.create (); waiters = Queue.create () }
+
+let rec pop_live_waiter t =
+  match Queue.take_opt t.waiters with
+  | None -> None
+  | Some w -> if w.cancelled then pop_live_waiter t else Some w
+
+let send t v =
+  match pop_live_waiter t with
+  | Some w ->
+      w.cancelled <- true;
+      w.deliver (Some v)
+  | None -> Queue.add v t.items
+
+let recv t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None ->
+      Sim.suspend (fun resume ->
+          let w =
+            {
+              cancelled = false;
+              deliver =
+                (function
+                | Some v -> resume v
+                | None -> assert false (* no timeout on plain recv *));
+            }
+          in
+          Queue.add w t.waiters)
+
+let recv_timeout sim t d =
+  match Queue.take_opt t.items with
+  | Some v -> Some v
+  | None ->
+      Sim.suspend (fun resume ->
+          let w = { cancelled = false; deliver = resume } in
+          Queue.add w t.waiters;
+          Sim.after sim d (fun () ->
+              if not w.cancelled then begin
+                w.cancelled <- true;
+                w.deliver None
+              end))
+
+let peek t = Queue.peek_opt t.items
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items

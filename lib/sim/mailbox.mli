@@ -1,0 +1,29 @@
+(** Unbounded FIFO mailboxes connecting simulated processes.
+
+    Messages are delivered in send order; receivers are served in arrival
+    order. The network layer builds its reliable FIFO channels on top of
+    these. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [send mb v] enqueues [v], waking the longest-waiting receiver if any.
+    Never blocks. *)
+val send : 'a t -> 'a -> unit
+
+(** [recv mb] dequeues the next message, blocking while the mailbox is
+    empty. *)
+val recv : 'a t -> 'a
+
+(** [recv_timeout sim mb d] is [Some v] if a message arrives within [d] ms,
+    [None] otherwise. *)
+val recv_timeout : Sim.t -> 'a t -> float -> 'a option
+
+(** [peek mb] is the next message without consuming it. *)
+val peek : 'a t -> 'a option
+
+(** Number of queued (undelivered) messages. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

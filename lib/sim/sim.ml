@@ -1,0 +1,89 @@
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  mutable executed : int;
+  events : (unit -> unit) Heap.t;
+}
+
+type _ Effect.t +=
+  | Delay : float -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+exception Stuck of exn
+
+let create () = { clock = 0.0; seq = 0; executed = 0; events = Heap.create () }
+
+let now t = t.clock
+let events_executed t = t.executed
+
+let schedule t time fn =
+  t.seq <- t.seq + 1;
+  Heap.push t.events ~time ~seq:t.seq fn
+
+let at t time fn =
+  if time < t.clock then invalid_arg "Sim.at: time is in the past";
+  schedule t time fn
+
+let after t d fn =
+  if d < 0.0 then invalid_arg "Sim.after: negative delay";
+  schedule t (t.clock +. d) fn
+
+(* Run [f] as a process: effects [Delay] and [Suspend] park the computation
+   and re-enter through the event heap. The handler is installed deeply, so
+   resumed continuations keep it. *)
+let run_process t f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc =
+        (fun e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Printexc.raise_with_backtrace (Stuck e) bt);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  if d < 0.0 then
+                    discontinue k (Invalid_argument "Sim.delay: negative delay")
+                  else schedule t (t.clock +. d) (fun () -> continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  let resume v =
+                    if not !resumed then begin
+                      resumed := true;
+                      schedule t t.clock (fun () -> continue k v)
+                    end
+                  in
+                  register resume)
+          | _ -> None);
+    }
+
+let spawn t f = schedule t t.clock (fun () -> run_process t f)
+
+let step t =
+  let time, _, fn = Heap.pop_min t.events in
+  t.clock <- time;
+  t.executed <- t.executed + 1;
+  fn ()
+
+let run t =
+  while not (Heap.is_empty t.events) do
+    step t
+  done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Heap.min_time t.events with
+    | Some time when time <= horizon -> step t
+    | Some _ | None -> continue := false
+  done;
+  if t.clock < horizon then t.clock <- horizon
+
+let delay d = Effect.perform (Delay d)
+let suspend register = Effect.perform (Suspend register)

@@ -1,0 +1,102 @@
+type 'a slot = Empty | Tombstone | Entry of int * 'a
+
+type 'a t = {
+  mutable slots : 'a slot array;
+  mutable live : int; (* Entry slots *)
+  mutable used : int; (* Entry + Tombstone slots *)
+}
+
+let rec power_of_two n acc = if acc >= n then acc else power_of_two n (acc * 2)
+
+let create ?(capacity = 16) () =
+  let capacity = power_of_two (max 2 capacity) 2 in
+  { slots = Array.make capacity Empty; live = 0; used = 0 }
+
+let length t = t.live
+let capacity t = Array.length t.slots
+
+(* Fibonacci hashing spreads consecutive item ids well. *)
+let bucket t key = key * 0x2545F4914F6CDD1D land max_int land (Array.length t.slots - 1)
+
+let check_key key = if key < 0 then invalid_arg "Hash_index: negative key"
+
+let rec probe t key i =
+  let n = Array.length t.slots in
+  if i >= n then None (* the whole table was scanned: absent *)
+  else
+    let idx = (i + bucket t key) land (n - 1) in
+    match t.slots.(idx) with
+    | Empty -> None
+    | Entry (k, _) when k = key -> Some idx
+    | Entry _ | Tombstone -> probe t key (i + 1)
+
+let find t key =
+  check_key key;
+  match probe t key 0 with
+  | Some idx -> ( match t.slots.(idx) with Entry (_, v) -> Some v | _ -> assert false)
+  | None -> None
+
+let mem t key = find t key <> None
+
+let rec insert_raw slots key v i =
+  let n = Array.length slots in
+  let idx = (i + (key * 0x2545F4914F6CDD1D land max_int land (n - 1))) land (n - 1) in
+  match slots.(idx) with
+  | Empty | Tombstone -> slots.(idx) <- Entry (key, v)
+  | Entry _ -> insert_raw slots key v (i + 1)
+
+let resize t capacity =
+  let old = t.slots in
+  t.slots <- Array.make capacity Empty;
+  t.used <- t.live;
+  Array.iter
+    (function Entry (k, v) -> insert_raw t.slots k v 0 | Empty | Tombstone -> ())
+    old
+
+(* Keep load (including the insert about to happen) under 2/3, so an Empty
+   slot always exists and probes terminate early. *)
+let maybe_grow t =
+  let n = Array.length t.slots in
+  if 3 * (t.used + 1) >= 2 * n then
+    (* Double when genuinely full; same size when tombstones dominate. *)
+    resize t (if 3 * (t.live + 1) >= n then 2 * n else n)
+
+let set t key v =
+  check_key key;
+  match probe t key 0 with
+  | Some idx -> t.slots.(idx) <- Entry (key, v)
+  | None ->
+      maybe_grow t;
+      (* Reuse the first tombstone on the probe path if any. *)
+      let n = Array.length t.slots in
+      let rec place i reuse =
+        let idx = (i + bucket t key) land (n - 1) in
+        match t.slots.(idx) with
+        | Empty -> (
+            match reuse with
+            | Some r -> t.slots.(r) <- Entry (key, v)
+            | None ->
+                t.slots.(idx) <- Entry (key, v);
+                t.used <- t.used + 1)
+        | Tombstone -> place (i + 1) (if reuse = None then Some idx else reuse)
+        | Entry _ -> place (i + 1) reuse
+      in
+      place 0 None;
+      t.live <- t.live + 1
+
+let remove t key =
+  check_key key;
+  match probe t key 0 with
+  | Some idx ->
+      t.slots.(idx) <- Tombstone;
+      t.live <- t.live - 1;
+      true
+  | None -> false
+
+let iter f t =
+  Array.iter (function Entry (k, v) -> f k v | Empty | Tombstone -> ()) t.slots
+
+let fold f t acc =
+  Array.fold_left
+    (fun acc -> function Entry (k, v) -> f k v acc | Empty | Tombstone -> acc)
+    acc t.slots

@@ -1,0 +1,46 @@
+type item = int
+
+type write_event =
+  | Applied of { item : item; writer : int; payload : string option }
+  | Installed of { item : item; value : Value.t }
+
+type t = { site : int; table : Value.t Hash_index.t; mutable hook : write_event -> unit }
+
+let create ~site items =
+  let table = Hash_index.create ~capacity:64 () in
+  List.iter (fun item -> Hash_index.set table item Value.initial) items;
+  { site; table; hook = ignore }
+
+let site t = t.site
+let mem t item = Hash_index.mem t.table item
+
+let not_placed t item =
+  invalid_arg (Printf.sprintf "Store: item %d is not placed at site %d" item t.site)
+
+let read t item =
+  match Hash_index.find t.table item with
+  | Some v -> v
+  | None -> not_placed t item
+
+let apply t item ~writer ?payload () =
+  match Hash_index.find t.table item with
+  | Some v ->
+      Hash_index.set t.table item (Value.write ~writer ?payload v);
+      t.hook (Applied { item; writer; payload })
+  | None -> not_placed t item
+
+let set t item v =
+  if not (Hash_index.mem t.table item) then not_placed t item;
+  Hash_index.set t.table item v;
+  t.hook (Installed { item; value = v })
+
+let set_write_hook t f = t.hook <- f
+
+let contents t =
+  Hash_index.fold (fun item v acc -> (item, v) :: acc) t.table [] |> List.sort compare
+
+let restore t item v = Hash_index.set t.table item v
+
+let items t = Hash_index.fold (fun item _ acc -> item :: acc) t.table [] |> List.sort compare
+let size t = Hash_index.length t.table
+let iter f t = Hash_index.iter f t.table

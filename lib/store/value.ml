@@ -1,0 +1,11 @@
+type t = { version : int; writer : int; payload : string }
+
+let initial = { version = 0; writer = -1; payload = "" }
+
+let write ~writer ?payload v =
+  let payload = match payload with Some p -> p | None -> v.payload in
+  { version = v.version + 1; writer; payload }
+
+let equal a b = a.version = b.version && a.writer = b.writer && String.equal a.payload b.payload
+
+let pp ppf v = Fmt.pf ppf "v%d/T%d%s" v.version v.writer (if v.payload = "" then "" else ":" ^ v.payload)

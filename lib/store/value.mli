@@ -1,0 +1,23 @@
+(** Values stored for each data item copy.
+
+    A value records the identity of the last writer and a per-item version
+    counter. This is all the protocols need, and it lets the test suite check
+    replica convergence (every copy of an item ends with the same
+    writer/version) and read freshness without modelling payload bytes.
+    An optional opaque payload is kept for the examples. *)
+
+type t = {
+  version : int;  (** Number of committed writes applied to this copy. *)
+  writer : int;  (** Global id of the transaction that wrote it; -1 initially. *)
+  payload : string;  (** Application data; empty by default. *)
+}
+
+(** The state of a copy before any write. *)
+val initial : t
+
+(** [write ~writer ?payload v] is the successor of [v] after a committed
+    write by [writer]. *)
+val write : writer:int -> ?payload:string -> t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

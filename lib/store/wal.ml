@@ -1,0 +1,31 @@
+type record =
+  | Apply of { item : int; writer : int; payload : string option }
+  | Ship of { item : int; value : Value.t }
+
+type t = { mutable snap : (int * Value.t) list; mutable log : record list (* newest first *) }
+
+let create () = { snap = []; log = [] }
+let records t = List.rev t.log
+let length t = List.length t.log
+let snapshot t = t.snap
+let append t r = t.log <- r :: t.log
+
+let checkpoint t contents =
+  t.snap <- contents;
+  t.log <- []
+
+let attach t store =
+  checkpoint t (Store.contents store);
+  Store.set_write_hook store (function
+    | Store.Applied { item; writer; payload } -> append t (Apply { item; writer; payload })
+    | Store.Installed { item; value } -> append t (Ship { item; value }))
+
+let recover t ~site =
+  let store = Store.create ~site [] in
+  List.iter (fun (item, value) -> Store.restore store item value) t.snap;
+  List.iter
+    (function
+      | Apply { item; writer; payload } -> Store.apply store item ~writer ?payload ()
+      | Ship { item; value } -> Store.set store item value)
+    (records t);
+  store

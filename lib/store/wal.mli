@@ -1,0 +1,42 @@
+(** Redo logging and recovery for a site store.
+
+    The DataBlitz storage manager the paper builds on is a recoverable
+    main-memory system; this module is the corresponding substrate here: a
+    redo-only log of committed writes on top of a checkpoint snapshot. A
+    simulated site can be "crashed" at any point and rebuilt by {!recover},
+    which must reproduce the live store exactly (the test suite drives whole
+    protocol runs through this). The log itself is an in-memory structure —
+    the simulated equivalent of a log device. *)
+
+type record =
+  | Apply of { item : int; writer : int; payload : string option }
+      (** A committed write, as applied through {!Store.apply}. *)
+  | Ship of { item : int; value : Value.t }
+      (** A whole-value install, as applied through {!Store.set}. *)
+
+type t
+
+val create : unit -> t
+
+(** Records appended since the last checkpoint, oldest first. *)
+val records : t -> record list
+
+val length : t -> int
+
+(** The checkpointed image this log is relative to. *)
+val snapshot : t -> (int * Value.t) list
+
+(** [append t r] — called by the store hooks. *)
+val append : t -> record -> unit
+
+(** [checkpoint t store] — snapshot [store]'s current contents and truncate
+    the log. *)
+val checkpoint : t -> (int * Value.t) list -> unit
+
+(** [attach t store] — checkpoint [store]'s current contents into [t] and
+    start logging its subsequent writes. *)
+val attach : t -> Store.t -> unit
+
+(** [recover t ~site] — rebuild the site store: start from the checkpoint
+    snapshot and replay the log in order. *)
+val recover : t -> site:int -> Store.t

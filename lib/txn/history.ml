@@ -1,0 +1,53 @@
+type kind = R | W
+
+type access = { gid : int; attempt : int; kind : kind }
+
+type t = {
+  on : bool;
+  logs : (int * int, access list ref) Hashtbl.t; (* (site, item) -> reversed log *)
+  aborted : (int, unit) Hashtbl.t;
+  mutable count : int;
+}
+
+let create ?(enabled = true) ~n_sites:_ () =
+  { on = enabled; logs = Hashtbl.create 1024; aborted = Hashtbl.create 64; count = 0 }
+
+let enabled t = t.on
+
+let record t ~site ~item ~gid ~attempt kind =
+  if t.on then begin
+    let key = (site, item) in
+    let cell =
+      match Hashtbl.find_opt t.logs key with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.replace t.logs key c;
+          c
+    in
+    cell := { gid; attempt; kind } :: !cell;
+    t.count <- t.count + 1
+  end
+
+let discard_attempt t ~attempt = if t.on then Hashtbl.replace t.aborted attempt ()
+
+let committed_log t ~site ~item =
+  match Hashtbl.find_opt t.logs (site, item) with
+  | None -> []
+  | Some cell ->
+      List.rev (List.filter (fun a -> not (Hashtbl.mem t.aborted a.attempt)) !cell)
+
+let touched t =
+  Hashtbl.fold (fun key _ acc -> key :: acc) t.logs [] |> List.sort compare
+
+let committed_gids t =
+  let gids = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ cell ->
+      List.iter
+        (fun a -> if not (Hashtbl.mem t.aborted a.attempt) then Hashtbl.replace gids a.gid ())
+        !cell)
+    t.logs;
+  Hashtbl.fold (fun gid () acc -> gid :: acc) gids [] |> List.sort compare
+
+let size t = t.count

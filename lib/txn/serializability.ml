@@ -1,0 +1,51 @@
+module Digraph = Repdb_graph.Digraph
+
+type verdict = Serializable | Not_serializable of int list
+
+(* One pass per (site, item) log. We add an edge from every conflicting
+   predecessor, but transitively redundant edges don't affect acyclicity, so
+   it suffices to track the last committed writer and the readers seen since:
+   a new write conflicts with that writer and those readers; a new read
+   conflicts with that writer. *)
+let conflict_graph history =
+  let gids = History.committed_gids history in
+  let index = Hashtbl.create (List.length gids * 2) in
+  List.iteri (fun i gid -> Hashtbl.replace index gid i) gids;
+  let g = Digraph.create (List.length gids) in
+  let vertex gid = Hashtbl.find index gid in
+  let scan (site, item) =
+    let log = History.committed_log history ~site ~item in
+    let last_writer = ref None in
+    let readers = ref [] in
+    List.iter
+      (fun (a : History.access) ->
+        match a.kind with
+        | History.R ->
+            (match !last_writer with
+            | Some w when w <> a.gid -> Digraph.add_edge g (vertex w) (vertex a.gid)
+            | _ -> ());
+            readers := a.gid :: !readers
+        | History.W ->
+            (match !last_writer with
+            | Some w when w <> a.gid -> Digraph.add_edge g (vertex w) (vertex a.gid)
+            | _ -> ());
+            List.iter
+              (fun r -> if r <> a.gid then Digraph.add_edge g (vertex r) (vertex a.gid))
+              !readers;
+            last_writer := Some a.gid;
+            readers := [])
+      log
+  in
+  List.iter scan (History.touched history);
+  (g, Array.of_list gids)
+
+let check history =
+  let g, gids = conflict_graph history in
+  match Digraph.find_cycle g with
+  | None -> Serializable
+  | Some vertices -> Not_serializable (List.map (fun v -> gids.(v)) vertices)
+
+let pp_verdict ppf = function
+  | Serializable -> Fmt.string ppf "serializable"
+  | Not_serializable cycle ->
+      Fmt.pf ppf "NOT serializable: cycle %a" Fmt.(list ~sep:(any " -> ") int) cycle

@@ -1,0 +1,27 @@
+type item = int
+type op = Read of item | Write of item
+type spec = { origin : int; ops : op list }
+
+type abort_reason = Lock_timeout | Deadlock | Remote_denied | Propagation_timeout
+type outcome = Committed | Aborted of abort_reason
+
+let reads spec = List.filter_map (function Read i -> Some i | Write _ -> None) spec.ops
+let writes spec = List.filter_map (function Write i -> Some i | Read _ -> None) spec.ops
+let is_read_only spec = List.for_all (function Read _ -> true | Write _ -> false) spec.ops
+
+let pp_op ppf = function
+  | Read i -> Fmt.pf ppf "r(%d)" i
+  | Write i -> Fmt.pf ppf "w(%d)" i
+
+let pp_spec ppf spec =
+  Fmt.pf ppf "@[txn@%d:%a@]" spec.origin (Fmt.list ~sep:Fmt.sp pp_op) spec.ops
+
+let string_of_abort = function
+  | Lock_timeout -> "lock-timeout"
+  | Deadlock -> "deadlock"
+  | Remote_denied -> "remote-denied"
+  | Propagation_timeout -> "propagation-timeout"
+
+let pp_outcome ppf = function
+  | Committed -> Fmt.string ppf "committed"
+  | Aborted r -> Fmt.pf ppf "aborted(%s)" (string_of_abort r)

@@ -1,0 +1,37 @@
+(** Transaction vocabulary shared by all protocols.
+
+    Following the system model of the paper: a transaction originates at a
+    single site as a sequence of read and write operations; it may read any
+    item placed at its originating site but update only items whose primary
+    copy is there. *)
+
+type item = int
+
+type op = Read of item | Write of item
+
+type spec = {
+  origin : int;  (** Originating site. *)
+  ops : op list;  (** Executed in order. *)
+}
+
+(** Why an execution attempt failed. *)
+type abort_reason =
+  | Lock_timeout  (** A lock wait exceeded the deadlock timeout. *)
+  | Deadlock  (** Chosen as deadlock victim (detection policy or BackEdge). *)
+  | Remote_denied  (** A remote operation (PSL read / eager write) was refused. *)
+  | Propagation_timeout  (** BackEdge primary gave up waiting for its special message. *)
+
+type outcome = Committed | Aborted of abort_reason
+
+val reads : spec -> item list
+(** Items read, in op order, duplicates preserved. *)
+
+val writes : spec -> item list
+(** Items written, in op order, duplicates preserved. *)
+
+val is_read_only : spec -> bool
+
+val pp_op : Format.formatter -> op -> unit
+val pp_spec : Format.formatter -> spec -> unit
+val pp_outcome : Format.formatter -> outcome -> unit
+val string_of_abort : abort_reason -> string

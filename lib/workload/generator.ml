@@ -1,0 +1,68 @@
+module Rng = Repdb_sim.Rng
+module Txn = Repdb_txn.Txn
+
+type t = {
+  rng : Rng.t;
+  params : Params.t;
+  readable : int array array;
+  writable : int array array;
+}
+
+let create rng (params : Params.t) placement =
+  let readable =
+    Array.init params.n_sites (fun site -> Array.of_list (Placement.placed_at placement site))
+  in
+  let writable =
+    Array.init params.n_sites (fun site -> Array.of_list (Placement.primaries_at placement site))
+  in
+  { rng; params; readable; writable }
+
+let gen_with t rng ~site =
+  let p = t.params in
+  let readable = t.readable.(site) and writable = t.writable.(site) in
+  if Array.length readable = 0 then { Txn.origin = site; ops = [] }
+  else begin
+    let read_only = Rng.bool rng p.read_txn_prob in
+    (* Transactions touch distinct items: rereading — and in particular
+       writing an item already read, which would force a shared-to-exclusive
+       upgrade and make every concurrent pair of such transactions deadlock —
+       is resampled away (best effort when the pool is small). *)
+    let chosen = Hashtbl.create p.ops_per_txn in
+    (* Hotspot skew: with probability [hot_access_prob], draw from the first
+       [hot_item_fraction] of the pool (item ids are sorted, so the hot set
+       is stable across protocols and runs). *)
+    let pick_skewed pool =
+      let n = Array.length pool in
+      let hot = max 1 (int_of_float (ceil (p.hot_item_fraction *. float_of_int n))) in
+      if p.hot_access_prob > 0.0 && Rng.bool rng p.hot_access_prob then pool.(Rng.int rng hot)
+      else Rng.pick rng pool
+    in
+    let pick_distinct pool =
+      let rec go tries =
+        let item = pick_skewed pool in
+        if (not (Hashtbl.mem chosen item)) || tries >= 20 then begin
+          Hashtbl.replace chosen item ();
+          item
+        end
+        else go (tries + 1)
+      in
+      go 0
+    in
+    let gen_op () =
+      let is_read = read_only || Array.length writable = 0 || Rng.bool rng p.read_op_prob in
+      if is_read then Txn.Read (pick_distinct readable) else Txn.Write (pick_distinct writable)
+    in
+    let ops = List.init p.ops_per_txn (fun _ -> gen_op ()) in
+    (* Canonical item order: locks are then acquired ascending, which rules
+       out local deadlocks between transactions at the same site (distributed
+       deadlocks — PSL remote reads, BackEdge waits — remain possible, as in
+       the paper). *)
+    let item_of = function Txn.Read i | Txn.Write i -> i in
+    let ops = List.sort (fun a b -> compare (item_of a) (item_of b)) ops in
+    { Txn.origin = site; ops }
+  end
+
+let gen t ~site = gen_with t t.rng ~site
+
+let readable t site = t.readable.(site)
+let writable t site = t.writable.(site)

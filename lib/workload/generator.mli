@@ -1,0 +1,30 @@
+(** Transaction generation (Section 5.2 of the paper).
+
+    Each transaction is a sequence of [ops_per_txn] operations. With
+    probability [read_txn_prob] the transaction is read-only; otherwise each
+    operation is a read with probability [read_op_prob]. Reads pick uniformly
+    among the items placed at the originating site; writes pick uniformly
+    among the items whose primary copy is there (the system model only allows
+    updating local primaries). *)
+
+type t
+
+(** [create rng params placement] precomputes per-site item pools. *)
+val create : Repdb_sim.Rng.t -> Params.t -> Placement.t -> t
+
+(** [gen t ~site] draws the next transaction originating at [site].
+    If the site has no items to read the transaction is empty; write ops fall
+    back to reads when the site has no local primaries. *)
+val gen : t -> site:int -> Repdb_txn.Txn.spec
+
+(** [gen_with t rng ~site] — like {!gen} but drawing from an explicit stream,
+    so each client thread can own an independent, protocol-independent
+    sequence (the driver uses this to present identical workloads to every
+    protocol). *)
+val gen_with : t -> Repdb_sim.Rng.t -> site:int -> Repdb_txn.Txn.spec
+
+(** Item pools, exposed for tests: [readable t site] are items placed at the
+    site; [writable t site] the local primaries. *)
+val readable : t -> int -> int array
+
+val writable : t -> int -> int array

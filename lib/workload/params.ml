@@ -1,0 +1,118 @@
+type t = {
+  n_sites : int;
+  n_items : int;
+  replication_prob : float;
+  site_prob : float;
+  backedge_prob : float;
+  ops_per_txn : int;
+  threads_per_site : int;
+  txns_per_thread : int;
+  read_op_prob : float;
+  read_txn_prob : float;
+  hot_access_prob : float;
+  hot_item_fraction : float;
+  latency : float;
+  lock_timeout : float;
+  deadlock_policy : [ `Timeout | `Detect ];
+  n_machines : int;
+  straggler_machine : int;
+  straggler_factor : float;
+  cpu_op : float;
+  cpu_commit : float;
+  cpu_msg : float;
+  seed : int;
+  retry_aborted : bool;
+  record_history : bool;
+  epoch_period : float;
+  dummy_idle : float;
+}
+
+let default =
+  {
+    n_sites = 9;
+    n_items = 200;
+    replication_prob = 0.2;
+    site_prob = 0.5;
+    backedge_prob = 0.2;
+    ops_per_txn = 10;
+    threads_per_site = 3;
+    txns_per_thread = 300;
+    read_op_prob = 0.7;
+    read_txn_prob = 0.5;
+    hot_access_prob = 0.0;
+    hot_item_fraction = 0.2;
+    latency = 0.15;
+    lock_timeout = 50.0;
+    deadlock_policy = `Timeout;
+    n_machines = 3;
+    straggler_machine = -1;
+    straggler_factor = 1.0;
+    cpu_op = 0.05;
+    cpu_commit = 0.1;
+    cpu_msg = 0.5;
+    seed = 42;
+    retry_aborted = false;
+    record_history = false;
+    epoch_period = 100.0;
+    dummy_idle = 50.0;
+  }
+
+let table1 t =
+  [
+    ("Number of Sites", "m", string_of_int t.n_sites, "3 - 15");
+    ("Number of Items", "n", string_of_int t.n_items, "");
+    ("Replication Probability", "r", Printf.sprintf "%g" t.replication_prob, "0 - 1");
+    ("Site Probability", "s", Printf.sprintf "%g" t.site_prob, "");
+    ("Backedge Probability", "b", Printf.sprintf "%g" t.backedge_prob, "0 - 1");
+    ("Operations/Transaction", "", string_of_int t.ops_per_txn, "");
+    ("Threads/Site", "", string_of_int t.threads_per_site, "1 - 5");
+    ("Transactions/Thread", "", string_of_int t.txns_per_thread, "");
+    ("Read Operation Probability", "", Printf.sprintf "%g" t.read_op_prob, "0 - 1");
+    ("Read Transaction Probability", "", Printf.sprintf "%g" t.read_txn_prob, "0 - 1");
+    ("Network Latency", "", Printf.sprintf "Approx %g millisec" t.latency, "0.15 - 100 millisec");
+    ("Deadlock Timeout Interval", "", Printf.sprintf "%g millisec" t.lock_timeout, "");
+  ]
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>m=%d n=%d r=%g s=%g b=%g ops=%d threads=%d txns=%d read_op=%g read_txn=%g@ \
+     latency=%gms timeout=%gms machines=%d cpu(op=%g commit=%g msg=%g) seed=%d@]"
+    t.n_sites t.n_items t.replication_prob t.site_prob t.backedge_prob t.ops_per_txn
+    t.threads_per_site t.txns_per_thread t.read_op_prob t.read_txn_prob t.latency
+    t.lock_timeout t.n_machines t.cpu_op t.cpu_commit t.cpu_msg t.seed
+
+let validate t =
+  let prob name v =
+    if v < 0.0 || v > 1.0 then invalid_arg (Printf.sprintf "Params: %s=%g not in [0,1]" name v)
+  in
+  let positive name v =
+    if v <= 0 then invalid_arg (Printf.sprintf "Params: %s=%d must be positive" name v)
+  in
+  let positive_f name v =
+    if v < 0.0 then invalid_arg (Printf.sprintf "Params: %s=%g must be >= 0" name v)
+  in
+  positive "n_sites" t.n_sites;
+  positive "n_items" t.n_items;
+  positive "ops_per_txn" t.ops_per_txn;
+  positive "threads_per_site" t.threads_per_site;
+  positive "txns_per_thread" t.txns_per_thread;
+  positive "n_machines" t.n_machines;
+  prob "replication_prob" t.replication_prob;
+  prob "site_prob" t.site_prob;
+  prob "backedge_prob" t.backedge_prob;
+  prob "read_op_prob" t.read_op_prob;
+  prob "read_txn_prob" t.read_txn_prob;
+  prob "hot_access_prob" t.hot_access_prob;
+  prob "hot_item_fraction" t.hot_item_fraction;
+  if t.hot_access_prob > 0.0 && t.hot_item_fraction = 0.0 then
+    invalid_arg "Params: hot_item_fraction must be positive when hot_access_prob > 0";
+  if t.straggler_factor < 1.0 then invalid_arg "Params: straggler_factor must be >= 1";
+  if t.straggler_machine >= t.n_machines then
+    invalid_arg "Params: straggler_machine out of range";
+  positive_f "latency" t.latency;
+  if t.lock_timeout <= 0.0 then invalid_arg "Params: lock_timeout must be > 0";
+  positive_f "cpu_op" t.cpu_op;
+  positive_f "cpu_commit" t.cpu_commit;
+  positive_f "cpu_msg" t.cpu_msg;
+  if t.epoch_period <= 0.0 then invalid_arg "Params: epoch_period must be > 0";
+  if t.dummy_idle <= 0.0 then invalid_arg "Params: dummy_idle must be > 0"

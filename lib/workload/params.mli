@@ -1,0 +1,64 @@
+(** Experiment parameters — Table 1 of the paper, plus the simulation cost
+    model that replaces the paper's physical testbed.
+
+    Paper defaults: 9 sites, 200 items, replication probability 0.2, site
+    probability 0.5, backedge probability 0.2, 10 operations per transaction,
+    3 threads per site, 1000 transactions per thread, read-operation
+    probability 0.7, read-transaction probability 0.5, ~0.15 ms network
+    latency, 50 ms deadlock timeout. *)
+
+type t = {
+  (* Table 1 *)
+  n_sites : int;  (** [m]; default 9, range 3–15. *)
+  n_items : int;  (** [n]; default 200. *)
+  replication_prob : float;  (** [r]; default 0.2, range 0–1. *)
+  site_prob : float;  (** [s]; default 0.5. *)
+  backedge_prob : float;  (** [b]; default 0.2, range 0–1. *)
+  ops_per_txn : int;  (** Default 10. *)
+  threads_per_site : int;  (** Default 3, range 1–5. *)
+  txns_per_thread : int;  (** Paper 1000; default here 300 for bench speed. *)
+  read_op_prob : float;  (** Default 0.7, range 0–1. *)
+  read_txn_prob : float;  (** Default 0.5, range 0–1. *)
+  hot_access_prob : float;
+      (** Probability that an operation targets the hot set; 0 (default)
+          keeps the paper's uniform access. *)
+  hot_item_fraction : float;
+      (** Fraction of each site's item pool that forms the hot set
+          (default 0.2); only meaningful when [hot_access_prob > 0]. *)
+  latency : float;  (** One-way network latency, ms; default 0.15, range 0.15–100. *)
+  lock_timeout : float;  (** Deadlock timeout, ms; default 50. *)
+  deadlock_policy : [ `Timeout | `Detect ];
+      (** [`Timeout] (the paper's mechanism, using [lock_timeout]) or local
+          waits-for-graph [`Detect]ion with latest-arrival victims. Note that
+          only timeouts resolve distributed deadlocks, so protocols with
+          cross-site waits (PSL, Eager, BackEdge) keep a timeout fallback:
+          [`Detect] applies it on top of detection. *)
+  (* Simulation cost model (substitutes for the UltraSparc testbed) *)
+  n_machines : int;  (** Sites share machine CPUs round-robin; default 3. *)
+  straggler_machine : int;
+      (** Machine whose CPU runs slow, or -1 (default) for none. *)
+  straggler_factor : float;
+      (** CPU slowdown of the straggler machine (default 1.0). *)
+  cpu_op : float;  (** CPU per local read/write op, ms. *)
+  cpu_commit : float;  (** CPU per (sub)transaction commit, ms. *)
+  cpu_msg : float;  (** CPU to send or receive one message, ms. *)
+  (* Harness *)
+  seed : int;  (** RNG seed; every run is deterministic in it. *)
+  retry_aborted : bool;  (** Re-run aborted transactions (off, as in the paper). *)
+  record_history : bool;  (** Record accesses for the serializability checker. *)
+  (* DAG(T) progress machinery *)
+  epoch_period : float;  (** Sources bump their epoch every this many ms. *)
+  dummy_idle : float;  (** Send a dummy subtransaction after this idle time, ms. *)
+}
+
+val default : t
+
+(** Paper parameter rows as [(name, symbol, default, range)] — the content of
+    Table 1, for the [table1] bench target. *)
+val table1 : t -> (string * string * string * string) list
+
+val pp : Format.formatter -> t -> unit
+
+(** Sanity-check ranges (probabilities in [0,1], positive counts...).
+    @raise Invalid_argument when out of range. *)
+val validate : t -> unit

@@ -1,0 +1,67 @@
+module Rng = Repdb_sim.Rng
+module Digraph = Repdb_graph.Digraph
+
+type t = {
+  n_sites : int;
+  n_items : int;
+  primary : int array;
+  replicas : int list array;
+}
+
+let generate rng (p : Params.t) =
+  Params.validate p;
+  let m = p.n_sites and n = p.n_items in
+  (* Uniform primary assignment: round-robin gives each site ~n/m primaries. *)
+  let primary = Array.init n (fun item -> item mod m) in
+  let replicas = Array.make n [] in
+  for item = 0 to n - 1 do
+    if Rng.bool rng p.replication_prob then begin
+      let si = primary.(item) in
+      let all_candidates = Rng.bool rng p.backedge_prob in
+      let chosen = ref [] in
+      for sj = m - 1 downto 0 do
+        if sj <> si then begin
+          let candidate = all_candidates || sj > si in
+          if candidate && Rng.bool rng p.site_prob then chosen := sj :: !chosen
+        end
+      done;
+      replicas.(item) <- !chosen
+    end
+  done;
+  { n_sites = m; n_items = n; primary; replicas }
+
+let primaries_at t site =
+  let acc = ref [] in
+  for item = t.n_items - 1 downto 0 do
+    if t.primary.(item) = site then acc := item :: !acc
+  done;
+  !acc
+
+let placed_at t site =
+  let acc = ref [] in
+  for item = t.n_items - 1 downto 0 do
+    if t.primary.(item) = site || List.mem site t.replicas.(item) then acc := item :: !acc
+  done;
+  !acc
+
+let has_copy t ~site item = t.primary.(item) = site || List.mem site t.replicas.(item)
+let is_primary t ~site item = t.primary.(item) = site
+
+let copy_graph t =
+  let g = Digraph.create t.n_sites in
+  Array.iteri
+    (fun item si -> List.iter (fun sj -> Digraph.add_edge g si sj) t.replicas.(item))
+    t.primary;
+  g
+
+let backedges t =
+  List.filter (fun (u, v) -> v < u) (Digraph.edges (copy_graph t))
+
+let n_replicas t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.replicas
+
+let n_replicated_items t =
+  Array.fold_left (fun acc l -> if l = [] then acc else acc + 1) 0 t.replicas
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>placement: %d sites, %d items, %d replicated, %d replicas@]" t.n_sites
+    t.n_items (n_replicated_items t) (n_replicas t)

@@ -1,0 +1,49 @@
+(** Data distribution (Section 5.2 of the paper).
+
+    Primary copies are spread uniformly over the [m] sites. Of the primaries
+    at each site, a fraction [r] is replicated. For a replicated item with
+    primary at site [si]: with probability [b] every other site is a
+    candidate for holding a replica, and with probability [1-b] only sites
+    {e following} [si] in the total site order are; each candidate then
+    receives a replica with probability [s]. With the chain propagation order
+    used by the evaluated BackEdge variant, an edge [si -> sj] of the copy
+    graph with [j < i] is a backedge. *)
+
+type t = {
+  n_sites : int;
+  n_items : int;
+  primary : int array;  (** item -> primary site. *)
+  replicas : int list array;  (** item -> secondary sites, ascending. *)
+}
+
+(** [generate rng params] draws a placement. *)
+val generate : Repdb_sim.Rng.t -> Params.t -> t
+
+(** Items whose primary copy is at [site], ascending. *)
+val primaries_at : t -> int -> int list
+
+(** Items placed at [site] (primary or replica), ascending. *)
+val placed_at : t -> int -> int list
+
+(** [has_copy t ~site item]. *)
+val has_copy : t -> site:int -> int -> bool
+
+(** [is_primary t ~site item]. *)
+val is_primary : t -> site:int -> int -> bool
+
+(** The copy graph: edge [si -> sj] iff some item has its primary at [si] and
+    a replica at [sj]. *)
+val copy_graph : t -> Repdb_graph.Digraph.t
+
+(** Backedges of the copy graph under the identity site order (the order used
+    by the chain tree): edges [si -> sj] with [j < i]. *)
+val backedges : t -> (int * int) list
+
+(** Number of replicas in the system (secondary copies, excluding
+    primaries). *)
+val n_replicas : t -> int
+
+(** Number of distinct replicated items. *)
+val n_replicated_items : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,243 @@
+(* Unit tests for the core support modules: metrics, convergence, exec,
+   routing, cluster accounting and the experiment plumbing. *)
+
+module Sim = Repdb_sim.Sim
+module Store = Repdb_store.Store
+module Txn = Repdb_txn.Txn
+module Params = Repdb_workload.Params
+module Placement = Repdb_workload.Placement
+module Tree = Repdb_graph.Tree
+module Cluster = Repdb.Cluster
+module Metrics = Repdb.Metrics
+module Exec = Repdb.Exec
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- metrics ------------------------------------------------------------- *)
+
+let test_metrics_counts () =
+  let m = Metrics.create () in
+  Metrics.commit m ~response:10.0;
+  Metrics.commit m ~response:20.0;
+  Metrics.abort m Txn.Lock_timeout;
+  Metrics.abort m Txn.Lock_timeout;
+  Metrics.abort m Txn.Deadlock;
+  Metrics.propagation m ~delay:5.0;
+  Metrics.client_done m ~time:1000.0;
+  let s = Metrics.summarize m ~n_sites:2 ~messages:7 in
+  checki "commits" 2 s.commits;
+  checki "aborts" 3 s.aborts;
+  checkf "abort rate" 60.0 s.abort_rate;
+  checkf "avg response" 15.0 s.avg_response;
+  checkf "avg propagation" 5.0 s.avg_propagation;
+  checkf "throughput" 2.0 s.throughput;
+  checkf "per site" 1.0 s.throughput_per_site;
+  checki "messages" 7 s.messages;
+  Alcotest.(check (list (pair Alcotest.reject int)))
+    "reason counts" []
+    (List.map (fun (_, n) -> ((), n)) s.aborts_by_reason |> List.filter (fun _ -> false));
+  checki "two reasons" 2 (List.length s.aborts_by_reason);
+  checkb "lock-timeout counted twice" true (List.mem (Txn.Lock_timeout, 2) s.aborts_by_reason)
+
+let test_metrics_percentiles () =
+  let m = Metrics.create () in
+  for i = 1 to 100 do
+    Metrics.commit m ~response:(float_of_int i)
+  done;
+  Metrics.client_done m ~time:100.0;
+  let s = Metrics.summarize m ~n_sites:1 ~messages:0 in
+  checkf "p50" 51.0 s.p50_response;
+  checkf "p95" 96.0 s.p95_response
+
+let test_metrics_empty () =
+  let m = Metrics.create () in
+  let s = Metrics.summarize m ~n_sites:3 ~messages:0 in
+  checkf "no throughput" 0.0 s.throughput;
+  checkf "no response" 0.0 s.avg_response;
+  checkf "no abort rate" 0.0 s.abort_rate
+
+(* --- convergence --------------------------------------------------------- *)
+
+let placement =
+  { Placement.n_sites = 2; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 1 ]; [] |] }
+
+let small_params = { Params.default with n_sites = 2; n_items = 2 }
+
+let test_convergence_detects_divergence () =
+  let c = Cluster.create_with small_params placement in
+  checki "initially converged" 0 (List.length (Repdb.Convergence.check c));
+  (* Write the primary copy only. *)
+  Store.apply c.stores.(0) 0 ~writer:9 ();
+  (match Repdb.Convergence.check c with
+  | [ d ] ->
+      checki "item" 0 d.Repdb.Convergence.item;
+      checki "site" 1 d.Repdb.Convergence.site
+  | l -> Alcotest.failf "expected one divergence, got %d" (List.length l));
+  (* Apply the same write at the replica: converged again. *)
+  Store.apply c.stores.(1) 0 ~writer:9 ();
+  checki "converged after apply" 0 (List.length (Repdb.Convergence.check c))
+
+(* --- exec ----------------------------------------------------------------- *)
+
+let test_exec_deferred_writes () =
+  let c = Cluster.create_with small_params placement in
+  Sim.spawn c.sim (fun () ->
+      let gid = Cluster.fresh_gid c and attempt = Cluster.fresh_attempt c in
+      (match Exec.run_ops c ~gid ~attempt ~site:0 [ Txn.Write 0 ] with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "uncontended acquire failed");
+      (* Deferred: nothing in the store until commit. *)
+      checki "not yet applied" 0 (Store.read c.stores.(0) 0).Repdb_store.Value.version;
+      Exec.apply_writes c ~gid ~site:0 [ 0 ];
+      Exec.release c ~attempt ~site:0;
+      checki "applied at commit" 1 (Store.read c.stores.(0) 0).Repdb_store.Value.version);
+  Sim.run c.sim;
+  checki "locks drained" 0 (Repdb_lock.Lock_mgr.locks_held c.locks.(0))
+
+let test_exec_abort_discards () =
+  let c = Cluster.create_with { small_params with Params.record_history = true } placement in
+  Sim.spawn c.sim (fun () ->
+      let gid = Cluster.fresh_gid c and attempt = Cluster.fresh_attempt c in
+      (match Exec.run_ops c ~gid ~attempt ~site:0 [ Txn.Read 0; Txn.Write 0 ] with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "acquire failed");
+      Exec.abort_local c ~attempt ~site:0);
+  Sim.run c.sim;
+  checki "no committed accesses" 0 (List.length (Repdb_txn.History.committed_gids c.history));
+  checki "locks drained" 0 (Repdb_lock.Lock_mgr.locks_held c.locks.(0))
+
+let test_exec_apply_secondary_retries () =
+  (* A conflicting holder times out; the secondary must retry and win. *)
+  let c = Cluster.create_with small_params placement in
+  let done_at = ref 0.0 in
+  Sim.spawn c.sim (fun () ->
+      (* Foreign lock held for 120 ms, then released. *)
+      let attempt = Cluster.fresh_attempt c in
+      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(1) ~owner:attempt 0 Repdb_lock.Lock_mgr.Exclusive);
+      Sim.delay 120.0;
+      Repdb_lock.Lock_mgr.release_all c.locks.(1) ~owner:attempt);
+  Sim.spawn c.sim (fun () ->
+      Exec.apply_secondary c ~gid:77 ~site:1 [ 0 ] ~finally:(fun () -> done_at := Sim.now c.sim));
+  Sim.run c.sim;
+  checkb "eventually applied" true (!done_at >= 120.0);
+  checki "write applied" 1 (Store.read c.stores.(1) 0).Repdb_store.Value.version
+
+(* --- routing -------------------------------------------------------------- *)
+
+let test_routing_subtree_maps () =
+  (* Chain 0 -> 1 -> 2; item 0 replicated at 2 only. *)
+  let placement =
+    { Placement.n_sites = 3; n_items = 1; primary = [| 0 |]; replicas = [| [ 2 ] |] }
+  in
+  let tr = Tree.chain_of_order [| 0; 1; 2 |] in
+  let maps = Repdb.Routing.subtree_replicas placement tr in
+  checkb "root subtree sees it" true maps.(0).(0);
+  checkb "middle subtree sees it" true maps.(1).(0);
+  checkb "leaf holds it" true maps.(2).(0);
+  Alcotest.(check (list int)) "middle is relevant from root" [ 1 ]
+    (Repdb.Routing.relevant_children maps tr 0 [ 0 ]);
+  Alcotest.(check (list int)) "local replicas at 1" []
+    (Repdb.Routing.local_replicas placement 1 [ 0 ]);
+  Alcotest.(check (list int)) "local replicas at 2" [ 0 ]
+    (Repdb.Routing.local_replicas placement 2 [ 0 ])
+
+(* --- cluster accounting ---------------------------------------------------- *)
+
+let test_cluster_quiescence_accounting () =
+  let c = Cluster.create_with small_params placement in
+  checkb "quiescent at start" true (Cluster.quiescent c);
+  Cluster.client_started c;
+  checkb "busy with client" false (Cluster.quiescent c);
+  Cluster.inc_outstanding c;
+  Cluster.client_finished c;
+  checkb "still outstanding" false (Cluster.quiescent c);
+  Cluster.dec_outstanding c;
+  checkb "quiescent again" true (Cluster.quiescent c);
+  checki "gids monotone" 1 (Cluster.fresh_gid c);
+  checki "gids monotone 2" 2 (Cluster.fresh_gid c);
+  checki "attempts separate" 1 (Cluster.fresh_attempt c)
+
+let test_cluster_deadlock_policy_param () =
+  let params = { small_params with Params.deadlock_policy = `Detect } in
+  let c = Cluster.create_with params placement in
+  (* Two locally deadlocked owners resolve by detection (no 50 ms wait). *)
+  let resolved_at = ref infinity in
+  Sim.spawn c.sim (fun () ->
+      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(0) ~owner:1 0 Repdb_lock.Lock_mgr.Exclusive);
+      Sim.delay 2.0;
+      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(0) ~owner:1 1 Repdb_lock.Lock_mgr.Exclusive);
+      resolved_at := Sim.now c.sim);
+  Sim.spawn c.sim (fun () ->
+      Sim.delay 1.0;
+      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(0) ~owner:2 1 Repdb_lock.Lock_mgr.Exclusive);
+      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(0) ~owner:2 0 Repdb_lock.Lock_mgr.Exclusive));
+  Sim.run c.sim;
+  checkb "detection beats the 50ms timeout" true (!resolved_at < 50.0)
+
+let test_cluster_straggler () =
+  (* The same burst takes straggler_factor times longer on the slow machine. *)
+  let params =
+    { small_params with Params.n_machines = 2; straggler_machine = 0; straggler_factor = 4.0 }
+  in
+  let c = Cluster.create_with params placement in
+  let t0 = ref 0.0 and t1 = ref 0.0 in
+  Sim.spawn c.sim (fun () ->
+      Cluster.use_cpu c 0 10.0;
+      t0 := Sim.now c.sim);
+  Sim.spawn c.sim (fun () ->
+      Cluster.use_cpu c 1 10.0;
+      t1 := Sim.now c.sim);
+  Sim.run c.sim;
+  checkf "slow machine" 40.0 !t0;
+  checkf "normal machine" 10.0 !t1
+
+(* --- experiment plumbing ---------------------------------------------------- *)
+
+let tiny = { Params.default with n_sites = 3; n_items = 12; threads_per_site = 1; txns_per_thread = 5 }
+
+let test_experiment_figure_structure () =
+  let fig = Repdb.Experiment.fig2a ~base:tiny ~steps:2 () in
+  checki "three points" 3 (List.length fig.points);
+  List.iter
+    (fun (pt : Repdb.Experiment.point) ->
+      checki "two protocols per point" 2 (List.length pt.reports))
+    fig.points;
+  let csv = Repdb.Experiment.to_csv fig in
+  checki "csv lines" (1 + (3 * 2)) (List.length (String.split_on_char '\n' (String.trim csv)))
+
+let test_experiment_tree_routing_runs () =
+  let fig = Repdb.Experiment.ablation_tree_routing ~base:tiny ~steps:1 () in
+  checki "two points" 2 (List.length fig.points)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counts" `Quick test_metrics_counts;
+          Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
+          Alcotest.test_case "empty" `Quick test_metrics_empty;
+        ] );
+      ( "convergence",
+        [ Alcotest.test_case "detects divergence" `Quick test_convergence_detects_divergence ] );
+      ( "exec",
+        [
+          Alcotest.test_case "deferred writes" `Quick test_exec_deferred_writes;
+          Alcotest.test_case "abort discards" `Quick test_exec_abort_discards;
+          Alcotest.test_case "secondary retries" `Quick test_exec_apply_secondary_retries;
+        ] );
+      ( "routing", [ Alcotest.test_case "subtree maps" `Quick test_routing_subtree_maps ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "quiescence accounting" `Quick test_cluster_quiescence_accounting;
+          Alcotest.test_case "deadlock policy param" `Quick test_cluster_deadlock_policy_param;
+          Alcotest.test_case "straggler machine" `Quick test_cluster_straggler;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "figure structure" `Quick test_experiment_figure_structure;
+          Alcotest.test_case "tree-routing ablation" `Quick test_experiment_tree_routing_runs;
+        ] );
+    ]

@@ -1,0 +1,273 @@
+(* Tests for the strict-2PL lock manager: compatibility, FIFO granting,
+   upgrades, both deadlock policies and invariants. *)
+
+module Sim = Repdb_sim.Sim
+module Rng = Repdb_sim.Rng
+module Lock_mgr = Repdb_lock.Lock_mgr
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let outcome =
+  Alcotest.testable
+    (fun ppf -> function
+      | Lock_mgr.Granted -> Fmt.string ppf "granted"
+      | Lock_mgr.Timed_out -> Fmt.string ppf "timed-out"
+      | Lock_mgr.Deadlock_victim -> Fmt.string ppf "victim")
+    ( = )
+
+let with_lm ?(policy = `Timeout 50.0) f =
+  let sim = Sim.create () in
+  let lm = Lock_mgr.create ~sim ~policy () in
+  f sim lm;
+  Sim.run sim;
+  (sim, lm)
+
+let test_shared_compatible () =
+  let _, lm =
+    with_lm (fun sim lm ->
+        Sim.spawn sim (fun () ->
+            Alcotest.check outcome "o1 S" Lock_mgr.Granted (Lock_mgr.acquire lm ~owner:1 0 Shared);
+            Alcotest.check outcome "o2 S" Lock_mgr.Granted (Lock_mgr.acquire lm ~owner:2 0 Shared)))
+  in
+  checki "two holders" 2 (List.length (Lock_mgr.holders lm 0))
+
+let test_exclusive_blocks () =
+  let log = ref [] in
+  let _ =
+    with_lm (fun sim lm ->
+        Sim.spawn sim (fun () ->
+            ignore (Lock_mgr.acquire lm ~owner:1 0 Exclusive);
+            Sim.delay 10.0;
+            Lock_mgr.release_all lm ~owner:1);
+        Sim.spawn sim (fun () ->
+            Sim.delay 1.0;
+            let o = Lock_mgr.acquire lm ~owner:2 0 Exclusive in
+            log := (Sim.now sim, o) :: !log))
+  in
+  Alcotest.(check (list (pair (float 1e-9) outcome)))
+    "granted at release" [ (10.0, Lock_mgr.Granted) ] !log
+
+let test_fifo_no_barging () =
+  (* X waits behind S; a later S must not overtake the waiting X. *)
+  let order = ref [] in
+  let _ =
+    with_lm (fun sim lm ->
+        Sim.spawn sim (fun () ->
+            ignore (Lock_mgr.acquire lm ~owner:1 0 Shared);
+            Sim.delay 10.0;
+            Lock_mgr.release_all lm ~owner:1);
+        Sim.spawn sim (fun () ->
+            Sim.delay 1.0;
+            ignore (Lock_mgr.acquire lm ~owner:2 0 Exclusive);
+            order := 2 :: !order;
+            Sim.delay 5.0;
+            Lock_mgr.release_all lm ~owner:2);
+        Sim.spawn sim (fun () ->
+            Sim.delay 2.0;
+            ignore (Lock_mgr.acquire lm ~owner:3 0 Shared);
+            order := 3 :: !order))
+  in
+  Alcotest.(check (list int)) "X before the later S" [ 2; 3 ] (List.rev !order)
+
+let test_reentrant () =
+  let _ =
+    with_lm (fun sim lm ->
+        Sim.spawn sim (fun () ->
+            Alcotest.check outcome "S" Lock_mgr.Granted (Lock_mgr.acquire lm ~owner:1 0 Shared);
+            Alcotest.check outcome "S again" Lock_mgr.Granted (Lock_mgr.acquire lm ~owner:1 0 Shared);
+            Alcotest.check outcome "upgrade" Lock_mgr.Granted
+              (Lock_mgr.acquire lm ~owner:1 0 Exclusive);
+            Alcotest.check outcome "X re-entrant" Lock_mgr.Granted
+              (Lock_mgr.acquire lm ~owner:1 0 Exclusive);
+            Alcotest.check outcome "S under X" Lock_mgr.Granted
+              (Lock_mgr.acquire lm ~owner:1 0 Shared);
+            checkb "holds X" true (Lock_mgr.holds lm ~owner:1 0 = Some Exclusive)))
+  in
+  ()
+
+let test_upgrade_waits_for_other_readers () =
+  let log = ref [] in
+  let _ =
+    with_lm (fun sim lm ->
+        Sim.spawn sim (fun () ->
+            ignore (Lock_mgr.acquire lm ~owner:1 0 Shared);
+            Sim.delay 10.0;
+            Lock_mgr.release_all lm ~owner:1);
+        Sim.spawn sim (fun () ->
+            ignore (Lock_mgr.acquire lm ~owner:2 0 Shared);
+            Sim.delay 1.0;
+            let o = Lock_mgr.acquire lm ~owner:2 0 Exclusive in
+            log := (Sim.now sim, o) :: !log))
+  in
+  Alcotest.(check (list (pair (float 1e-9) outcome)))
+    "upgrade granted when sole holder" [ (10.0, Lock_mgr.Granted) ] !log
+
+let test_upgrade_priority () =
+  (* An upgrader jumps ahead of a queued X request. *)
+  let order = ref [] in
+  let _ =
+    with_lm (fun sim lm ->
+        Sim.spawn sim (fun () ->
+            ignore (Lock_mgr.acquire lm ~owner:1 0 Shared);
+            Sim.delay 5.0;
+            ignore (Lock_mgr.acquire lm ~owner:1 0 Exclusive);
+            order := 1 :: !order;
+            Lock_mgr.release_all lm ~owner:1);
+        Sim.spawn sim (fun () ->
+            Sim.delay 1.0;
+            ignore (Lock_mgr.acquire lm ~owner:2 0 Exclusive);
+            order := 2 :: !order;
+            Lock_mgr.release_all lm ~owner:2))
+  in
+  Alcotest.(check (list int)) "upgrader first" [ 1; 2 ] (List.rev !order)
+
+let test_timeout_policy () =
+  let log = ref [] in
+  let _ =
+    with_lm ~policy:(`Timeout 50.0) (fun sim lm ->
+        Sim.spawn sim (fun () -> ignore (Lock_mgr.acquire lm ~owner:1 0 Exclusive));
+        Sim.spawn sim (fun () ->
+            Sim.delay 1.0;
+            let o = Lock_mgr.acquire lm ~owner:2 0 Exclusive in
+            log := (Sim.now sim, o) :: !log))
+  in
+  Alcotest.(check (list (pair (float 1e-9) outcome)))
+    "timed out after 50ms" [ (51.0, Lock_mgr.Timed_out) ] !log
+
+let test_deadlock_detection () =
+  (* 1 holds a, wants b; 2 holds b, wants a. Victim = latest arrival (2). *)
+  let results = ref [] in
+  let _ =
+    with_lm ~policy:(`Detect None) (fun sim lm ->
+        Sim.spawn sim (fun () ->
+            ignore (Lock_mgr.acquire lm ~owner:1 0 Exclusive);
+            Sim.delay 2.0;
+            let o = Lock_mgr.acquire lm ~owner:1 1 Exclusive in
+            results := (1, o) :: !results;
+            Lock_mgr.release_all lm ~owner:1);
+        Sim.spawn sim (fun () ->
+            Sim.delay 1.0;
+            ignore (Lock_mgr.acquire lm ~owner:2 1 Exclusive);
+            Sim.delay 2.0;
+            let o = Lock_mgr.acquire lm ~owner:2 0 Exclusive in
+            results := (2, o) :: !results;
+            Lock_mgr.release_all lm ~owner:2))
+  in
+  let sorted = List.sort compare !results in
+  Alcotest.(check (list (pair int outcome)))
+    "latest arrival is the victim"
+    [ (1, Lock_mgr.Granted); (2, Lock_mgr.Deadlock_victim) ]
+    sorted
+
+let test_abort_waiter () =
+  let log = ref [] in
+  let _ =
+    with_lm (fun sim lm ->
+        Sim.spawn sim (fun () -> ignore (Lock_mgr.acquire lm ~owner:1 0 Exclusive));
+        Sim.spawn sim (fun () ->
+            Sim.delay 1.0;
+            let o = Lock_mgr.acquire lm ~owner:2 0 Exclusive in
+            log := (Sim.now sim, o) :: !log);
+        Sim.after sim 5.0 (fun () -> checkb "woken" true (Lock_mgr.abort_waiter lm ~owner:2));
+        Sim.after sim 6.0 (fun () -> checkb "no-op when not waiting" false (Lock_mgr.abort_waiter lm ~owner:2)))
+  in
+  Alcotest.(check (list (pair (float 1e-9) outcome)))
+    "aborted early" [ (5.0, Lock_mgr.Deadlock_victim) ] !log
+
+let test_waiting_for () =
+  let _ =
+    with_lm (fun sim lm ->
+        Sim.spawn sim (fun () -> ignore (Lock_mgr.acquire lm ~owner:1 0 Exclusive));
+        Sim.spawn sim (fun () ->
+            Sim.delay 1.0;
+            ignore (Lock_mgr.acquire lm ~owner:2 0 Exclusive));
+        Sim.spawn sim (fun () ->
+            Sim.delay 2.0;
+            ignore (Lock_mgr.acquire lm ~owner:3 0 Shared));
+        Sim.after sim 3.0 (fun () ->
+            Alcotest.(check (list int)) "waits for holder" [ 1 ] (Lock_mgr.waiting_for lm ~owner:2);
+            Alcotest.(check (list int))
+              "waits for holder and queued-ahead" [ 1; 2 ]
+              (Lock_mgr.waiting_for lm ~owner:3);
+            Alcotest.(check (list int)) "not waiting" [] (Lock_mgr.waiting_for lm ~owner:1)))
+  in
+  ()
+
+let test_release_all_clears () =
+  let _, lm =
+    with_lm (fun sim lm ->
+        Sim.spawn sim (fun () ->
+            ignore (Lock_mgr.acquire lm ~owner:1 0 Exclusive);
+            ignore (Lock_mgr.acquire lm ~owner:1 1 Shared);
+            ignore (Lock_mgr.acquire lm ~owner:1 2 Shared);
+            Lock_mgr.release_all lm ~owner:1))
+  in
+  checki "nothing held" 0 (Lock_mgr.locks_held lm);
+  checkb "holds nothing" true (Lock_mgr.holds lm ~owner:1 0 = None)
+
+let test_stats () =
+  let _, lm =
+    with_lm (fun sim lm ->
+        Sim.spawn sim (fun () ->
+            ignore (Lock_mgr.acquire lm ~owner:1 0 Exclusive);
+            Sim.delay 100.0;
+            Lock_mgr.release_all lm ~owner:1);
+        Sim.spawn sim (fun () ->
+            Sim.delay 1.0;
+            ignore (Lock_mgr.acquire lm ~owner:2 0 Exclusive)))
+  in
+  let s = Lock_mgr.stats lm in
+  checki "acquires" 1 s.Lock_mgr.acquires;
+  checki "waits" 1 s.Lock_mgr.waits;
+  checki "timeouts" 1 s.Lock_mgr.timeouts
+
+(* Property: random transactions acquiring random locks under the timeout
+   policy always terminate with an empty lock table after release_all. *)
+let prop_random_workload_drains =
+  QCheck2.Test.make ~name:"random lock workload drains cleanly" ~count:40
+    QCheck2.Gen.(pair int (int_range 2 8))
+    (fun (seed, n_txns) ->
+      let sim = Sim.create () in
+      let lm = Lock_mgr.create ~sim ~policy:(`Timeout 20.0) () in
+      let rng = Rng.create seed in
+      let finished = ref 0 in
+      for owner = 1 to n_txns do
+        let items = List.init (1 + Rng.int rng 5) (fun _ -> Rng.int rng 6) in
+        let modes = List.map (fun _ -> if Rng.bool rng 0.5 then Lock_mgr.Shared else Lock_mgr.Exclusive) items in
+        Sim.spawn sim (fun () ->
+            Sim.delay (Rng.float rng *. 10.0);
+            let ok =
+              List.for_all2
+                (fun item mode ->
+                  Sim.delay (Rng.float rng *. 5.0);
+                  Lock_mgr.acquire lm ~owner item mode = Lock_mgr.Granted)
+                items modes
+            in
+            ignore ok;
+            Lock_mgr.release_all lm ~owner;
+            incr finished)
+      done;
+      Sim.run sim;
+      !finished = n_txns && Lock_mgr.locks_held lm = 0)
+
+let () =
+  Alcotest.run "lock"
+    [
+      ( "lock_mgr",
+        [
+          Alcotest.test_case "shared compatible" `Quick test_shared_compatible;
+          Alcotest.test_case "exclusive blocks" `Quick test_exclusive_blocks;
+          Alcotest.test_case "fifo no barging" `Quick test_fifo_no_barging;
+          Alcotest.test_case "re-entrant" `Quick test_reentrant;
+          Alcotest.test_case "upgrade waits" `Quick test_upgrade_waits_for_other_readers;
+          Alcotest.test_case "upgrade priority" `Quick test_upgrade_priority;
+          Alcotest.test_case "timeout policy" `Quick test_timeout_policy;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "abort waiter" `Quick test_abort_waiter;
+          Alcotest.test_case "waiting_for" `Quick test_waiting_for;
+          Alcotest.test_case "release_all" `Quick test_release_all_clears;
+          Alcotest.test_case "stats" `Quick test_stats;
+          QCheck_alcotest.to_alcotest prop_random_workload_drains;
+        ] );
+    ]

@@ -1,0 +1,539 @@
+(* Protocol-level tests: the paper's Example 1.1 and Example 4.1 as concrete
+   scenarios, plus per-protocol behaviours (routing, timestamps, remote
+   reads, eager 2PC). *)
+
+module Sim = Repdb_sim.Sim
+module Txn = Repdb_txn.Txn
+module Serializability = Repdb_txn.Serializability
+module Params = Repdb_workload.Params
+module Placement = Repdb_workload.Placement
+module Tree = Repdb_graph.Tree
+module Cluster = Repdb.Cluster
+module Driver = Repdb.Driver
+module Protocol = Repdb.Protocol
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let outcome =
+  Alcotest.testable Txn.pp_outcome ( = )
+
+let base_params =
+  {
+    Params.default with
+    n_sites = 3;
+    n_items = 2;
+    record_history = true;
+    txns_per_thread = 1;
+  }
+
+(* Example 1.1 data placement: item 0 = a (primary s1=0, replicas s2=1, s3=2),
+   item 1 = b (primary s2=1, replica s3=2). *)
+let example_1_1_placement =
+  { Placement.n_sites = 3; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 1; 2 ]; [ 2 ] |] }
+
+(* The slow link s1 -> s3 that lets T1's direct update arrive late. *)
+let slow_direct_link src dst = if src = 0 && dst = 2 then 200.0 else 1.0
+
+(* Run the Example 1.1 schedule against a protocol; returns the cluster and
+   the three outcomes. T1 updates a at s1; T2 reads a and writes b at s2 after
+   T1's update reached it; T3 reads a and b at s3 before the slow message can
+   arrive. *)
+let run_example_1_1 (proto : Protocol.t) =
+  let module P = (val proto) in
+  let c = Cluster.create_with ~latency:slow_direct_link base_params example_1_1_placement in
+  let p = P.create c in
+  let outcomes = Array.make 3 Txn.Committed in
+  let submit_at time idx spec =
+    Cluster.client_started c;
+    Sim.at c.sim time (fun () ->
+        Sim.spawn c.sim (fun () ->
+            outcomes.(idx) <- P.submit p spec;
+            Cluster.client_finished c))
+  in
+  submit_at 0.0 0 { Txn.origin = 0; ops = [ Txn.Write 0 ] };
+  submit_at 50.0 1 { Txn.origin = 1; ops = [ Txn.Read 0; Txn.Write 1 ] };
+  submit_at 70.0 2 { Txn.origin = 2; ops = [ Txn.Read 0; Txn.Read 1 ] };
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 10_000.0;
+  Sim.run c.sim;
+  checkb "quiesced" true (Cluster.quiescent c);
+  Array.iter (fun o -> Alcotest.check outcome "all commit" Txn.Committed o) outcomes;
+  c
+
+let test_example_1_1_naive_violates () =
+  let c = run_example_1_1 (module Repdb.Naive) in
+  (match Serializability.check c.history with
+  | Serializability.Not_serializable _ -> ()
+  | Serializability.Serializable -> Alcotest.fail "naive propagation should not serialize");
+  (* Replicas still converge: per-item streams are FIFO from the primary. *)
+  checki "converged" 0 (List.length (Repdb.Convergence.check c))
+
+let test_example_1_1_dag_wt_serializes () =
+  let c = run_example_1_1 (module Repdb.Dag_wt) in
+  checkb "serializable" true (Serializability.check c.history = Serializability.Serializable);
+  checki "converged" 0 (List.length (Repdb.Convergence.check c))
+
+let test_example_1_1_dag_t_serializes () =
+  let c = run_example_1_1 (module Repdb.Dag_t) in
+  checkb "serializable" true (Serializability.check c.history = Serializability.Serializable);
+  checki "converged" 0 (List.length (Repdb.Convergence.check c))
+
+let test_example_1_1_backedge_serializes () =
+  (* The copy graph is a DAG under the chain order, so BackEdge degenerates
+     to DAG(WT) and must also serialize this schedule. *)
+  let c = run_example_1_1 (module Repdb.Backedge_proto) in
+  checkb "serializable" true (Serializability.check c.history = Serializability.Serializable)
+
+(* Example 4.1: two sites, mutual replication. *)
+let example_4_1_placement =
+  { Placement.n_sites = 2; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 1 ]; [ 0 ] |] }
+
+let test_example_4_1_backedge () =
+  let params = { base_params with Params.n_sites = 2 } in
+  let c = Cluster.create_with params example_4_1_placement in
+  let p = Repdb.Backedge_proto.create c in
+  let o1 = ref Txn.Committed and o2 = ref Txn.Committed in
+  Cluster.client_started c;
+  Cluster.client_started c;
+  Sim.spawn c.sim (fun () ->
+      o1 := Repdb.Backedge_proto.submit p { Txn.origin = 0; ops = [ Txn.Read 1; Txn.Write 0 ] };
+      Cluster.client_finished c);
+  Sim.spawn c.sim (fun () ->
+      o2 := Repdb.Backedge_proto.submit p { Txn.origin = 1; ops = [ Txn.Read 0; Txn.Write 1 ] };
+      Cluster.client_finished c);
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 10_000.0;
+  Sim.run c.sim;
+  checkb "quiesced" true (Cluster.quiescent c);
+  (* The global deadlock of Example 4.1: T1 (no backedge subtransaction)
+     commits; T2, waiting for its special message, is the victim. *)
+  Alcotest.check outcome "T1 commits" Txn.Committed !o1;
+  (match !o2 with
+  | Txn.Aborted _ -> ()
+  | Txn.Committed -> Alcotest.fail "T2 should be the deadlock victim");
+  checkb "serializable" true (Serializability.check c.history = Serializability.Serializable);
+  checki "converged" 0 (List.length (Repdb.Convergence.check c))
+
+let test_example_4_1_sequential_commits () =
+  (* Run the same two transactions one after the other: no deadlock, both
+     commit, including the one with a backedge subtransaction. *)
+  let params = { base_params with Params.n_sites = 2 } in
+  let c = Cluster.create_with params example_4_1_placement in
+  let p = Repdb.Backedge_proto.create c in
+  let o1 = ref Txn.Committed and o2 = ref Txn.Committed in
+  Cluster.client_started c;
+  Cluster.client_started c;
+  Sim.spawn c.sim (fun () ->
+      o1 := Repdb.Backedge_proto.submit p { Txn.origin = 0; ops = [ Txn.Read 1; Txn.Write 0 ] };
+      Cluster.client_finished c);
+  Sim.at c.sim 500.0 (fun () ->
+      Sim.spawn c.sim (fun () ->
+          o2 := Repdb.Backedge_proto.submit p { Txn.origin = 1; ops = [ Txn.Read 0; Txn.Write 1 ] };
+          Cluster.client_finished c));
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 10_000.0;
+  Sim.run c.sim;
+  Alcotest.check outcome "T1 commits" Txn.Committed !o1;
+  Alcotest.check outcome "T2 commits eagerly via its backedge" Txn.Committed !o2;
+  checkb "serializable" true (Serializability.check c.history = Serializability.Serializable);
+  checki "converged" 0 (List.length (Repdb.Convergence.check c));
+  checki "one backedge in the copy graph" 1 (List.length (Repdb.Backedge_proto.backedges p))
+
+let test_backedge_general_tree () =
+  (* The general variant must also serialize cyclic copy graphs, and must
+     report the same (or fewer) backedges than the chain. *)
+  for seed = 1 to 5 do
+    let params =
+      {
+        base_params with
+        Params.n_sites = 5;
+        n_items = 30;
+        replication_prob = 0.5;
+        backedge_prob = 0.6;
+        threads_per_site = 2;
+        txns_per_thread = 10;
+        seed;
+      }
+    in
+    let c = Cluster.create params in
+    let p = Repdb.Backedge_proto.create_general c in
+    let gen = Repdb_workload.Generator.create c.rng params c.placement in
+    for site = 0 to params.n_sites - 1 do
+      for thread = 0 to params.threads_per_site - 1 do
+        Cluster.client_started c;
+        let rng = Repdb_sim.Rng.create ((seed * 977) + (site * 13) + thread) in
+        Sim.spawn c.sim (fun () ->
+            for _ = 1 to params.txns_per_thread do
+              ignore
+                (Repdb.Backedge_proto.submit p (Repdb_workload.Generator.gen_with gen rng ~site))
+            done;
+            Cluster.client_finished c)
+      done
+    done;
+    Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+    Sim.run_until c.sim 1_000_000.0;
+    Sim.run c.sim;
+    checkb "quiesced" true (Cluster.quiescent c);
+    checkb "serializable" true (Serializability.check c.history = Serializability.Serializable);
+    checki "converged" 0 (List.length (Repdb.Convergence.check c));
+    checkb "tree satisfies comparability" true
+      (List.for_all
+         (fun (u, v) ->
+           let tr = Repdb.Backedge_proto.tree p in
+           Tree.is_ancestor tr u v || Tree.is_ancestor tr v u)
+         (Repdb_graph.Digraph.edges (Placement.copy_graph c.placement)))
+  done
+
+let test_backedge_with_order () =
+  (* Hub site 2 replicates item 0 to sites 0 and 1. Under the identity order
+     both copy-graph edges are backedges; ordering the hub first removes
+     them, so the same write commits without any eager work. *)
+  let placement =
+    { Placement.n_sites = 3; n_items = 1; primary = [| 2 |]; replicas = [| [ 0; 1 ] |] }
+  in
+  let params = { base_params with Params.n_items = 1 } in
+  let run order =
+    let c = Cluster.create_with params placement in
+    let p = Repdb.Backedge_proto.create_with_order c order in
+    let o = ref (Txn.Aborted Txn.Deadlock) in
+    Cluster.client_started c;
+    Sim.spawn c.sim (fun () ->
+        o := Repdb.Backedge_proto.submit p { Txn.origin = 2; ops = [ Txn.Write 0 ] };
+        Cluster.client_finished c);
+    Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+    Sim.run_until c.sim 100_000.0;
+    Sim.run c.sim;
+    checkb "converged" true (Repdb.Convergence.check c = []);
+    (!o, List.length (Repdb.Backedge_proto.backedges p))
+  in
+  let o_id, backedges_id = run [| 0; 1; 2 |] in
+  let o_fas, backedges_fas = run [| 2; 0; 1 |] in
+  Alcotest.check outcome "identity order commits (eagerly)" Txn.Committed o_id;
+  Alcotest.check outcome "fas order commits (lazily)" Txn.Committed o_fas;
+  checki "identity order: two backedges" 2 backedges_id;
+  checki "hub-first order: none" 0 backedges_fas;
+  Alcotest.check_raises "bad permutation"
+    (Invalid_argument "Backedge_proto: order is not a permutation") (fun () ->
+      let c = Cluster.create_with params placement in
+      ignore (Repdb.Backedge_proto.create_with_order c [| 0; 0; 2 |]))
+
+let test_backedge_rejects_incomparable_tree () =
+  let c = Cluster.create_with base_params example_1_1_placement in
+  (* Sites 1 and 2 as siblings under 0: the copy-graph edge 1 -> 2 connects
+     incomparable sites. *)
+  let bad = Tree.of_parents [| -1; 0; 0 |] in
+  Alcotest.check_raises "incomparable"
+    (Invalid_argument "Backedge_proto: tree leaves a copy-graph edge between incomparable sites")
+    (fun () -> ignore (Repdb.Backedge_proto.create_with_tree c bad))
+
+(* --- DAG(WT) specifics ---------------------------------------------------- *)
+
+let test_dag_wt_rejects_cycles () =
+  let params = { base_params with Params.n_sites = 2 } in
+  let c = Cluster.create_with params example_4_1_placement in
+  Alcotest.check_raises "cyclic copy graph"
+    (Invalid_argument "Dag_wt: copy graph has a cycle (use the BackEdge protocol)") (fun () ->
+      ignore (Repdb.Dag_wt.create c))
+
+let test_dag_wt_rejects_bad_tree () =
+  let c = Cluster.create_with base_params example_1_1_placement in
+  (* Tree rooted at s3 with s1, s2 as children violates the property. *)
+  let bad = Tree.of_parents [| 2; 2; -1 |] in
+  Alcotest.check_raises "tree property"
+    (Invalid_argument "Dag_wt: tree lacks the ancestor property") (fun () ->
+      ignore (Repdb.Dag_wt.create_with_tree c bad))
+
+let test_dag_wt_routes_through_tree () =
+  (* One committed update with replicas at both descendants: the message
+     travels 0 -> 1 -> 2, i.e. exactly two chain messages. *)
+  let c = Cluster.create_with base_params example_1_1_placement in
+  let p = Repdb.Dag_wt.create c in
+  checkb "tree is the chain" true (Tree.parent (Repdb.Dag_wt.tree p) 2 = 1);
+  Cluster.client_started c;
+  Sim.spawn c.sim (fun () ->
+      ignore (Repdb.Dag_wt.submit p { Txn.origin = 0; ops = [ Txn.Write 0 ] });
+      Cluster.client_finished c);
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 10_000.0;
+  Sim.run c.sim;
+  checki "two hops" 2 c.messages
+
+let test_dag_t_sends_directly () =
+  (* Same update under DAG(T): one direct message per relevant child, but
+     dummy traffic may add more — count only until quiescence of the real
+     work by checking the propagation counter instead. *)
+  let c = Cluster.create_with base_params example_1_1_placement in
+  let p = Repdb.Dag_t.create c in
+  Cluster.client_started c;
+  Sim.spawn c.sim (fun () ->
+      ignore (Repdb.Dag_t.submit p { Txn.origin = 0; ops = [ Txn.Write 0 ] });
+      Cluster.client_finished c);
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 100_000.0;
+  Sim.run c.sim;
+  checkb "quiesced" true (Cluster.quiescent c);
+  (* Both replicas of item 0 were updated. *)
+  checki "converged" 0 (List.length (Repdb.Convergence.check c));
+  let ts = Repdb.Dag_t.site_timestamp p 2 in
+  checkb "site timestamp well formed" true (Repdb.Timestamp.well_formed ts)
+
+let test_dag_t_rejects_cycles () =
+  let params = { base_params with Params.n_sites = 2 } in
+  let c = Cluster.create_with params example_4_1_placement in
+  Alcotest.check_raises "cyclic copy graph"
+    (Invalid_argument "Dag_t: copy graph has a cycle (use the BackEdge protocol)") (fun () ->
+      ignore (Repdb.Dag_t.create c))
+
+let test_dag_t_progress_with_incomparable_parents () =
+  (* Section 3.3's progress scenario: s3 has two incomparable parents s1 and
+     s2. A transaction committed at s1 can only execute at s3 once a
+     bigger-epoch message (here: a dummy subtransaction) shows up on the
+     other queue — without epochs it would wait forever. *)
+  let placement =
+    { Placement.n_sites = 3; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 2 ]; [ 2 ] |] }
+  in
+  let c = Cluster.create_with base_params placement in
+  let p = Repdb.Dag_t.create c in
+  let applied_at = ref infinity in
+  Cluster.client_started c;
+  Sim.spawn c.sim (fun () ->
+      ignore (Repdb.Dag_t.submit p { Txn.origin = 0; ops = [ Txn.Write 0 ] });
+      Cluster.client_finished c);
+  (* Poll the replica at s3 (site 2). *)
+  let rec poll () =
+    if (Repdb_store.Store.read c.stores.(2) 0).Repdb_store.Value.version > 0 then
+      applied_at := Sim.now c.sim
+    else begin
+      Sim.delay 5.0;
+      poll ()
+    end
+  in
+  Sim.spawn c.sim poll;
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 100_000.0;
+  Sim.run c.sim;
+  checkb "the update was applied at s3" true (!applied_at < infinity);
+  (* It required a dummy from the silent parent, so it lands after the idle
+     threshold but far before the horizon. *)
+  checkb "after the dummy threshold" true (!applied_at >= base_params.Params.dummy_idle);
+  checkb "but promptly" true (!applied_at < 10.0 *. base_params.Params.dummy_idle)
+
+(* Random DAG placements with random per-pair latencies: the DAG protocols
+   must serialize and converge regardless of message timing. *)
+let prop_dag_protocols_random_latency =
+  QCheck2.Test.make ~name:"dag protocols serialize under random latencies" ~count:12
+    QCheck2.Gen.(pair int (int_range 0 1))
+    (fun (seed, which) ->
+      let params =
+        {
+          Params.default with
+          n_sites = 4;
+          n_items = 16;
+          replication_prob = 0.5;
+          backedge_prob = 0.0;
+          threads_per_site = 2;
+          txns_per_thread = 8;
+          record_history = true;
+          seed;
+        }
+      in
+      let rng = Repdb_sim.Rng.create (seed * 7 + 1) in
+      let pl = Placement.generate (Repdb_sim.Rng.create seed) params in
+      let lat = Array.init 4 (fun _ -> Array.init 4 (fun _ -> Repdb_sim.Rng.float_range rng 0.1 20.0)) in
+      let c = Cluster.create_with ~latency:(fun s d -> lat.(s).(d)) params pl in
+      let proto : Protocol.t =
+        if which = 0 then (module Repdb.Dag_wt) else (module Repdb.Dag_t)
+      in
+      let r = Driver.run_on c proto in
+      r.serializability = Some Serializability.Serializable && r.divergent = Some [])
+
+(* --- PSL specifics --------------------------------------------------------- *)
+
+let test_psl_remote_read () =
+  let c = Cluster.create_with base_params example_1_1_placement in
+  let p = Repdb.Psl.create c in
+  let o = ref Txn.Committed in
+  Cluster.client_started c;
+  Sim.spawn c.sim (fun () ->
+      (* Site 2 reads item 0, whose primary is site 0: a remote read. *)
+      o := Repdb.Psl.submit p { Txn.origin = 2; ops = [ Txn.Read 0 ] };
+      Cluster.client_finished c);
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 10_000.0;
+  Sim.run c.sim;
+  Alcotest.check outcome "committed" Txn.Committed !o;
+  checki "one remote read" 1 (Repdb.Psl.remote_reads p);
+  (* Request + reply + release. *)
+  checki "three messages" 3 c.messages
+
+let test_psl_remote_denied () =
+  let c = Cluster.create_with base_params example_1_1_placement in
+  let p = Repdb.Psl.create c in
+  (* A foreign owner X-locks the primary copy of item 0 and never lets go. *)
+  Sim.spawn c.sim (fun () ->
+      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(0) ~owner:999_999 0 Repdb_lock.Lock_mgr.Exclusive));
+  let o = ref Txn.Committed in
+  Cluster.client_started c;
+  Sim.at c.sim 1.0 (fun () ->
+      Sim.spawn c.sim (fun () ->
+          o := Repdb.Psl.submit p { Txn.origin = 2; ops = [ Txn.Read 0 ] };
+          Cluster.client_finished c));
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 10_000.0;
+  Sim.run c.sim;
+  Alcotest.check outcome "denied" (Txn.Aborted Txn.Remote_denied) !o
+
+let test_psl_local_reads_stay_local () =
+  let c = Cluster.create_with base_params example_1_1_placement in
+  let p = Repdb.Psl.create c in
+  Cluster.client_started c;
+  Sim.spawn c.sim (fun () ->
+      ignore (Repdb.Psl.submit p { Txn.origin = 0; ops = [ Txn.Read 0; Txn.Write 0 ] });
+      Cluster.client_finished c);
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 10_000.0;
+  Sim.run c.sim;
+  checki "no remote reads" 0 (Repdb.Psl.remote_reads p);
+  checki "no messages" 0 c.messages
+
+(* --- Eager specifics -------------------------------------------------------- *)
+
+let test_eager_updates_replicas_in_txn () =
+  let c = Cluster.create_with base_params example_1_1_placement in
+  let p = Repdb.Eager.create c in
+  let o = ref Txn.Committed in
+  Cluster.client_started c;
+  Sim.spawn c.sim (fun () ->
+      o := Repdb.Eager.submit p { Txn.origin = 0; ops = [ Txn.Write 0 ] };
+      Cluster.client_finished c);
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 10_000.0;
+  Sim.run c.sim;
+  Alcotest.check outcome "committed" Txn.Committed !o;
+  checki "two remote write locks" 2 (Repdb.Eager.remote_writes p);
+  checki "converged" 0 (List.length (Repdb.Convergence.check c));
+  checkb "serializable" true (Serializability.check c.history = Serializability.Serializable)
+
+(* --- Lazy-master and centralized certification baselines ------------------- *)
+
+let test_lazy_master_basics () =
+  let c = Cluster.create_with base_params example_1_1_placement in
+  let p = Repdb.Lazy_master.create c in
+  let o = ref Txn.Committed in
+  Cluster.client_started c;
+  Sim.spawn c.sim (fun () ->
+      (* A write with two replicas, then a replica read from site 2. *)
+      ignore (Repdb.Lazy_master.submit p { Txn.origin = 0; ops = [ Txn.Write 0 ] });
+      o := Repdb.Lazy_master.submit p { Txn.origin = 0; ops = [ Txn.Read 0 ] };
+      Cluster.client_finished c);
+  Cluster.client_started c;
+  Sim.at c.sim 200.0 (fun () ->
+      Sim.spawn c.sim (fun () ->
+          ignore (Repdb.Lazy_master.submit p { Txn.origin = 2; ops = [ Txn.Read 0 ] });
+          Cluster.client_finished c));
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 100_000.0;
+  Sim.run c.sim;
+  Alcotest.check outcome "committed" Txn.Committed !o;
+  checki "remote read counted" 1 (Repdb.Lazy_master.remote_reads p);
+  checki "replicas physically updated" 0 (List.length (Repdb.Convergence.check c));
+  (* The replica at site 2 was fresh when read under the primary's lock. *)
+  checki "replica version" 1 (Repdb_store.Store.read c.stores.(2) 0).Repdb_store.Value.version;
+  checkb "serializable" true (Serializability.check c.history = Serializability.Serializable)
+
+let test_central_certification_rejects_stale_read () =
+  (* T at site 2 reads a stale replica of item 0 while the update is stuck on
+     a slow link; certification must reject it. *)
+  let slow src dst = if src = 0 && dst = 2 then 500.0 else 1.0 in
+  let c = Cluster.create_with ~latency:slow base_params example_1_1_placement in
+  let p = Repdb.Central.create c in
+  let o = ref Txn.Committed in
+  Cluster.client_started c;
+  Sim.spawn c.sim (fun () ->
+      ignore (Repdb.Central.submit p { Txn.origin = 0; ops = [ Txn.Write 0 ] });
+      Cluster.client_finished c);
+  Cluster.client_started c;
+  Sim.at c.sim 50.0 (fun () ->
+      Sim.spawn c.sim (fun () ->
+          o := Repdb.Central.submit p { Txn.origin = 2; ops = [ Txn.Read 0 ] };
+          Cluster.client_finished c));
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 100_000.0;
+  Sim.run c.sim;
+  Alcotest.check outcome "stale read rejected" (Txn.Aborted Txn.Remote_denied) !o;
+  checki "one rejection" 1 (Repdb.Central.rejected p);
+  checki "one certification" 1 (Repdb.Central.certified p);
+  checkb "serializable" true (Serializability.check c.history = Serializability.Serializable);
+  checki "converged" 0 (List.length (Repdb.Convergence.check c))
+
+let test_central_accepts_fresh_read () =
+  let c = Cluster.create_with base_params example_1_1_placement in
+  let p = Repdb.Central.create c in
+  let o = ref (Txn.Aborted Txn.Deadlock) in
+  Cluster.client_started c;
+  Sim.spawn c.sim (fun () ->
+      ignore (Repdb.Central.submit p { Txn.origin = 0; ops = [ Txn.Write 0 ] });
+      Cluster.client_finished c);
+  Cluster.client_started c;
+  Sim.at c.sim 500.0 (fun () ->
+      Sim.spawn c.sim (fun () ->
+          o := Repdb.Central.submit p { Txn.origin = 2; ops = [ Txn.Read 0 ] };
+          Cluster.client_finished c));
+  Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
+  Sim.run_until c.sim 100_000.0;
+  Sim.run c.sim;
+  Alcotest.check outcome "fresh read accepted" Txn.Committed !o;
+  checki "two certifications" 2 (Repdb.Central.certified p)
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "example 1.1",
+        [
+          Alcotest.test_case "naive violates" `Quick test_example_1_1_naive_violates;
+          Alcotest.test_case "dag-wt serializes" `Quick test_example_1_1_dag_wt_serializes;
+          Alcotest.test_case "dag-t serializes" `Quick test_example_1_1_dag_t_serializes;
+          Alcotest.test_case "backedge serializes" `Quick test_example_1_1_backedge_serializes;
+        ] );
+      ( "example 4.1",
+        [
+          Alcotest.test_case "deadlock victim" `Quick test_example_4_1_backedge;
+          Alcotest.test_case "sequential commits" `Quick test_example_4_1_sequential_commits;
+        ] );
+      ( "backedge general",
+        [
+          Alcotest.test_case "general tree serializes" `Quick test_backedge_general_tree;
+          Alcotest.test_case "custom site order" `Quick test_backedge_with_order;
+          Alcotest.test_case "rejects incomparable tree" `Quick test_backedge_rejects_incomparable_tree;
+        ] );
+      ( "dag-wt",
+        [
+          Alcotest.test_case "rejects cycles" `Quick test_dag_wt_rejects_cycles;
+          Alcotest.test_case "rejects bad tree" `Quick test_dag_wt_rejects_bad_tree;
+          Alcotest.test_case "routes through tree" `Quick test_dag_wt_routes_through_tree;
+        ] );
+      ( "dag-t",
+        [
+          Alcotest.test_case "direct + timestamps" `Quick test_dag_t_sends_directly;
+          Alcotest.test_case "rejects cycles" `Quick test_dag_t_rejects_cycles;
+          Alcotest.test_case "progress via epochs/dummies" `Quick
+            test_dag_t_progress_with_incomparable_parents;
+        ] );
+      ( "properties", [ QCheck_alcotest.to_alcotest prop_dag_protocols_random_latency ] );
+      ( "psl",
+        [
+          Alcotest.test_case "remote read" `Quick test_psl_remote_read;
+          Alcotest.test_case "remote denied" `Quick test_psl_remote_denied;
+          Alcotest.test_case "local stays local" `Quick test_psl_local_reads_stay_local;
+        ] );
+      ( "eager",
+        [ Alcotest.test_case "updates replicas in txn" `Quick test_eager_updates_replicas_in_txn ] );
+      ( "lazy-master",
+        [ Alcotest.test_case "basics" `Quick test_lazy_master_basics ] );
+      ( "central",
+        [
+          Alcotest.test_case "rejects stale read" `Quick test_central_certification_rejects_stale_read;
+          Alcotest.test_case "accepts fresh read" `Quick test_central_accepts_fresh_read;
+        ] );
+    ]

@@ -1,0 +1,422 @@
+(* Tests for the discrete-event kernel: heap, RNG, scheduler, condition
+   variables, mailboxes and resources. *)
+
+module Sim = Repdb_sim.Sim
+module Heap = Repdb_sim.Heap
+module Rng = Repdb_sim.Rng
+module Condvar = Repdb_sim.Condvar
+module Mailbox = Repdb_sim.Mailbox
+module Resource = Repdb_sim.Resource
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* --- heap ---------------------------------------------------------------- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iteri (fun seq t -> Heap.push h ~time:t ~seq (int_of_float t)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let out = List.init 5 (fun _ -> let _, _, v = Heap.pop_min h in v) in
+  check Alcotest.(list int) "sorted" [ 1; 2; 3; 4; 5 ] out;
+  checkb "empty" true (Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for seq = 0 to 9 do
+    Heap.push h ~time:1.0 ~seq seq
+  done;
+  let out = List.init 10 (fun _ -> let _, _, v = Heap.pop_min h in v) in
+  check Alcotest.(list int) "ties resolved FIFO" (List.init 10 Fun.id) out
+
+let test_heap_large () =
+  let h = Heap.create () in
+  let rng = Rng.create 1 in
+  let times = List.init 1000 (fun i -> (Rng.float rng, i)) in
+  List.iter (fun (t, seq) -> Heap.push h ~time:t ~seq seq) times;
+  checki "size" 1000 (Heap.size h);
+  let rec drain last n =
+    if Heap.is_empty h then n
+    else begin
+      let t, _, _ = Heap.pop_min h in
+      checkb "non-decreasing" true (t >= last);
+      drain t (n + 1)
+    end
+  in
+  checki "drained all" 1000 (drain neg_infinity 0);
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Heap.pop_min h))
+
+let test_heap_min_time () =
+  let h = Heap.create () in
+  checkb "none" true (Heap.min_time h = None);
+  Heap.push h ~time:7.0 ~seq:0 ();
+  checkb "some" true (Heap.min_time h = Some 7.0)
+
+(* --- rng ----------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 99 and b = Rng.create 99 in
+  for _ = 1 to 100 do
+    checkb "same stream" true (Rng.next_int64 a = Rng.next_int64 b)
+  done
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 13 in
+    checkb "in range" true (v >= 0 && v < 13)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    checkb "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_bool_extremes () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 100 do
+    checkb "p=1" true (Rng.bool rng 1.0);
+    checkb "p=0" false (Rng.bool rng 0.0)
+  done
+
+let test_rng_pick_shuffle () =
+  let rng = Rng.create 5 in
+  let arr = Array.init 10 Fun.id in
+  for _ = 1 to 100 do
+    let v = Rng.pick rng arr in
+    checkb "member" true (v >= 0 && v < 10)
+  done;
+  let copy = Array.copy arr in
+  Rng.shuffle rng copy;
+  Array.sort compare copy;
+  check Alcotest.(array int) "permutation" arr copy;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick rng [||]))
+
+let test_rng_split () =
+  let a = Rng.create 11 in
+  let b = Rng.split a in
+  let va = Rng.next_int64 a and vb = Rng.next_int64 b in
+  checkb "independent streams differ" true (va <> vb)
+
+(* --- scheduler ----------------------------------------------------------- *)
+
+let test_event_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.at sim 3.0 (fun () -> log := 3 :: !log);
+  Sim.at sim 1.0 (fun () -> log := 1 :: !log);
+  Sim.at sim 2.0 (fun () -> log := 2 :: !log);
+  Sim.run sim;
+  check Alcotest.(list int) "time order" [ 1; 2; 3 ] (List.rev !log);
+  check Alcotest.(float 1e-9) "clock at last event" 3.0 (Sim.now sim)
+
+let test_delay_sequencing () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn sim (fun () ->
+      log := (Sim.now sim, "start") :: !log;
+      Sim.delay 10.0;
+      log := (Sim.now sim, "mid") :: !log;
+      Sim.delay 5.0;
+      log := (Sim.now sim, "end") :: !log);
+  Sim.run sim;
+  check
+    Alcotest.(list (pair (float 1e-9) string))
+    "delays advance the clock"
+    [ (0.0, "start"); (10.0, "mid"); (15.0, "end") ]
+    (List.rev !log)
+
+let test_negative_delay_rejected () =
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () -> Sim.delay (-1.0));
+  (match Sim.run sim with
+  | exception Sim.Stuck (Invalid_argument _) -> ()
+  | () -> Alcotest.fail "expected Stuck");
+  Alcotest.check_raises "at in the past" (Invalid_argument "Sim.at: time is in the past")
+    (fun () ->
+      let sim = Sim.create () in
+      Sim.at sim 5.0 ignore;
+      Sim.run sim;
+      Sim.at sim 1.0 ignore)
+
+let test_run_until () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    Sim.delay 10.0;
+    tick ()
+  in
+  Sim.spawn sim tick;
+  Sim.run_until sim 55.0;
+  checki "ticks up to horizon" 6 !count;
+  (* t=0,10,20,30,40,50 *)
+  check Alcotest.(float 1e-9) "clock at horizon" 55.0 (Sim.now sim)
+
+let test_nested_spawn () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.spawn sim (fun () ->
+      Sim.delay 1.0;
+      Sim.spawn sim (fun () ->
+          Sim.delay 2.0;
+          log := "inner" :: !log);
+      log := "outer" :: !log);
+  Sim.run sim;
+  check Alcotest.(list string) "inner after outer" [ "outer"; "inner" ] (List.rev !log)
+
+let test_suspend_resume_once () =
+  let sim = Sim.create () in
+  let resume_fn = ref ignore in
+  let hits = ref 0 in
+  Sim.spawn sim (fun () ->
+      Sim.suspend (fun resume -> resume_fn := resume);
+      incr hits);
+  Sim.run sim;
+  checki "parked" 0 !hits;
+  !resume_fn ();
+  !resume_fn ();
+  (* second resume must be ignored *)
+  Sim.run sim;
+  checki "resumed exactly once" 1 !hits
+
+let test_suspend_value () =
+  let sim = Sim.create () in
+  let got = ref 0 in
+  Sim.spawn sim (fun () ->
+      let v = Sim.suspend (fun resume -> Sim.after sim 3.0 (fun () -> resume 42)) in
+      got := v);
+  Sim.run sim;
+  checki "value delivered" 42 !got
+
+let test_events_executed () =
+  let sim = Sim.create () in
+  for i = 1 to 5 do
+    Sim.at sim (float_of_int i) ignore
+  done;
+  Sim.run sim;
+  checki "counted" 5 (Sim.events_executed sim)
+
+(* --- condvar ------------------------------------------------------------- *)
+
+let test_condvar_signal_fifo () =
+  let sim = Sim.create () in
+  let cv = Condvar.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        Condvar.await cv;
+        log := i :: !log)
+  done;
+  Sim.after sim 1.0 (fun () -> Condvar.signal cv);
+  Sim.after sim 2.0 (fun () -> Condvar.signal cv);
+  Sim.after sim 3.0 (fun () -> Condvar.signal cv);
+  Sim.run sim;
+  check Alcotest.(list int) "FIFO wakeups" [ 1; 2; 3 ] (List.rev !log)
+
+let test_condvar_broadcast () =
+  let sim = Sim.create () in
+  let cv = Condvar.create () in
+  let woken = ref 0 in
+  for _ = 1 to 5 do
+    Sim.spawn sim (fun () ->
+        Condvar.await cv;
+        incr woken)
+  done;
+  Sim.after sim 1.0 (fun () ->
+      Alcotest.(check int) "waiters" 5 (Condvar.waiters cv);
+      Condvar.broadcast cv);
+  Sim.run sim;
+  checki "all woken" 5 !woken
+
+let test_condvar_timeout () =
+  let sim = Sim.create () in
+  let cv = Condvar.create () in
+  let results = ref [] in
+  Sim.spawn sim (fun () ->
+      let r = Condvar.await_timeout sim cv 10.0 in
+      results := (Sim.now sim, r) :: !results);
+  Sim.spawn sim (fun () ->
+      let r = Condvar.await_timeout sim cv 50.0 in
+      results := (Sim.now sim, r) :: !results);
+  Sim.after sim 20.0 (fun () -> Condvar.signal cv);
+  Sim.run sim;
+  check
+    Alcotest.(list (pair (float 1e-9) bool))
+    "first timed out, second signalled"
+    [ (10.0, false); (20.0, true) ]
+    (List.rev !results)
+
+(* --- mailbox ------------------------------------------------------------- *)
+
+let test_mailbox_fifo () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv mb :: !got
+      done);
+  Sim.after sim 1.0 (fun () ->
+      Mailbox.send mb "a";
+      Mailbox.send mb "b";
+      Mailbox.send mb "c");
+  Sim.run sim;
+  check Alcotest.(list string) "in order" [ "a"; "b"; "c" ] (List.rev !got)
+
+let test_mailbox_buffering () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  Mailbox.send mb 1;
+  Mailbox.send mb 2;
+  checki "length" 2 (Mailbox.length mb);
+  checkb "peek" true (Mailbox.peek mb = Some 1);
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      got := Mailbox.recv mb :: !got;
+      got := Mailbox.recv mb :: !got);
+  Sim.run sim;
+  check Alcotest.(list int) "buffered order" [ 1; 2 ] (List.rev !got);
+  checkb "empty" true (Mailbox.is_empty mb)
+
+let test_mailbox_recv_timeout () =
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  let r1 = ref (Some 0) and r2 = ref None in
+  Sim.spawn sim (fun () -> r1 := Mailbox.recv_timeout sim mb 5.0);
+  Sim.run sim;
+  checkb "timed out" true (!r1 = None);
+  Sim.spawn sim (fun () -> r2 := Mailbox.recv_timeout sim mb 5.0);
+  Sim.after sim 2.0 (fun () -> Mailbox.send mb 9);
+  Sim.run sim;
+  checkb "delivered" true (!r2 = Some 9)
+
+let test_mailbox_timeout_does_not_lose_messages () =
+  (* A message sent after a receiver timed out must stay in the queue. *)
+  let sim = Sim.create () in
+  let mb = Mailbox.create () in
+  Sim.spawn sim (fun () -> ignore (Mailbox.recv_timeout sim mb 5.0));
+  Sim.after sim 10.0 (fun () -> Mailbox.send mb 1);
+  Sim.run sim;
+  checki "message kept" 1 (Mailbox.length mb)
+
+(* --- resource ------------------------------------------------------------ *)
+
+let test_resource_serialises () =
+  let sim = Sim.create () in
+  let r = Resource.create ~capacity:1 () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Sim.spawn sim (fun () ->
+        Resource.use r 10.0;
+        log := (i, Sim.now sim) :: !log)
+  done;
+  Sim.run sim;
+  check
+    Alcotest.(list (pair int (float 1e-9)))
+    "FIFO service" [ (1, 10.0); (2, 20.0); (3, 30.0) ] (List.rev !log)
+
+let test_resource_capacity () =
+  let sim = Sim.create () in
+  let r = Resource.create ~capacity:2 () in
+  let log = ref [] in
+  for i = 1 to 4 do
+    Sim.spawn sim (fun () ->
+        Resource.use r 10.0;
+        log := (i, Sim.now sim) :: !log)
+  done;
+  Sim.run sim;
+  check
+    Alcotest.(list (pair int (float 1e-9)))
+    "two at a time"
+    [ (1, 10.0); (2, 10.0); (3, 20.0); (4, 20.0) ]
+    (List.rev !log)
+
+let test_resource_errors () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Resource.create: capacity must be >= 1")
+    (fun () -> ignore (Resource.create ~capacity:0 ()));
+  let r = Resource.create ~capacity:1 () in
+  Alcotest.check_raises "release unheld" (Invalid_argument "Resource.release: not held")
+    (fun () -> Resource.release r)
+
+(* --- qcheck properties ---------------------------------------------------- *)
+
+let prop_rng_int_in_range =
+  QCheck2.Test.make ~name:"rng int stays in range" ~count:500
+    QCheck2.Gen.(pair int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 200) (float_bound_inclusive 1000.0))
+    (fun times ->
+      let h = Heap.create () in
+      List.iteri (fun seq t -> Heap.push h ~time:t ~seq t) times;
+      let rec drain last =
+        if Heap.is_empty h then true
+        else
+          let t, _, _ = Heap.pop_min h in
+          t >= last && drain t
+      in
+      drain neg_infinity)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "large" `Quick test_heap_large;
+          Alcotest.test_case "min_time" `Quick test_heap_min_time;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "bool extremes" `Quick test_rng_bool_extremes;
+          Alcotest.test_case "pick/shuffle" `Quick test_rng_pick_shuffle;
+          Alcotest.test_case "split" `Quick test_rng_split;
+          QCheck_alcotest.to_alcotest prop_rng_int_in_range;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "event order" `Quick test_event_order;
+          Alcotest.test_case "delay sequencing" `Quick test_delay_sequencing;
+          Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
+          Alcotest.test_case "run_until" `Quick test_run_until;
+          Alcotest.test_case "nested spawn" `Quick test_nested_spawn;
+          Alcotest.test_case "suspend resumes once" `Quick test_suspend_resume_once;
+          Alcotest.test_case "suspend value" `Quick test_suspend_value;
+          Alcotest.test_case "events executed" `Quick test_events_executed;
+        ] );
+      ( "condvar",
+        [
+          Alcotest.test_case "signal FIFO" `Quick test_condvar_signal_fifo;
+          Alcotest.test_case "broadcast" `Quick test_condvar_broadcast;
+          Alcotest.test_case "timeout" `Quick test_condvar_timeout;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "buffering" `Quick test_mailbox_buffering;
+          Alcotest.test_case "recv timeout" `Quick test_mailbox_recv_timeout;
+          Alcotest.test_case "timeout keeps messages" `Quick test_mailbox_timeout_does_not_lose_messages;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "serialises" `Quick test_resource_serialises;
+          Alcotest.test_case "capacity" `Quick test_resource_capacity;
+          Alcotest.test_case "errors" `Quick test_resource_errors;
+        ] );
+    ]

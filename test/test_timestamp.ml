@@ -1,0 +1,119 @@
+(* Tests for DAG(T) timestamps: the paper's Definition 3.3 examples, the
+   total-order laws, and the construction operations. *)
+
+module Timestamp = Repdb.Timestamp
+
+let checkb = Alcotest.(check bool)
+let lt a b = Timestamp.compare a b < 0
+
+let ts ?(epoch = 0) tuples =
+  { Timestamp.epoch; tuples = List.map (fun (site, lts) -> { Timestamp.site; lts }) tuples }
+
+(* The published examples, with sites s1 < s2 < s3 as ranks 1 < 2 < 3. *)
+let test_definition_examples () =
+  checkb "(s1,1) < (s1,1)(s2,1)" true (lt (ts [ (1, 1) ]) (ts [ (1, 1); (2, 1) ]));
+  checkb "(s1,1)(s3,1) < (s1,1)(s2,1)" true (lt (ts [ (1, 1); (3, 1) ]) (ts [ (1, 1); (2, 1) ]));
+  checkb "(s1,1)(s2,1) < (s1,1)(s2,2)" true (lt (ts [ (1, 1); (2, 1) ]) (ts [ (1, 1); (2, 2) ]))
+
+let test_first_difference_rules () =
+  (* Reverse order on sites at the first difference... *)
+  checkb "larger site is smaller" true (lt (ts [ (5, 9) ]) (ts [ (2, 0) ]));
+  (* ...but forward order on counters. *)
+  checkb "smaller counter is smaller" true (lt (ts [ (2, 1) ]) (ts [ (2, 3) ]));
+  checkb "equal" true (Timestamp.equal (ts [ (2, 1); (4, 0) ]) (ts [ (2, 1); (4, 0) ]))
+
+let test_epoch_dominates () =
+  checkb "bigger epoch wins" true (lt (ts ~epoch:0 [ (1, 99) ]) (ts ~epoch:1 [ (9, 0) ]));
+  checkb "same epoch falls through" true (lt (ts ~epoch:2 [ (1, 1) ]) (ts ~epoch:2 [ (1, 2) ]))
+
+let test_initial_and_bump () =
+  let t0 = Timestamp.initial 3 in
+  checkb "well formed" true (Timestamp.well_formed t0);
+  checkb "initial" true (Timestamp.equal t0 (ts [ (3, 0) ]));
+  let t1 = Timestamp.bump_own t0 3 in
+  checkb "bumped" true (Timestamp.equal t1 (ts [ (3, 1) ]));
+  checkb "monotone" true (lt t0 t1);
+  Alcotest.check_raises "bump wrong site"
+    (Invalid_argument "Timestamp.bump_own: site tuple is not last") (fun () ->
+      ignore (Timestamp.bump_own (ts [ (1, 0); (2, 0) ]) 1))
+
+let test_concat () =
+  let t = Timestamp.concat (ts ~epoch:4 [ (1, 2) ]) ~site:3 ~lts:7 in
+  checkb "appended" true (Timestamp.equal t (ts ~epoch:4 [ (1, 2); (3, 7) ]));
+  checkb "well formed" true (Timestamp.well_formed t);
+  Alcotest.check_raises "order violation" (Invalid_argument "Timestamp.concat: site order violated")
+    (fun () -> ignore (Timestamp.concat (ts [ (3, 0) ]) ~site:2 ~lts:0))
+
+let test_with_epoch () =
+  let t = Timestamp.with_epoch (ts [ (1, 1) ]) 9 in
+  Alcotest.(check int) "epoch set" 9 t.Timestamp.epoch
+
+(* Site-timestamp evolution: committing a secondary with a larger timestamp
+   always advances the site timestamp (the monotonicity DAG(T) relies on). *)
+let test_site_evolution_monotone () =
+  let site = 5 in
+  let site_ts = ref (Timestamp.initial site) in
+  let apply_secondary txn_ts =
+    let next = Timestamp.concat txn_ts ~site ~lts:1 in
+    checkb "site ts grows" true (lt !site_ts next);
+    site_ts := next
+  in
+  site_ts := Timestamp.bump_own !site_ts site;
+  apply_secondary (ts [ (1, 1) ]);
+  apply_secondary (ts [ (1, 1); (2, 1) ]);
+  apply_secondary (ts [ (1, 2) ])
+
+let gen_timestamp =
+  QCheck2.Gen.(
+    let gen_tuples =
+      bind (int_range 1 4) (fun len ->
+          (* Strictly increasing sites. *)
+          map
+            (fun lts_list ->
+              List.mapi (fun i lts -> (2 * i, lts)) (List.filteri (fun i _ -> i < len) lts_list))
+            (list_size (return 4) (int_range 0 3)))
+    in
+    map2 (fun epoch tuples -> ts ~epoch tuples) (int_range 0 2) gen_tuples)
+
+let prop_total_order =
+  QCheck2.Test.make ~name:"compare is a total order (antisym + total)" ~count:1000
+    QCheck2.Gen.(pair gen_timestamp gen_timestamp)
+    (fun (a, b) ->
+      let c1 = Timestamp.compare a b and c2 = Timestamp.compare b a in
+      (c1 = 0 && c2 = 0 && Timestamp.equal a b) || (c1 < 0 && c2 > 0) || (c1 > 0 && c2 < 0))
+
+let prop_transitive =
+  QCheck2.Test.make ~name:"compare is transitive" ~count:1000
+    QCheck2.Gen.(triple gen_timestamp gen_timestamp gen_timestamp)
+    (fun (a, b, c) ->
+      let sorted = List.sort Timestamp.compare [ a; b; c ] in
+      match sorted with
+      | [ x; y; z ] -> Timestamp.compare x y <= 0 && Timestamp.compare y z <= 0 && Timestamp.compare x z <= 0
+      | _ -> false)
+
+let prop_concat_grows =
+  QCheck2.Test.make ~name:"concat yields a larger timestamp" ~count:500 gen_timestamp
+    (fun t ->
+      if not (Timestamp.well_formed t) then QCheck2.assume_fail ()
+      else
+        let last_site = List.fold_left (fun _ tup -> tup.Timestamp.site) 0 t.Timestamp.tuples in
+        let t' = Timestamp.concat t ~site:(last_site + 1) ~lts:0 in
+        lt t t' && Timestamp.well_formed t')
+
+let () =
+  Alcotest.run "timestamp"
+    [
+      ( "timestamp",
+        [
+          Alcotest.test_case "definition 3.3 examples" `Quick test_definition_examples;
+          Alcotest.test_case "first difference rules" `Quick test_first_difference_rules;
+          Alcotest.test_case "epoch dominates" `Quick test_epoch_dominates;
+          Alcotest.test_case "initial and bump" `Quick test_initial_and_bump;
+          Alcotest.test_case "concat" `Quick test_concat;
+          Alcotest.test_case "with_epoch" `Quick test_with_epoch;
+          Alcotest.test_case "site evolution monotone" `Quick test_site_evolution_monotone;
+          QCheck_alcotest.to_alcotest prop_total_order;
+          QCheck_alcotest.to_alcotest prop_transitive;
+          QCheck_alcotest.to_alcotest prop_concat_grows;
+        ] );
+    ]

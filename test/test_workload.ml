@@ -1,0 +1,215 @@
+(* Tests for parameters, data distribution and transaction generation. *)
+
+module Rng = Repdb_sim.Rng
+module Digraph = Repdb_graph.Digraph
+module Txn = Repdb_txn.Txn
+module Params = Repdb_workload.Params
+module Placement = Repdb_workload.Placement
+module Generator = Repdb_workload.Generator
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let d = Params.default
+
+let test_validate () =
+  Params.validate d;
+  let bad name p = Alcotest.check_raises name (Invalid_argument "") (fun () -> Params.validate p) in
+  let check_invalid name p =
+    match Params.validate p with
+    | () -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  ignore bad;
+  check_invalid "negative sites" { d with n_sites = 0 };
+  check_invalid "bad prob" { d with replication_prob = 1.5 };
+  check_invalid "bad read prob" { d with read_op_prob = -0.1 };
+  check_invalid "bad timeout" { d with lock_timeout = 0.0 };
+  check_invalid "bad cpu" { d with cpu_op = -1.0 }
+
+let test_table1 () =
+  let rows = Params.table1 d in
+  checki "12 parameter rows" 12 (List.length rows);
+  let name, symbol, value, range = List.hd rows in
+  Alcotest.(check string) "first row name" "Number of Sites" name;
+  Alcotest.(check string) "symbol" "m" symbol;
+  Alcotest.(check string) "default" "9" value;
+  Alcotest.(check string) "range" "3 - 15" range
+
+let test_primary_round_robin () =
+  let p = { d with Params.n_sites = 4; n_items = 10 } in
+  let pl = Placement.generate (Rng.create 1) p in
+  for item = 0 to 9 do
+    checki "round robin" (item mod 4) pl.Placement.primary.(item)
+  done;
+  checki "primaries at site 0" 3 (List.length (Placement.primaries_at pl 0));
+  checki "primaries at site 3" 2 (List.length (Placement.primaries_at pl 3))
+
+let test_no_replication () =
+  let p = { d with Params.replication_prob = 0.0 } in
+  let pl = Placement.generate (Rng.create 2) p in
+  checki "no replicas" 0 (Placement.n_replicas pl);
+  checki "no copy-graph edges" 0 (Digraph.n_edges (Placement.copy_graph pl));
+  Alcotest.(check (list (pair int int))) "no backedges" [] (Placement.backedges pl)
+
+let test_full_forward_replication () =
+  (* r=1, s=1, b=0: every item is replicated at every following site. *)
+  let p = { d with Params.n_sites = 4; n_items = 8; replication_prob = 1.0; site_prob = 1.0; backedge_prob = 0.0 } in
+  let pl = Placement.generate (Rng.create 3) p in
+  for item = 0 to 7 do
+    let si = pl.Placement.primary.(item) in
+    let expected = List.init (4 - si - 1) (fun k -> si + 1 + k) in
+    Alcotest.(check (list int)) "following sites" expected pl.Placement.replicas.(item)
+  done;
+  Alcotest.(check (list (pair int int))) "still no backedges" [] (Placement.backedges pl)
+
+let test_backedges_appear () =
+  let p = { d with Params.n_sites = 4; n_items = 8; replication_prob = 1.0; site_prob = 1.0; backedge_prob = 1.0 } in
+  let pl = Placement.generate (Rng.create 4) p in
+  (* With all sites candidates and s=1, every non-primary site replicates
+     every item, so every backward pair is a backedge. *)
+  checki "replicas everywhere" (8 * 3) (Placement.n_replicas pl);
+  checki "backedges" 6 (List.length (Placement.backedges pl));
+  checkb "copy graph cyclic" false (Digraph.is_dag (Placement.copy_graph pl))
+
+let test_placement_queries () =
+  let p = { d with Params.n_sites = 3; n_items = 6; replication_prob = 1.0; site_prob = 1.0; backedge_prob = 0.0 } in
+  let pl = Placement.generate (Rng.create 5) p in
+  checkb "primary is a copy" true (Placement.has_copy pl ~site:0 0);
+  checkb "replica is a copy" true (Placement.has_copy pl ~site:2 0);
+  checkb "is_primary" true (Placement.is_primary pl ~site:0 0);
+  checkb "replica not primary" false (Placement.is_primary pl ~site:2 0);
+  Alcotest.(check (list int)) "placed at last site" [ 0; 1; 2; 3; 4; 5 ] (Placement.placed_at pl 2);
+  (* Items whose primary is the last site have no following candidates at
+     b = 0, so they stay unreplicated. *)
+  checki "replicated items" 4 (Placement.n_replicated_items pl)
+
+let test_copy_graph_edges () =
+  let p = { d with Params.n_sites = 3; n_items = 3; replication_prob = 1.0; site_prob = 1.0; backedge_prob = 0.0 } in
+  let pl = Placement.generate (Rng.create 6) p in
+  let g = Placement.copy_graph pl in
+  (* Item 0 at site 0 -> replicas at 1, 2; item 1 at 1 -> 2; item 2 at 2 -> none. *)
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (0, 2); (1, 2) ] (Digraph.edges g)
+
+let make_gen ?(p = d) seed =
+  let rng = Rng.create seed in
+  let pl = Placement.generate rng p in
+  (Generator.create rng p pl, pl)
+
+let test_gen_structure () =
+  let gen, _ = make_gen 7 in
+  let rng = Rng.create 100 in
+  for site = 0 to d.Params.n_sites - 1 do
+    let spec = Generator.gen_with gen rng ~site in
+    checki "origin" site spec.Txn.origin;
+    checki "ops per txn" d.Params.ops_per_txn (List.length spec.Txn.ops)
+  done
+
+let test_gen_pools () =
+  let gen, pl = make_gen 8 in
+  let rng = Rng.create 101 in
+  for _ = 1 to 50 do
+    let site = Rng.int rng d.Params.n_sites in
+    let spec = Generator.gen_with gen rng ~site in
+    List.iter
+      (function
+        | Txn.Read item -> checkb "read placed here" true (Placement.has_copy pl ~site item)
+        | Txn.Write item -> checkb "write is local primary" true (Placement.is_primary pl ~site item))
+      spec.Txn.ops
+  done
+
+let test_gen_read_only () =
+  let p = { d with Params.read_txn_prob = 1.0 } in
+  let gen, _ = make_gen ~p 9 in
+  let rng = Rng.create 102 in
+  for _ = 1 to 20 do
+    checkb "all reads" true (Txn.is_read_only (Generator.gen_with gen rng ~site:0))
+  done
+
+let test_gen_write_heavy () =
+  let p = { d with Params.read_txn_prob = 0.0; read_op_prob = 0.0 } in
+  let gen, _ = make_gen ~p 10 in
+  let rng = Rng.create 103 in
+  let spec = Generator.gen_with gen rng ~site:0 in
+  checkb "all writes" true (List.for_all (function Txn.Write _ -> true | Txn.Read _ -> false) spec.Txn.ops)
+
+let test_gen_distinct_sorted () =
+  let gen, _ = make_gen 11 in
+  let rng = Rng.create 104 in
+  for _ = 1 to 50 do
+    let spec = Generator.gen_with gen rng ~site:1 in
+    let items = List.map (function Txn.Read i | Txn.Write i -> i) spec.Txn.ops in
+    Alcotest.(check (list int)) "sorted distinct items" (List.sort_uniq compare items) items
+  done
+
+let test_gen_deterministic () =
+  let gen, _ = make_gen 12 in
+  let a = Generator.gen_with gen (Rng.create 7) ~site:2 in
+  let gen2, _ = make_gen 12 in
+  let b = Generator.gen_with gen2 (Rng.create 7) ~site:2 in
+  checkb "same seed same txn" true (a = b)
+
+let test_gen_hotspot () =
+  (* With hot_access_prob = 1 every op lands in the first 20% of the pool. *)
+  let p = { d with Params.hot_access_prob = 1.0; hot_item_fraction = 0.2; read_txn_prob = 1.0 } in
+  let gen, pl = make_gen ~p 14 in
+  let rng = Rng.create 106 in
+  let pool = Array.of_list (Placement.placed_at pl 0) in
+  let hot = max 1 (int_of_float (ceil (0.2 *. float_of_int (Array.length pool)))) in
+  for _ = 1 to 30 do
+    let spec = Generator.gen_with gen rng ~site:0 in
+    List.iter
+      (function
+        | Txn.Read item | Txn.Write item ->
+            let pos = ref (-1) in
+            Array.iteri (fun i x -> if x = item then pos := i) pool;
+            checkb "item in hot prefix" true (!pos >= 0 && !pos < hot))
+      spec.Txn.ops
+  done
+
+let test_hotspot_validation () =
+  (match Params.validate { d with Params.hot_access_prob = 0.5; hot_item_fraction = 0.0 } with
+  | () -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ());
+  match Params.validate { d with Params.straggler_factor = 0.5 } with
+  | () -> Alcotest.fail "expected rejection"
+  | exception Invalid_argument _ -> ()
+
+let test_gen_empty_site () =
+  (* One item, three sites: sites 1 and 2 hold nothing when r = 0. *)
+  let p = { d with Params.n_sites = 3; n_items = 1; replication_prob = 0.0 } in
+  let gen, _ = make_gen ~p 13 in
+  let rng = Rng.create 105 in
+  let spec = Generator.gen_with gen rng ~site:1 in
+  Alcotest.(check (list Alcotest.reject)) "empty txn" [] (List.map (fun _ -> ()) spec.Txn.ops)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "table1" `Quick test_table1;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "round robin primaries" `Quick test_primary_round_robin;
+          Alcotest.test_case "no replication" `Quick test_no_replication;
+          Alcotest.test_case "forward replication" `Quick test_full_forward_replication;
+          Alcotest.test_case "backedges appear" `Quick test_backedges_appear;
+          Alcotest.test_case "queries" `Quick test_placement_queries;
+          Alcotest.test_case "copy graph" `Quick test_copy_graph_edges;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "structure" `Quick test_gen_structure;
+          Alcotest.test_case "pools" `Quick test_gen_pools;
+          Alcotest.test_case "read only" `Quick test_gen_read_only;
+          Alcotest.test_case "write heavy" `Quick test_gen_write_heavy;
+          Alcotest.test_case "distinct sorted" `Quick test_gen_distinct_sorted;
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "hotspot" `Quick test_gen_hotspot;
+          Alcotest.test_case "hotspot/straggler validation" `Quick test_hotspot_validation;
+          Alcotest.test_case "empty site" `Quick test_gen_empty_site;
+        ] );
+    ]
