@@ -77,24 +77,98 @@ let protocol_conv =
   in
   Arg.conv (parse, fun ppf p -> Fmt.string ppf (Repdb.Protocol.name p))
 
-let run_cmd =
-  let protocol =
+let protocol_term =
+  Arg.(
+    value
+    & opt protocol_conv (module Repdb.Backedge_proto : Repdb.Protocol.S)
+    & info [ "p"; "protocol" ] ~doc:"Protocol to run (see $(b,repdb protocols)).")
+
+(* Export the collected trace according to the destination name:
+   "-" streams JSONL to stdout, "*.jsonl" writes JSONL to the file, anything
+   else writes Chrome trace_event JSON (load in chrome://tracing / Perfetto). *)
+let export_trace (report : Repdb.Driver.report) dest =
+  let n_sites = report.params.n_sites in
+  if dest = "-" then Repdb_obs.Export.jsonl_to_channel report.trace stdout
+  else
+    match open_out dest with
+    | exception Sys_error msg ->
+        Fmt.epr "error: cannot write trace: %s@." msg;
+        exit 1
+    | oc ->
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            if Filename.check_suffix dest ".jsonl" then
+              Repdb_obs.Export.jsonl_to_channel report.trace oc
+            else Repdb_obs.Export.chrome_to_channel ~n_sites report.trace oc);
+        Fmt.epr "trace: wrote %d events to %s%s@."
+          (Repdb_obs.Trace.length report.trace)
+          dest
+          (let d = Repdb_obs.Trace.dropped report.trace in
+           if d > 0 then Printf.sprintf " (%d oldest dropped; raise --trace-capacity)" d
+           else "")
+
+let trace_flags =
+  let trace_file =
     Arg.(
       value
-      & opt protocol_conv (module Repdb.Backedge_proto : Repdb.Protocol.S)
-      & info [ "p"; "protocol" ] ~doc:"Protocol to run (see $(b,repdb protocols)).")
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Collect a structured event trace. $(docv) of $(b,-) streams JSONL to stdout (the \
+             report moves to stderr); a name ending in $(b,.jsonl) writes JSONL; anything else \
+             writes Chrome trace_event JSON for chrome://tracing / Perfetto.")
   in
-  let run params protocol =
-    match Repdb.Driver.run params protocol with
-    | report -> Fmt.pr "%a@." Repdb.Driver.pp_report report
-    | exception Invalid_argument msg ->
-        Fmt.epr "error: %s@." msg;
-        Fmt.epr "hint: the DAG protocols need an acyclic copy graph — pass '-b 0'.@.";
-        exit 1
+  let capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-capacity" ] ~docv:"N"
+          ~doc:"Trace ring-buffer capacity in events (default 2^20); oldest events drop first.")
+  in
+  Term.(const (fun f c -> (f, c)) $ trace_file $ capacity)
+
+let run_with_trace params protocol (trace_file, trace_capacity) =
+  (match trace_capacity with
+  | Some n when n < 1 ->
+      Fmt.epr "error: --trace-capacity must be positive (got %d)@." n;
+      exit 1
+  | _ -> ());
+  match Repdb.Driver.run ~trace:(trace_file <> None) ?trace_capacity params protocol with
+  | report -> report
+  | exception Invalid_argument msg ->
+      Fmt.epr "error: %s@." msg;
+      Fmt.epr "hint: the DAG protocols need an acyclic copy graph — pass '-b 0'.@.";
+      exit 1
+
+let run_cmd =
+  let run params protocol ((trace_file, _) as tf) =
+    let report = run_with_trace params protocol tf in
+    (* With "--trace -" the event stream owns stdout. *)
+    let report_ppf = if trace_file = Some "-" then Fmt.stderr else Fmt.stdout in
+    Fmt.pf report_ppf "%a@." Repdb.Driver.pp_report report;
+    Option.iter (export_trace report) trace_file
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one protocol on one parameter setting and print the report.")
-    Term.(const run $ params_term $ protocol)
+    Term.(const run $ params_term $ protocol_term $ trace_flags)
+
+(* --- stats ---------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run params protocol ((trace_file, _) as tf) =
+    let report = run_with_trace params protocol tf in
+    let ppf = if trace_file = Some "-" then Fmt.stderr else Fmt.stdout in
+    Fmt.pf ppf "%s, %d sites@." report.protocol report.params.n_sites;
+    Fmt.pf ppf "%a@." Repdb.Driver.pp_site_stats report;
+    Option.iter (export_trace report) trace_file
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run one protocol and print the per-site counter/histogram table (lock traffic, \
+          message counts, response and propagation percentiles per site).")
+    Term.(const run $ params_term $ protocol_term $ trace_flags)
 
 (* --- experiment ------------------------------------------------------------ *)
 
@@ -107,7 +181,7 @@ let experiment_cmd =
           ~doc:
             "One of: fig2a, fig2b, fig3a, fig3b, resp, sites, threads, latency, readtxn, \
              ablation, eager-scaling, tree-routing, deadlock-policy, dummy-period, hotspot, \
-             straggler.")
+             straggler, site-order.")
   in
   let steps =
     Arg.(value & opt int 10 & info [ "steps" ] ~doc:"Sweep resolution for probability axes.")
@@ -170,4 +244,4 @@ let table1_cmd =
 let () =
   let doc = "update propagation protocols for replicated databases (SIGMOD 1999 reproduction)" in
   let info = Cmd.info "repdb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; experiment_cmd; protocols_cmd; table1_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; stats_cmd; experiment_cmd; protocols_cmd; table1_cmd ]))

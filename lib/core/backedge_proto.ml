@@ -134,6 +134,7 @@ let apply_secondary t ~gid ~site items ~finally =
       | Ok () ->
           Exec.commit_cost c ~site;
           Exec.apply_writes c ~gid ~site items;
+          Cluster.trace_secondary_commit c ~gid ~site;
           Exec.release c ~attempt ~site;
           finally ()
       | Error _ ->
@@ -168,6 +169,8 @@ let run_participant t ~gid ~origin ~site items =
       match Exec.acquire_writes c ~gid ~attempt ~site items with
       | Ok () when bp.bp_state = `Executing ->
           bp.bp_state <- `Staged;
+          if Repdb_obs.Trace.on c.trace then
+            Repdb_obs.Trace.record c.trace (Repdb_obs.Event.Backedge_stage { gid; site });
           Some bp
       | Ok () ->
           (* Cancelled (Decide abort) while waiting for the last lock. *)
@@ -203,7 +206,7 @@ let process_tree_msg t site msg =
       let sent = ref 0 in
       apply_secondary t ~gid ~site items ~finally:(fun () ->
           if items <> [] then
-            Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. origin_commit);
+            Cluster.record_propagation c ~gid ~site ~delay:(Sim.now c.sim -. origin_commit);
           sent := forward_normal t site (gid, writes, origin_commit);
           Cluster.dec_outstanding c);
       if !sent > 0 then Cluster.use_cpu c site (float_of_int !sent *. c.params.cpu_msg)
@@ -235,6 +238,11 @@ let tree_applier t site =
   let inbox = Network.inbox t.tree_net site in
   let rec loop () =
     let _, msg = Mailbox.recv inbox in
+    (match msg with
+    | Normal { gid; _ } ->
+        Cluster.trace_secondary_recv t.c ~gid ~site;
+        Cluster.trace_queue_depth t.c ~site ~queue:"tree" ~depth:(Mailbox.length inbox)
+    | Special _ -> ());
     process_tree_msg t site msg;
     loop ()
   in
@@ -257,9 +265,11 @@ let handle_direct t site msg =
       | Some bp -> begin
           match bp.bp_state with
           | `Staged ->
+              if Repdb_obs.Trace.on c.trace then
+                Repdb_obs.Trace.record c.trace (Repdb_obs.Event.Backedge_decide { gid; site; commit });
               if commit then begin
                 Exec.apply_writes c ~gid ~site bp.bp_items;
-                Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. origin_commit)
+                Cluster.record_propagation c ~gid ~site ~delay:(Sim.now c.sim -. origin_commit)
               end
               else History.discard_attempt c.history ~attempt:bp.bp_attempt;
               Exec.release c ~attempt:bp.bp_attempt ~site;
@@ -313,8 +323,15 @@ let create_with_tree (c : Cluster.t) tr =
     {
       c;
       tr;
-      tree_net = Cluster.make_net c;
-      direct_net = Cluster.make_net c;
+      tree_net =
+        Cluster.make_net c ~describe:(function
+          | Normal { writes; _ } -> ("normal", 24 + (8 * List.length writes))
+          | Special { writes; _ } -> ("special", 32 + (8 * List.length writes)));
+      direct_net =
+        Cluster.make_net c ~describe:(function
+          | Exec_request { writes; _ } -> ("exec-request", 32 + (8 * List.length writes))
+          | Decide _ -> ("decide", 24)
+          | Exec_failed _ -> ("exec-failed", 16));
       in_subtree = Routing.subtree_replicas c.placement tr;
       pending_by_attempt = Array.init m (fun _ -> Hashtbl.create 8);
       pending_by_gid = Hashtbl.create 32;
@@ -375,6 +392,7 @@ let create_general (c : Cluster.t) =
 
 let abort_primary t ~site ~attempt ~gid ~targets reason =
   let c = t.c in
+  Cluster.trace_txn_abort c ~gid ~site reason;
   Exec.abort_local c ~attempt ~site;
   Hashtbl.remove t.pending_by_gid gid;
   Hashtbl.remove t.pending_by_attempt.(site) attempt;
@@ -391,6 +409,7 @@ let commit_primary t ~site ~attempt ~gid ~writes ~targets =
   Exec.commit_cost c ~site;
   (* Atomic commit section: apply, release, decide, lazy-forward. *)
   Exec.apply_writes c ~gid ~site writes;
+  Cluster.trace_txn_commit c ~gid ~site;
   Exec.release c ~attempt ~site;
   Hashtbl.remove t.pending_by_gid gid;
   Hashtbl.remove t.pending_by_attempt.(site) attempt;
@@ -411,9 +430,11 @@ let submit t (spec : Txn.spec) =
   let site = spec.origin in
   let gid = Cluster.fresh_gid c in
   let attempt = Cluster.fresh_attempt c in
+  Cluster.trace_txn_begin c ~gid ~site;
   match Exec.run_ops c ~gid ~attempt ~site spec.ops with
   | Error reason ->
       Exec.abort_local c ~attempt ~site;
+      Cluster.trace_txn_abort c ~gid ~site reason;
       Txn.Aborted reason
   | Ok () -> (
       let writes = List.sort_uniq compare (Txn.writes spec) in

@@ -7,6 +7,9 @@ module Lock_mgr = Repdb_lock.Lock_mgr
 module History = Repdb_txn.History
 module Params = Repdb_workload.Params
 module Placement = Repdb_workload.Placement
+module Trace = Repdb_obs.Trace
+module Event = Repdb_obs.Event
+module Stats = Repdb_obs.Stats
 
 type t = {
   sim : Sim.t;
@@ -18,6 +21,9 @@ type t = {
   cpus : Resource.t array;
   history : History.t;
   metrics : Metrics.t;
+  trace : Trace.t;
+  stats : Stats.t;
+  prop_hist : Stats.histogram;
   rng : Rng.t;
   mutable next_gid : int;
   mutable next_attempt : int;
@@ -28,18 +34,23 @@ type t = {
   quiesced : Condvar.t;
 }
 
-let create_with ?latency (params : Params.t) placement =
+let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) placement =
   Params.validate params;
   let lat_fn = match latency with Some f -> f | None -> fun _ _ -> params.latency in
   let sim = Sim.create () in
   let m = params.n_sites in
+  let tr =
+    if trace then Trace.create ?capacity:trace_capacity ~clock:(Sim.clock sim) ()
+    else Trace.disabled
+  in
+  let stats = Stats.create ~n_sites:m () in
   let stores = Array.init m (fun site -> Store.create ~site (Placement.placed_at placement site)) in
   let policy : Lock_mgr.policy =
     match params.deadlock_policy with
     | `Timeout -> `Timeout params.lock_timeout
     | `Detect -> `Detect (Some params.lock_timeout)
   in
-  let locks = Array.init m (fun _ -> Lock_mgr.create ~sim ~policy ()) in
+  let locks = Array.init m (fun site -> Lock_mgr.create ~sim ~policy ~site ~trace:tr ~stats ()) in
   let n_machines = min params.n_machines m in
   let cpus = Array.init n_machines (fun _ -> Resource.create ~capacity:1 ()) in
   {
@@ -51,7 +62,10 @@ let create_with ?latency (params : Params.t) placement =
     locks;
     cpus;
     history = History.create ~enabled:params.record_history ~n_sites:m ();
-    metrics = Metrics.create ();
+    metrics = Metrics.create ~n_sites:m ();
+    trace = tr;
+    stats;
+    prop_hist = Stats.histogram stats "prop.delay";
     rng = Rng.create (params.seed * 31 + 7);
     next_gid = 0;
     next_attempt = 0;
@@ -62,9 +76,9 @@ let create_with ?latency (params : Params.t) placement =
     quiesced = Condvar.create ();
   }
 
-let create (params : Params.t) =
+let create ?trace ?trace_capacity (params : Params.t) =
   let placement_rng = Rng.create params.seed in
-  create_with params (Placement.generate placement_rng params)
+  create_with ?trace ?trace_capacity params (Placement.generate placement_rng params)
 
 let fresh_gid t =
   t.next_gid <- t.next_gid + 1;
@@ -85,10 +99,38 @@ let use_cpu t site d =
 
 let latency_fn t src dst = t.lat_fn src dst
 
-let make_net t =
+let make_net ?describe t =
   Repdb_net.Network.create ~sim:t.sim ~n_sites:t.params.n_sites ~latency:(latency_fn t)
     ~on_send:(fun () -> t.messages <- t.messages + 1)
-    ()
+    ~trace:t.trace ?describe ~stats:t.stats ()
+
+(* --- trace/metrics emission helpers (shared by the protocols) ------------- *)
+
+let trace_txn_begin t ~gid ~site =
+  if Trace.on t.trace then Trace.record t.trace (Event.Txn_begin { gid; site })
+
+let trace_txn_commit t ~gid ~site =
+  if Trace.on t.trace then Trace.record t.trace (Event.Txn_commit { gid; site })
+
+let trace_txn_abort t ~gid ~site reason =
+  if Trace.on t.trace then
+    Trace.record t.trace (Event.Txn_abort { gid; site; reason = Repdb_txn.Txn.string_of_abort reason })
+
+let trace_secondary_recv t ~gid ~site =
+  if Trace.on t.trace then Trace.record t.trace (Event.Secondary_recv { gid; site })
+
+let trace_secondary_commit t ~gid ~site =
+  if Trace.on t.trace then Trace.record t.trace (Event.Secondary_commit { gid; site })
+
+let trace_queue_depth t ~site ~queue ~depth =
+  if Trace.on t.trace then Trace.record t.trace (Event.Queue_depth { site; queue; depth })
+
+(* Record a replica update everywhere it is accounted: the aggregate metric,
+   the per-site registry, and (when on) the trace. *)
+let record_propagation t ~gid ~site ~delay =
+  Metrics.propagation t.metrics ~delay;
+  Stats.observe t.prop_hist ~site delay;
+  if Trace.on t.trace then Trace.record t.trace (Event.Prop_apply { gid; site; delay })
 
 let maybe_wake t =
   if t.clients_running = 0 && t.outstanding = 0 then Condvar.broadcast t.quiesced

@@ -15,6 +15,8 @@ module Lock_mgr = Repdb_lock.Lock_mgr
 module History = Repdb_txn.History
 module Params = Repdb_workload.Params
 module Placement = Repdb_workload.Placement
+module Trace = Repdb_obs.Trace
+module Stats = Repdb_obs.Stats
 
 type t = {
   sim : Sim.t;
@@ -26,6 +28,9 @@ type t = {
   cpus : Resource.t array;  (** One per machine; sites map round-robin. *)
   history : History.t;
   metrics : Metrics.t;
+  trace : Trace.t;  (** Structured event trace; disabled unless requested. *)
+  stats : Stats.t;  (** Per-site counter/histogram registry; always on. *)
+  prop_hist : Stats.histogram;  (** Propagation-delay histogram, per site. *)
   rng : Rng.t;  (** Workload stream; derived from [params.seed]. *)
   mutable next_gid : int;
   mutable next_attempt : int;
@@ -37,14 +42,17 @@ type t = {
 }
 
 (** [create params] — build the cluster; the placement is drawn from a
-    generator derived from [params.seed]. *)
-val create : Params.t -> t
+    generator derived from [params.seed]. Pass [~trace:true] to collect a
+    structured event trace (ring of [trace_capacity] events, default 2^20);
+    the per-site stats registry is always on. *)
+val create : ?trace:bool -> ?trace_capacity:int -> Params.t -> t
 
 (** [create_with ?latency params placement] — same but with a fixed placement
     (used by examples and tests that need a hand-built copy graph), and
     optionally a per-pair latency function (e.g. to model one slow link, the
     condition that exposes Example 1.1 under indiscriminate propagation). *)
-val create_with : ?latency:(int -> int -> float) -> Params.t -> Placement.t -> t
+val create_with :
+  ?latency:(int -> int -> float) -> ?trace:bool -> ?trace_capacity:int -> Params.t -> Placement.t -> t
 
 (** Fresh global transaction id. *)
 val fresh_gid : t -> int
@@ -58,9 +66,27 @@ val use_cpu : t -> int -> float -> unit
 (** Constant-latency function for building networks from [params.latency]. *)
 val latency_fn : t -> int -> int -> float
 
-(** [make_net t] — a fresh network wired to the cluster's simulation, latency
-    and message counter. Each protocol builds its own typed network(s). *)
-val make_net : t -> 'a Repdb_net.Network.t
+(** [make_net t] — a fresh network wired to the cluster's simulation, latency,
+    message counter, trace and stats registry. Each protocol builds its own
+    typed network(s); [describe] tags traced messages with a kind and an
+    approximate size in bytes. *)
+val make_net : ?describe:('a -> string * int) -> t -> 'a Repdb_net.Network.t
+
+(** {1 Trace emission helpers}
+
+    No-ops when the trace is disabled; protocols call these instead of
+    touching the trace directly. *)
+
+val trace_txn_begin : t -> gid:int -> site:int -> unit
+val trace_txn_commit : t -> gid:int -> site:int -> unit
+val trace_txn_abort : t -> gid:int -> site:int -> Repdb_txn.Txn.abort_reason -> unit
+val trace_secondary_recv : t -> gid:int -> site:int -> unit
+val trace_secondary_commit : t -> gid:int -> site:int -> unit
+val trace_queue_depth : t -> site:int -> queue:string -> depth:int -> unit
+
+(** Record a replica update in the aggregate metrics, the per-site
+    propagation-delay histogram and (when enabled) the trace. *)
+val record_propagation : t -> gid:int -> site:int -> delay:float -> unit
 
 (** {1 Quiescence accounting} *)
 

@@ -68,10 +68,12 @@ let process t site (msg : msg) =
   Cluster.use_cpu c site c.params.cpu_msg;
   if msg.dummy then advance_site_ts t site msg
   else begin
+    Cluster.trace_secondary_recv c ~gid:msg.gid ~site;
     let items = List.filter (fun item -> List.mem site c.placement.replicas.(item)) msg.writes in
     Exec.apply_secondary c ~gid:msg.gid ~site items ~finally:(fun () ->
         if items <> [] then
-          Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. msg.origin_commit);
+          Cluster.record_propagation c ~gid:msg.gid ~site
+            ~delay:(Sim.now c.sim -. msg.origin_commit);
         advance_site_ts t site msg;
         Cluster.dec_outstanding c)
   end
@@ -130,8 +132,9 @@ let pipelined_worker t site (msg : msg) ~ticket ~items =
   done;
   if items <> [] then begin
     Exec.apply_writes c ~gid:msg.gid ~site items;
+    Cluster.trace_secondary_commit c ~gid:msg.gid ~site;
     Exec.release c ~attempt:!attempt ~site;
-    Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. msg.origin_commit)
+    Cluster.record_propagation c ~gid:msg.gid ~site ~delay:(Sim.now c.sim -. msg.origin_commit)
   end;
   advance_site_ts t site msg;
   List.iter
@@ -151,6 +154,7 @@ let pipelined_applier t site =
     match min_head st with
     | Some (q, msg) ->
         ignore (Queue.pop q);
+        if not msg.dummy then Cluster.trace_secondary_recv c ~gid:msg.gid ~site;
         let ticket = st.tickets in
         st.tickets <- st.tickets + 1;
         let items =
@@ -193,9 +197,12 @@ let dummy_timer t site children =
     if not c.stopped then begin
       List.iter
         (fun child ->
-          if Sim.now c.sim -. st.last_sent.(child) >= c.params.dummy_idle then
+          if Sim.now c.sim -. st.last_sent.(child) >= c.params.dummy_idle then begin
+            if Repdb_obs.Trace.on c.trace then
+              Repdb_obs.Trace.record c.trace (Repdb_obs.Event.Dummy_emit { src = site; dst = child });
             send t ~src:site ~dst:child
-              { ts = st.ts; gid = 0; writes = []; dummy = true; origin_commit = Sim.now c.sim })
+              { ts = st.ts; gid = 0; writes = []; dummy = true; origin_commit = Sim.now c.sim }
+          end)
         children;
       loop ()
     end
@@ -210,6 +217,9 @@ let epoch_timer t site =
     Sim.delay c.params.epoch_period;
     if not c.stopped then begin
       st.ts <- Timestamp.with_epoch st.ts (st.ts.Timestamp.epoch + 1);
+      if Repdb_obs.Trace.on c.trace then
+        Repdb_obs.Trace.record c.trace
+          (Repdb_obs.Event.Epoch_advance { site; epoch = st.ts.Timestamp.epoch });
       loop ()
     end
   in
@@ -225,7 +235,10 @@ let create_internal ~pipelined (c : Cluster.t) =
   let m = c.params.n_sites in
   let rank = Array.make m 0 in
   List.iteri (fun i site -> rank.(site) <- i) order;
-  let net = Cluster.make_net c in
+  let net =
+    Cluster.make_net c ~describe:(fun (msg : msg) ->
+        if msg.dummy then ("dummy", 24) else ("secondary", 32 + (8 * List.length msg.writes)))
+  in
   let states =
     Array.init m (fun site ->
         let queues = Hashtbl.create 4 in
@@ -249,6 +262,9 @@ let create_internal ~pipelined (c : Cluster.t) =
         match Hashtbl.find_opt st.queues src with
         | Some q ->
             Queue.add msg q;
+            Cluster.trace_queue_depth c ~site
+              ~queue:(Printf.sprintf "parent:%d" src)
+              ~depth:(Queue.length q);
             Condvar.broadcast st.arrivals
         | None -> invalid_arg "Dag_t: message from a non-parent site");
     if Digraph.pred graph site <> [] then
@@ -269,9 +285,11 @@ let submit t (spec : Txn.spec) =
   let site = spec.origin in
   let gid = Cluster.fresh_gid c in
   let attempt = Cluster.fresh_attempt c in
+  Cluster.trace_txn_begin c ~gid ~site;
   match Exec.run_ops c ~gid ~attempt ~site spec.ops with
   | Error reason ->
       Exec.abort_local c ~attempt ~site;
+      Cluster.trace_txn_abort c ~gid ~site reason;
       Txn.Aborted reason
   | Ok () ->
       let writes = List.sort_uniq compare (Txn.writes spec) in
@@ -284,6 +302,7 @@ let submit t (spec : Txn.spec) =
       st.ts <- Timestamp.bump_own st.ts t.rank.(site);
       let ts = st.ts in
       Exec.apply_writes c ~gid ~site writes;
+      Cluster.trace_txn_commit c ~gid ~site;
       Exec.release c ~attempt ~site;
       let relevant =
         List.filter

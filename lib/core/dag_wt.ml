@@ -43,7 +43,8 @@ let process_secondary t site (msg : msg) =
   let sent = ref 0 in
   Exec.apply_secondary c ~gid:msg.gid ~site items ~finally:(fun () ->
       if items <> [] then
-        Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. msg.origin_commit);
+        Cluster.record_propagation c ~gid:msg.gid ~site
+          ~delay:(Sim.now c.sim -. msg.origin_commit);
       sent := forward t site msg;
       Cluster.dec_outstanding c);
   if !sent > 0 then Cluster.use_cpu c site (float_of_int !sent *. c.params.cpu_msg)
@@ -52,17 +53,23 @@ let applier t site =
   let inbox = Network.inbox t.net site in
   let rec loop () =
     let _, msg = Mailbox.recv inbox in
+    (* Dequeue order = receive order (the FIFO the protocol's correctness
+       rests on); the trace records it so tests can assert commit order. *)
+    Cluster.trace_secondary_recv t.c ~gid:msg.gid ~site;
+    Cluster.trace_queue_depth t.c ~site ~queue:"fifo" ~depth:(Mailbox.length inbox);
     process_secondary t site msg;
     loop ()
   in
   loop ()
+
+let describe_msg (msg : msg) = ("secondary", 24 + (8 * List.length msg.writes))
 
 let create_with_tree (c : Cluster.t) tr =
   let g = Placement.copy_graph c.placement in
   if not (Repdb_graph.Digraph.is_dag g) then
     invalid_arg "Dag_wt: copy graph has a cycle (use the BackEdge protocol)";
   if not (Tree.satisfies g tr) then invalid_arg "Dag_wt: tree lacks the ancestor property";
-  let net = Cluster.make_net c in
+  let net = Cluster.make_net ~describe:describe_msg c in
   let t = { c; tr; net; in_subtree = Routing.subtree_replicas c.placement tr } in
   for site = 0 to c.params.n_sites - 1 do
     if Tree.parent tr site <> -1 then Sim.spawn c.sim (fun () -> applier t site)
@@ -80,15 +87,18 @@ let submit t (spec : Txn.spec) =
   let site = spec.origin in
   let gid = Cluster.fresh_gid c in
   let attempt = Cluster.fresh_attempt c in
+  Cluster.trace_txn_begin c ~gid ~site;
   match Exec.run_ops c ~gid ~attempt ~site spec.ops with
   | Error reason ->
       Exec.abort_local c ~attempt ~site;
+      Cluster.trace_txn_abort c ~gid ~site reason;
       Txn.Aborted reason
   | Ok () ->
       let writes = List.sort_uniq compare (Txn.writes spec) in
       Exec.commit_cost c ~site;
       (* Atomic commit section: apply, release, forward. *)
       Exec.apply_writes c ~gid ~site writes;
+      Cluster.trace_txn_commit c ~gid ~site;
       Exec.release c ~attempt ~site;
       let msg = { gid; writes; origin_commit = Sim.now c.sim } in
       let sent = if writes = [] then 0 else forward t site msg in

@@ -7,6 +7,9 @@ module Placement = Repdb_workload.Placement
 module Txn = Repdb_txn.Txn
 module Serializability = Repdb_txn.Serializability
 
+module Stats = Repdb_obs.Stats
+module Trace = Repdb_obs.Trace
+
 type report = {
   protocol : string;
   params : Params.t;
@@ -19,18 +22,28 @@ type report = {
   lock_stats : Lock_mgr.stats;
   sim_events : int;
   sim_time : float;
+  trace : Trace.t;
+  site_stats : Stats.t;
 }
 
 let client (c : Cluster.t) submit gen rng ~site =
   let p = c.params in
+  let commit_ctr = Stats.counter c.stats "txn.commit"
+  and abort_ctr = Stats.counter c.stats "txn.abort"
+  and response_hist = Stats.histogram c.stats "response" in
   for _ = 1 to p.txns_per_thread do
     let spec = Generator.gen_with gen rng ~site in
     let start = Sim.now c.sim in
     let rec attempt () =
       match submit spec with
-      | Txn.Committed -> Metrics.commit c.metrics ~response:(Sim.now c.sim -. start)
+      | Txn.Committed ->
+          let response = Sim.now c.sim -. start in
+          Metrics.commit c.metrics ~site ~response;
+          Stats.incr commit_ctr ~site;
+          Stats.observe response_hist ~site response
       | Txn.Aborted reason ->
-          Metrics.abort c.metrics reason;
+          Metrics.abort c.metrics ~site reason;
+          Stats.incr abort_ctr ~site;
           if p.retry_aborted then begin
             Sim.delay (Rng.float_range rng 1.0 10.0);
             attempt ()
@@ -87,19 +100,22 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
     lock_stats;
     sim_events = Sim.events_executed c.sim;
     sim_time = Sim.now c.sim;
+    trace = c.trace;
+    site_stats = c.stats;
   }
 
-let run ?placement params protocol =
+let run ?placement ?trace ?trace_capacity params protocol =
   let c =
     match placement with
-    | Some pl -> Cluster.create_with params pl
-    | None -> Cluster.create params
+    | Some pl -> Cluster.create_with ?trace ?trace_capacity params pl
+    | None -> Cluster.create ?trace ?trace_capacity params
   in
   run_on c protocol
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>[%s] %a@ %a@ copy-graph edges=%d backedges=%d replicas=%d@ locks: %d acquires, %d waits, %d timeouts, %d deadlock aborts@ %a%a@]"
-    r.protocol Params.pp r.params Metrics.pp_summary r.summary r.copy_graph_edges r.n_backedges
+  Fmt.pf ppf "@[<v>[%s] %a@ %a@ %a@ copy-graph edges=%d backedges=%d replicas=%d@ locks: %d acquires, %d waits, %d timeouts, %d deadlock aborts@ %a%a@]"
+    r.protocol Params.pp r.params Metrics.pp_summary r.summary Metrics.pp_per_site r.summary
+    r.copy_graph_edges r.n_backedges
     r.n_replicas r.lock_stats.acquires r.lock_stats.waits r.lock_stats.timeouts
     r.lock_stats.deadlock_aborts
     (Fmt.option (fun ppf v -> Fmt.pf ppf "serializability: %a@ " Serializability.pp_verdict v))
@@ -108,3 +124,5 @@ let pp_report ppf r =
          Fmt.pf ppf "convergence: %s"
            (if d = [] then "ok" else Printf.sprintf "%d divergent copies" (List.length d))))
     r.divergent
+
+let pp_site_stats ppf r = Stats.pp_table ppf r.site_stats

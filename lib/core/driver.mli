@@ -21,16 +21,31 @@ type report = {
   lock_stats : Repdb_lock.Lock_mgr.stats;  (** Summed over sites. *)
   sim_events : int;
   sim_time : float;  (** ms at full quiescence. *)
+  trace : Repdb_obs.Trace.t;
+      (** The run's event trace; {!Repdb_obs.Trace.disabled} unless [run] was
+          called with [~trace:true]. Export with {!Repdb_obs.Export}. *)
+  site_stats : Repdb_obs.Stats.t;  (** Per-site counters and histograms. *)
 }
 
 (** [run ?placement params protocol] — build a cluster (with the given or a
     generated placement), run the workload to quiescence, and report.
+    [~trace:true] collects a structured event trace into the report.
     @raise Failure if the system fails to quiesce within a generous horizon
     (indicates a protocol bug). *)
-val run : ?placement:Repdb_workload.Placement.t -> Repdb_workload.Params.t -> Protocol.t -> report
+val run :
+  ?placement:Repdb_workload.Placement.t ->
+  ?trace:bool ->
+  ?trace_capacity:int ->
+  Repdb_workload.Params.t ->
+  Protocol.t ->
+  report
 
 (** [run_on cluster protocol] — like {!run} on a pre-built cluster; exposed
     for tests that need to inspect cluster state afterwards. *)
 val run_on : Cluster.t -> Protocol.t -> report
 
 val pp_report : Format.formatter -> report -> unit
+
+(** The per-site stats registry as a table (one row per site plus an
+    aggregate row). *)
+val pp_site_stats : Format.formatter -> report -> unit

@@ -54,6 +54,7 @@ let rec apply_secondary c ~gid ~site items ~finally =
     | Ok () ->
         commit_cost c ~site;
         apply_writes c ~gid ~site items;
+        Cluster.trace_secondary_commit c ~gid ~site;
         release c ~attempt ~site;
         finally ()
     | Error _ ->

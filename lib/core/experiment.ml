@@ -259,15 +259,16 @@ let render_ascii fig =
 
 let to_csv fig =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "figure,x,protocol,throughput_per_site,abort_rate,avg_response,avg_propagation,messages\n";
+  Buffer.add_string buf
+    "figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages\n";
   List.iter
     (fun pt ->
       List.iter
         (fun (name, (r : Driver.report)) ->
           Buffer.add_string buf
-            (Printf.sprintf "%s,%g,%s,%.4f,%.4f,%.2f,%.2f,%d\n" fig.id pt.x name
+            (Printf.sprintf "%s,%g,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%d\n" fig.id pt.x name
                r.summary.throughput_per_site r.summary.abort_rate r.summary.avg_response
-               r.summary.avg_propagation r.summary.messages))
+               r.summary.p99_response r.summary.avg_propagation r.summary.messages))
         pt.reports)
     fig.points;
   Buffer.contents buf

@@ -91,7 +91,7 @@ val pp_figure : Format.formatter -> figure -> unit
 val pp_reports : Format.formatter -> (string * Driver.report) list -> unit
 
 (** CSV text (one line per point and protocol:
-    [figure,x,protocol,throughput_per_site,abort_rate,avg_response,avg_propagation,messages]). *)
+    [figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages]). *)
 val to_csv : figure -> string
 
 (** ASCII plot of per-site throughput against the swept parameter, one glyph

@@ -1,29 +1,38 @@
 module Txn = Repdb_txn.Txn
 
 type t = {
+  n_sites : int;
   mutable commits : int;
   mutable aborts : int;
   mutable by_reason : (Txn.abort_reason * int) list;
   mutable response_sum : float;
   mutable responses : float array; (* all samples, grown geometrically *)
+  commits_by_site : int array;
+  aborts_by_site : int array;
+  response_sum_by_site : float array;
   mutable prop_sum : float;
   mutable prop_n : int;
   mutable last_client_done : float;
 }
 
-let create () =
+let create ?(n_sites = 1) () =
+  if n_sites < 1 then invalid_arg "Metrics.create: need at least one site";
   {
+    n_sites;
     commits = 0;
     aborts = 0;
     by_reason = [];
     response_sum = 0.0;
     responses = [||];
+    commits_by_site = Array.make n_sites 0;
+    aborts_by_site = Array.make n_sites 0;
+    response_sum_by_site = Array.make n_sites 0.0;
     prop_sum = 0.0;
     prop_n = 0;
     last_client_done = 0.0;
   }
 
-let commit t ~response =
+let commit t ~site ~response =
   if t.commits = Array.length t.responses then begin
     let ncap = max 256 (2 * Array.length t.responses) in
     let grown = Array.make ncap 0.0 in
@@ -32,10 +41,15 @@ let commit t ~response =
   end;
   t.responses.(t.commits) <- response;
   t.commits <- t.commits + 1;
-  t.response_sum <- t.response_sum +. response
+  t.response_sum <- t.response_sum +. response;
+  let site = if site < t.n_sites then site else 0 in
+  t.commits_by_site.(site) <- t.commits_by_site.(site) + 1;
+  t.response_sum_by_site.(site) <- t.response_sum_by_site.(site) +. response
 
-let abort t reason =
+let abort t ~site reason =
   t.aborts <- t.aborts + 1;
+  let site = if site < t.n_sites then site else 0 in
+  t.aborts_by_site.(site) <- t.aborts_by_site.(site) + 1;
   let n = try List.assoc reason t.by_reason with Not_found -> 0 in
   t.by_reason <- (reason, n + 1) :: List.remove_assoc reason t.by_reason
 
@@ -44,6 +58,8 @@ let propagation t ~delay =
   t.prop_n <- t.prop_n + 1
 
 let client_done t ~time = if time > t.last_client_done then t.last_client_done <- time
+
+type site_summary = { site : int; s_commits : int; s_aborts : int; s_avg_response : float }
 
 type summary = {
   commits : int;
@@ -56,9 +72,11 @@ type summary = {
   avg_response : float;
   p50_response : float;
   p95_response : float;
+  p99_response : float;
   avg_propagation : float;
   n_propagations : int;
   messages : int;
+  per_site : site_summary list;
 }
 
 let percentile sorted q =
@@ -84,17 +102,35 @@ let summarize (t : t) ~n_sites ~messages =
     avg_response = (if t.commits = 0 then 0.0 else t.response_sum /. float_of_int t.commits);
     p50_response = percentile sorted 0.5;
     p95_response = percentile sorted 0.95;
+    p99_response = percentile sorted 0.99;
     avg_propagation = (if t.prop_n = 0 then 0.0 else t.prop_sum /. float_of_int t.prop_n);
     n_propagations = t.prop_n;
     messages;
+    per_site =
+      List.init t.n_sites (fun site ->
+          let c = t.commits_by_site.(site) in
+          {
+            site;
+            s_commits = c;
+            s_aborts = t.aborts_by_site.(site);
+            s_avg_response =
+              (if c = 0 then 0.0 else t.response_sum_by_site.(site) /. float_of_int c);
+          });
   }
 
 let pp_summary ppf s =
   Fmt.pf ppf
     "@[<v>abort reasons: %a@ commits=%d aborts=%d (%.2f%%) duration=%.0fms@ \
      throughput=%.2f txn/s (%.2f per site)@ \
-     response avg=%.1fms p50=%.1fms p95=%.1fms@ avg propagation=%.1fms (%d) messages=%d@]"
+     response avg=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms@ avg propagation=%.1fms (%d) messages=%d@]"
     (Fmt.list ~sep:Fmt.sp (fun ppf (r, n) -> Fmt.pf ppf "%s=%d" (Txn.string_of_abort r) n))
     s.aborts_by_reason s.commits s.aborts s.abort_rate s.duration s.throughput
-    s.throughput_per_site s.avg_response s.p50_response s.p95_response s.avg_propagation
-    s.n_propagations s.messages
+    s.throughput_per_site s.avg_response s.p50_response s.p95_response s.p99_response
+    s.avg_propagation s.n_propagations s.messages
+
+let pp_per_site ppf s =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf r ->
+         Fmt.pf ppf "site %-3d commits=%-6d aborts=%-6d avg response=%.1fms" r.site r.s_commits
+           r.s_aborts r.s_avg_response))
+    s.per_site

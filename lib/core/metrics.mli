@@ -4,16 +4,20 @@
     the per-site primary-subtransaction throughputs — and {e abort rate} —
     the percentage of primary subtransactions that abort. We also collect the
     two §5.3.4 metrics: average response time of committed transactions and
-    the update-propagation delay to replicas. *)
+    the update-propagation delay to replicas, plus a per-site breakdown of
+    commit/abort traffic (the aggregate curves of §5.3 are explained by
+    behaviour at individual sites, so the summary exposes it). *)
 
 type t
 
-val create : unit -> t
+(** [create ~n_sites ()] — [n_sites] (default 1) sizes the per-site
+    breakdown; out-of-range sites are folded into site 0. *)
+val create : ?n_sites:int -> unit -> t
 
 (** {1 Recording (called by protocols and the driver)} *)
 
-val commit : t -> response:float -> unit
-val abort : t -> Repdb_txn.Txn.abort_reason -> unit
+val commit : t -> site:int -> response:float -> unit
+val abort : t -> site:int -> Repdb_txn.Txn.abort_reason -> unit
 
 (** A replica applied updates [delay] ms after the primary committed. *)
 val propagation : t -> delay:float -> unit
@@ -22,6 +26,13 @@ val propagation : t -> delay:float -> unit
 val client_done : t -> time:float -> unit
 
 (** {1 Summary} *)
+
+type site_summary = {
+  site : int;
+  s_commits : int;
+  s_aborts : int;
+  s_avg_response : float;  (** ms, committed transactions originated here. *)
+}
 
 type summary = {
   commits : int;
@@ -34,9 +45,11 @@ type summary = {
   avg_response : float;  (** ms, committed transactions only. *)
   p50_response : float;  (** Median response, ms. *)
   p95_response : float;  (** 95th-percentile response, ms. *)
+  p99_response : float;  (** 99th-percentile response, ms. *)
   avg_propagation : float;  (** ms from primary commit to replica apply. *)
   n_propagations : int;
   messages : int;  (** Total network messages (all kinds). *)
+  per_site : site_summary list;  (** One row per origin site. *)
 }
 
 (** [summarize t ~n_sites ~messages] — compute the summary; [duration] is the
@@ -44,3 +57,6 @@ type summary = {
 val summarize : t -> n_sites:int -> messages:int -> summary
 
 val pp_summary : Format.formatter -> summary -> unit
+
+(** The per-site breakdown as one line per site. *)
+val pp_per_site : Format.formatter -> summary -> unit

@@ -55,8 +55,13 @@ let server t site =
   in
   loop ()
 
+let describe_msg = function
+  | Read_request _ -> ("read-request", 24)
+  | Read_reply _ -> ("read-reply", 16)
+  | Release _ -> ("release", 16)
+
 let create (c : Cluster.t) =
-  let net = Cluster.make_net c in
+  let net = Cluster.make_net ~describe:describe_msg c in
   let t = { c; net; remote = 0 } in
   for site = 0 to c.params.n_sites - 1 do
     Sim.spawn c.sim (fun () -> server t site)
@@ -80,6 +85,7 @@ let submit t (spec : Txn.spec) =
      remote primaries record history under it directly. *)
   let gid = Cluster.fresh_gid c in
   let attempt = gid in
+  Cluster.trace_txn_begin c ~gid ~site;
   let remote_sites = Hashtbl.create 4 in
   let cleanup_remote () =
     Hashtbl.iter
@@ -115,11 +121,13 @@ let submit t (spec : Txn.spec) =
   | Error reason ->
       Exec.abort_local c ~attempt ~site;
       cleanup_remote ();
+      Cluster.trace_txn_abort c ~gid ~site reason;
       Txn.Aborted reason
   | Ok () ->
       let writes = List.sort_uniq compare (Txn.writes spec) in
       Exec.commit_cost c ~site;
       Exec.apply_writes c ~gid ~site writes;
+      Cluster.trace_txn_commit c ~gid ~site;
       Exec.release c ~attempt ~site;
       cleanup_remote ();
       if Hashtbl.length remote_sites > 0 then

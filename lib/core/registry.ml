@@ -41,5 +41,12 @@ let backedge_general : Protocol.t =
   end : Protocol.S)
 
 let variants = [ backedge_general; dag_t_pipelined ]
-let find name = List.find_opt (fun p -> Protocol.name p = name) (variants @ all)
+
+(* Dashless spellings ("dagwt", "dagt") are accepted as a convenience. *)
+let canonical name =
+  String.concat "" (String.split_on_char '-' (String.lowercase_ascii name))
+
+let find name =
+  List.find_opt (fun p -> canonical (Protocol.name p) = canonical name) (variants @ all)
+
 let names = List.map Protocol.name (all @ variants)

@@ -1,4 +1,7 @@
 module Sim = Repdb_sim.Sim
+module Trace = Repdb_obs.Trace
+module Event = Repdb_obs.Event
+module Stats = Repdb_obs.Stats
 
 type item = int
 type owner = int
@@ -34,9 +37,15 @@ type t = {
   mutable n_waits : int;
   mutable n_timeouts : int;
   mutable n_deadlock_aborts : int;
+  site : int; (* tag on emitted events; 0 for stand-alone managers *)
+  trace : Trace.t;
+  s_acquires : Stats.counter option;
+  s_waits : Stats.counter option;
+  s_timeouts : Stats.counter option;
+  s_deadlocks : Stats.counter option;
 }
 
-let create ~sim ~policy () =
+let create ~sim ~policy ?(site = 0) ?(trace = Trace.disabled) ?stats () =
   {
     sim;
     policy;
@@ -48,7 +57,16 @@ let create ~sim ~policy () =
     n_waits = 0;
     n_timeouts = 0;
     n_deadlock_aborts = 0;
+    site;
+    trace;
+    s_acquires = Option.map (fun s -> Stats.counter s "lock.acq") stats;
+    s_waits = Option.map (fun s -> Stats.counter s "lock.wait") stats;
+    s_timeouts = Option.map (fun s -> Stats.counter s "lock.tmo") stats;
+    s_deadlocks = Option.map (fun s -> Stats.counter s "lock.ddl") stats;
   }
+
+let obs_mode = function Shared -> Event.Shared | Exclusive -> Event.Exclusive
+let bump c site = match c with Some c -> Stats.incr c ~site | None -> ()
 
 let entry_of t item =
   match Hashtbl.find_opt t.entries item with
@@ -95,6 +113,11 @@ let rec service t item e =
         req.state <- `Done;
         Hashtbl.remove t.waiting req.req_owner;
         t.n_acquires <- t.n_acquires + 1;
+        bump t.s_acquires t.site;
+        if Trace.on t.trace then
+          Trace.record t.trace
+            (Event.Lock_grant
+               { site = t.site; owner = req.req_owner; item; mode = obs_mode req.req_mode });
         req.resume Granted;
         service t item e
       end
@@ -105,8 +128,18 @@ let fail_request t req outcome =
     req.state <- `Done;
     Hashtbl.remove t.waiting req.req_owner;
     (match outcome with
-    | Timed_out -> t.n_timeouts <- t.n_timeouts + 1
-    | Deadlock_victim -> t.n_deadlock_aborts <- t.n_deadlock_aborts + 1
+    | Timed_out ->
+        t.n_timeouts <- t.n_timeouts + 1;
+        bump t.s_timeouts t.site;
+        if Trace.on t.trace then
+          Trace.record t.trace
+            (Event.Lock_timeout { site = t.site; owner = req.req_owner; item = req.req_item })
+    | Deadlock_victim ->
+        t.n_deadlock_aborts <- t.n_deadlock_aborts + 1;
+        bump t.s_deadlocks t.site;
+        if Trace.on t.trace then
+          Trace.record t.trace
+            (Event.Lock_deadlock { site = t.site; owner = req.req_owner; item = req.req_item })
     | Granted -> assert false);
     let e = entry_of t req.req_item in
     req.resume outcome;
@@ -173,10 +206,15 @@ let rec resolve_deadlocks t start =
 
 let rec acquire t ~owner item mode =
   let e = entry_of t item in
+  if Trace.on t.trace then
+    Trace.record t.trace (Event.Lock_request { site = t.site; owner; item; mode = obs_mode mode });
   let current = Hashtbl.find_opt t.held owner |> Fun.flip Option.bind (fun tbl -> Hashtbl.find_opt tbl item) in
   match (current, mode) with
   | Some Exclusive, _ | Some Shared, Shared ->
       t.n_acquires <- t.n_acquires + 1;
+      bump t.s_acquires t.site;
+      if Trace.on t.trace then
+        Trace.record t.trace (Event.Lock_grant { site = t.site; owner; item; mode = obs_mode mode });
       Granted (* re-entrant *)
   | Some Shared, Exclusive -> begin
       (* Upgrade: immediate if sole holder, else wait at the queue front. *)
@@ -185,6 +223,10 @@ let rec acquire t ~owner item mode =
           e.holding <- [ (owner, Exclusive) ];
           record_hold t ~owner item Exclusive;
           t.n_acquires <- t.n_acquires + 1;
+          bump t.s_acquires t.site;
+          if Trace.on t.trace then
+            Trace.record t.trace
+              (Event.Lock_grant { site = t.site; owner; item; mode = Event.Exclusive });
           Granted
       | _ ->
           t.arrivals <- t.arrivals + 1;
@@ -207,6 +249,10 @@ let rec acquire t ~owner item mode =
         e.holding <- (owner, mode) :: e.holding;
         record_hold t ~owner item mode;
         t.n_acquires <- t.n_acquires + 1;
+        bump t.s_acquires t.site;
+        if Trace.on t.trace then
+          Trace.record t.trace
+            (Event.Lock_grant { site = t.site; owner; item; mode = obs_mode mode });
         Granted
       end
       else begin
@@ -228,6 +274,11 @@ let rec acquire t ~owner item mode =
 
 and wait t req =
   t.n_waits <- t.n_waits + 1;
+  bump t.s_waits t.site;
+  if Trace.on t.trace then
+    Trace.record t.trace
+      (Event.Lock_wait
+         { site = t.site; owner = req.req_owner; item = req.req_item; mode = obs_mode req.req_mode });
   Hashtbl.replace t.waiting req.req_owner req;
   Sim.suspend (fun resume ->
       req.resume <- resume;
@@ -247,6 +298,7 @@ let release_all t ~owner =
   match Hashtbl.find_opt t.held owner with
   | None -> ()
   | Some tbl ->
+      if Trace.on t.trace then Trace.record t.trace (Event.Lock_release { site = t.site; owner });
       Hashtbl.remove t.held owner;
       Hashtbl.iter
         (fun item _ ->

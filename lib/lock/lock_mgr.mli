@@ -44,8 +44,21 @@ type stats = {
 
 type t
 
-(** [create ~sim ~policy ()] — a fresh lock manager for one site. *)
-val create : sim:Repdb_sim.Sim.t -> policy:policy -> unit -> t
+(** [create ~sim ~policy ()] — a fresh lock manager for one site.
+
+    Observability: when [trace] is enabled, every request, grant, wait,
+    timeout, deadlock victimisation and release is recorded as a typed event
+    tagged with [site] (default [0]); when [stats] is given, per-site
+    ["lock.acq"] / ["lock.wait"] / ["lock.tmo"] / ["lock.ddl"] counters are
+    registered and bumped. *)
+val create :
+  sim:Repdb_sim.Sim.t ->
+  policy:policy ->
+  ?site:int ->
+  ?trace:Repdb_obs.Trace.t ->
+  ?stats:Repdb_obs.Stats.t ->
+  unit ->
+  t
 
 (** [acquire t ~owner item mode] blocks the calling process until the lock is
     granted or the wait fails. Re-entrant acquisition and S→X upgrade are

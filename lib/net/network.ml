@@ -1,5 +1,8 @@
 module Sim = Repdb_sim.Sim
 module Mailbox = Repdb_sim.Mailbox
+module Trace = Repdb_obs.Trace
+module Event = Repdb_obs.Event
+module Stats = Repdb_obs.Stats
 
 type 'a target = Inbox of (int * 'a) Mailbox.t | Handler of (src:int -> 'a -> unit)
 
@@ -10,9 +13,14 @@ type 'a t = {
   mutable targets : 'a target array;
   mutable sent : int;
   on_send : unit -> unit;
+  trace : Trace.t;
+  describe : ('a -> string * int) option;
+  sent_ctr : Stats.counter option;
+  recv_ctr : Stats.counter option;
 }
 
-let create ~sim ~n_sites ~latency ?(on_send = fun () -> ()) () =
+let create ~sim ~n_sites ~latency ?(on_send = fun () -> ()) ?(trace = Trace.disabled) ?describe
+    ?stats () =
   if n_sites < 1 then invalid_arg "Network.create: need at least one site";
   let delays =
     Array.init n_sites (fun src ->
@@ -28,11 +36,17 @@ let create ~sim ~n_sites ~latency ?(on_send = fun () -> ()) () =
     targets = Array.init n_sites (fun _ -> Inbox (Mailbox.create ()));
     sent = 0;
     on_send;
+    trace;
+    describe;
+    sent_ctr = Option.map (fun s -> Stats.counter s "msg.sent") stats;
+    recv_ctr = Option.map (fun s -> Stats.counter s "msg.recv") stats;
   }
 
 let n_sites t = t.n
 
 let check t v = if v < 0 || v >= t.n then invalid_arg "Network: site out of range"
+
+let describe_msg t msg = match t.describe with Some d -> d msg | None -> ("msg", 0)
 
 let send t ~src ~dst msg =
   check t src;
@@ -40,10 +54,21 @@ let send t ~src ~dst msg =
   if src = dst then invalid_arg "Network.send: src = dst";
   t.sent <- t.sent + 1;
   t.on_send ();
-  Sim.after t.sim t.delays.(src).(dst) (fun () ->
-      match t.targets.(dst) with
-      | Inbox mb -> Mailbox.send mb (src, msg)
-      | Handler f -> f ~src msg)
+  (match t.sent_ctr with Some c -> Stats.incr c ~site:src | None -> ());
+  let deliver () =
+    (match t.recv_ctr with Some c -> Stats.incr c ~site:dst | None -> ());
+    match t.targets.(dst) with
+    | Inbox mb -> Mailbox.send mb (src, msg)
+    | Handler f -> f ~src msg
+  in
+  if Trace.on t.trace then begin
+    let kind, size = describe_msg t msg in
+    Trace.record t.trace (Event.Msg_send { src; dst; kind; size });
+    Sim.after t.sim t.delays.(src).(dst) (fun () ->
+        Trace.record t.trace (Event.Msg_recv { src; dst; kind; size });
+        deliver ())
+  end
+  else Sim.after t.sim t.delays.(src).(dst) deliver
 
 let inbox t dst =
   check t dst;

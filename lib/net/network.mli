@@ -17,12 +17,21 @@ type 'a t
 (** [create ~sim ~n_sites ~latency ()] — [latency src dst] gives the one-way
     delay in ms for that ordered pair; it is sampled once per pair at
     creation. [on_send] is invoked synchronously for every {!send} (used for
-    cluster-wide message accounting). *)
+    cluster-wide message accounting).
+
+    Observability: when [trace] is enabled, every send and delivery is
+    recorded as a [Msg_send] / [Msg_recv] event tagged with the message kind
+    and approximate size from [describe] (defaults to [("msg", 0)]); when
+    [stats] is given, per-site ["msg.sent"] / ["msg.recv"] counters are
+    registered and bumped. *)
 val create :
   sim:Repdb_sim.Sim.t ->
   n_sites:int ->
   latency:(int -> int -> float) ->
   ?on_send:(unit -> unit) ->
+  ?trace:Repdb_obs.Trace.t ->
+  ?describe:('a -> string * int) ->
+  ?stats:Repdb_obs.Stats.t ->
   unit ->
   'a t
 

@@ -1,0 +1,97 @@
+type lock_mode = Shared | Exclusive
+
+type kind =
+  | Txn_begin of { gid : int; site : int }
+  | Txn_commit of { gid : int; site : int }
+  | Txn_abort of { gid : int; site : int; reason : string }
+  | Lock_request of { site : int; owner : int; item : int; mode : lock_mode }
+  | Lock_grant of { site : int; owner : int; item : int; mode : lock_mode }
+  | Lock_wait of { site : int; owner : int; item : int; mode : lock_mode }
+  | Lock_timeout of { site : int; owner : int; item : int }
+  | Lock_deadlock of { site : int; owner : int; item : int }
+  | Lock_release of { site : int; owner : int }
+  | Msg_send of { src : int; dst : int; kind : string; size : int }
+  | Msg_recv of { src : int; dst : int; kind : string; size : int }
+  | Secondary_recv of { gid : int; site : int }
+  | Secondary_commit of { gid : int; site : int }
+  | Prop_apply of { gid : int; site : int; delay : float }
+  | Epoch_advance of { site : int; epoch : int }
+  | Dummy_emit of { src : int; dst : int }
+  | Queue_depth of { site : int; queue : string; depth : int }
+  | Backedge_stage of { gid : int; site : int }
+  | Backedge_decide of { gid : int; site : int; commit : bool }
+
+type t = { time : float; kind : kind }
+
+let label = function
+  | Txn_begin _ -> "txn_begin"
+  | Txn_commit _ -> "txn_commit"
+  | Txn_abort _ -> "txn_abort"
+  | Lock_request _ -> "lock_request"
+  | Lock_grant _ -> "lock_grant"
+  | Lock_wait _ -> "lock_wait"
+  | Lock_timeout _ -> "lock_timeout"
+  | Lock_deadlock _ -> "lock_deadlock"
+  | Lock_release _ -> "lock_release"
+  | Msg_send _ -> "msg_send"
+  | Msg_recv _ -> "msg_recv"
+  | Secondary_recv _ -> "secondary_recv"
+  | Secondary_commit _ -> "secondary_commit"
+  | Prop_apply _ -> "prop_apply"
+  | Epoch_advance _ -> "epoch_advance"
+  | Dummy_emit _ -> "dummy_emit"
+  | Queue_depth _ -> "queue_depth"
+  | Backedge_stage _ -> "backedge_stage"
+  | Backedge_decide _ -> "backedge_decide"
+
+let site = function
+  | Txn_begin { site; _ }
+  | Txn_commit { site; _ }
+  | Txn_abort { site; _ }
+  | Lock_request { site; _ }
+  | Lock_grant { site; _ }
+  | Lock_wait { site; _ }
+  | Lock_timeout { site; _ }
+  | Lock_deadlock { site; _ }
+  | Lock_release { site; _ }
+  | Secondary_recv { site; _ }
+  | Secondary_commit { site; _ }
+  | Prop_apply { site; _ }
+  | Epoch_advance { site; _ }
+  | Queue_depth { site; _ }
+  | Backedge_stage { site; _ }
+  | Backedge_decide { site; _ } -> site
+  | Msg_send { src; _ } -> src
+  | Msg_recv { dst; _ } | Dummy_emit { dst; _ } -> dst
+
+let string_of_mode = function Shared -> "S" | Exclusive -> "X"
+
+let args = function
+  | Txn_begin { gid; _ } | Txn_commit { gid; _ } -> [ ("gid", `Int gid) ]
+  | Txn_abort { gid; reason; _ } -> [ ("gid", `Int gid); ("reason", `String reason) ]
+  | Lock_request { owner; item; mode; _ }
+  | Lock_grant { owner; item; mode; _ }
+  | Lock_wait { owner; item; mode; _ } ->
+      [ ("owner", `Int owner); ("item", `Int item); ("mode", `String (string_of_mode mode)) ]
+  | Lock_timeout { owner; item; _ } | Lock_deadlock { owner; item; _ } ->
+      [ ("owner", `Int owner); ("item", `Int item) ]
+  | Lock_release { owner; _ } -> [ ("owner", `Int owner) ]
+  | Msg_send { src; dst; kind; size } | Msg_recv { src; dst; kind; size } ->
+      [ ("src", `Int src); ("dst", `Int dst); ("kind", `String kind); ("size", `Int size) ]
+  | Secondary_recv { gid; _ } | Secondary_commit { gid; _ } -> [ ("gid", `Int gid) ]
+  | Prop_apply { gid; delay; _ } -> [ ("gid", `Int gid); ("delay", `Float delay) ]
+  | Epoch_advance { epoch; _ } -> [ ("epoch", `Int epoch) ]
+  | Dummy_emit { src; dst } -> [ ("src", `Int src); ("dst", `Int dst) ]
+  | Queue_depth { queue; depth; _ } -> [ ("queue", `String queue); ("depth", `Int depth) ]
+  | Backedge_stage { gid; _ } -> [ ("gid", `Int gid) ]
+  | Backedge_decide { gid; commit; _ } -> [ ("gid", `Int gid); ("commit", `Bool commit) ]
+
+let pp ppf e =
+  Fmt.pf ppf "@[%.3f %s@%d%a@]" e.time (label e.kind) (site e.kind)
+    (Fmt.list ~sep:Fmt.nop (fun ppf (k, v) ->
+         match v with
+         | `Int n -> Fmt.pf ppf " %s=%d" k n
+         | `Float f -> Fmt.pf ppf " %s=%.3f" k f
+         | `String s -> Fmt.pf ppf " %s=%s" k s
+         | `Bool b -> Fmt.pf ppf " %s=%b" k b))
+    (args e.kind)

@@ -1,0 +1,57 @@
+(** Typed trace events.
+
+    One constructor per observable state transition in the simulated system.
+    Sites, items, transaction ids and lock-owner (attempt) ids are the plain
+    integers the rest of the repository uses; message kinds are short strings
+    chosen by each protocol so the tracer stays independent of every protocol
+    message type. *)
+
+type lock_mode = Shared | Exclusive
+
+type kind =
+  | Txn_begin of { gid : int; site : int }
+      (** A primary transaction acquired its gid at its origin site. *)
+  | Txn_commit of { gid : int; site : int }
+  | Txn_abort of { gid : int; site : int; reason : string }
+  | Lock_request of { site : int; owner : int; item : int; mode : lock_mode }
+  | Lock_grant of { site : int; owner : int; item : int; mode : lock_mode }
+  | Lock_wait of { site : int; owner : int; item : int; mode : lock_mode }
+      (** The request blocked behind incompatible holders. *)
+  | Lock_timeout of { site : int; owner : int; item : int }
+  | Lock_deadlock of { site : int; owner : int; item : int }
+      (** The waiter was chosen as a deadlock victim. *)
+  | Lock_release of { site : int; owner : int }
+      (** [release_all] for the owner (commit or abort). *)
+  | Msg_send of { src : int; dst : int; kind : string; size : int }
+  | Msg_recv of { src : int; dst : int; kind : string; size : int }
+  | Secondary_recv of { gid : int; site : int }
+      (** A propagated subtransaction was dequeued for processing. *)
+  | Secondary_commit of { gid : int; site : int }
+      (** A propagated subtransaction applied its writes at a replica. *)
+  | Prop_apply of { gid : int; site : int; delay : float }
+      (** Replica updated [delay] ms after the primary commit. *)
+  | Epoch_advance of { site : int; epoch : int }
+  | Dummy_emit of { src : int; dst : int }
+      (** DAG(T) emitted a dummy subtransaction to push a child's clock. *)
+  | Queue_depth of { site : int; queue : string; depth : int }
+  | Backedge_stage of { gid : int; site : int }
+      (** A backedge subtransaction staged its writes and holds its locks. *)
+  | Backedge_decide of { gid : int; site : int; commit : bool }
+      (** The origin's decision reached the participant. *)
+
+type t = { time : float;  (** Simulated ms. *) kind : kind }
+
+(** Short machine-readable label, e.g. ["lock_wait"]. *)
+val label : kind -> string
+
+(** The site whose track the event belongs to (the receiving site for
+    messages and dummies). *)
+val site : kind -> int
+
+val string_of_mode : lock_mode -> string
+
+(** Event payload as label/value pairs (without the label or the site);
+    numeric values are rendered unquoted by the exporters. *)
+val args : kind -> (string * [ `Int of int | `Float of float | `String of string | `Bool of bool ]) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_json = function
+  | `Int n -> string_of_int n
+  | `Float f -> Printf.sprintf "%g" f
+  | `String s -> Printf.sprintf "\"%s\"" (escape s)
+  | `Bool b -> if b then "true" else "false"
+
+let fields_to_json fields =
+  String.concat "," (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k (value_to_json v)) fields)
+
+(* --- JSONL ---------------------------------------------------------------- *)
+
+let jsonl t write =
+  Trace.iter t (fun (e : Event.t) ->
+      write
+        (Printf.sprintf "{\"t\":%.3f,\"e\":\"%s\",\"site\":%d%s}\n" e.time (Event.label e.kind)
+           (Event.site e.kind)
+           (match Event.args e.kind with
+           | [] -> ""
+           | fields -> "," ^ fields_to_json fields)))
+
+let jsonl_to_channel t oc = jsonl t (output_string oc)
+
+let jsonl_to_string t =
+  let buf = Buffer.create 4096 in
+  jsonl t (Buffer.add_string buf);
+  Buffer.contents buf
+
+(* --- Chrome trace_event --------------------------------------------------- *)
+
+(* Category = the label's prefix, so the viewer can filter by subsystem. *)
+let category kind =
+  let l = Event.label kind in
+  match String.index_opt l '_' with Some i -> String.sub l 0 i | None -> l
+
+let chrome ?n_sites t write =
+  let n_sites =
+    match n_sites with
+    | Some n -> n
+    | None ->
+        let m = ref 0 in
+        Trace.iter t (fun e -> m := max !m (Event.site e.kind));
+        !m + 1
+  in
+  write "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else write ",";
+    write "\n";
+    write s
+  in
+  for site = 0 to n_sites - 1 do
+    emit
+      (Printf.sprintf
+         "{\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"site %d\"}}"
+         site site)
+  done;
+  Trace.iter t (fun (e : Event.t) ->
+      let site = Event.site e.kind in
+      let ts = e.time *. 1000.0 (* trace_event timestamps are microseconds *) in
+      match e.kind with
+      | Event.Txn_begin { gid; _ } ->
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"b\",\"cat\":\"txn\",\"id\":%d,\"pid\":%d,\"tid\":0,\"ts\":%.3f,\"name\":\"txn\"}"
+               gid site ts)
+      | Event.Txn_commit { gid; _ } ->
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"e\",\"cat\":\"txn\",\"id\":%d,\"pid\":%d,\"tid\":0,\"ts\":%.3f,\"name\":\"txn\",\"args\":{\"outcome\":\"commit\"}}"
+               gid site ts)
+      | Event.Txn_abort { gid; reason; _ } ->
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"e\",\"cat\":\"txn\",\"id\":%d,\"pid\":%d,\"tid\":0,\"ts\":%.3f,\"name\":\"txn\",\"args\":{\"outcome\":\"abort\",\"reason\":\"%s\"}}"
+               gid site ts (escape reason))
+      | Event.Queue_depth { queue; depth; _ } ->
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"C\",\"pid\":%d,\"tid\":0,\"ts\":%.3f,\"name\":\"queue:%s\",\"args\":{\"depth\":%d}}"
+               site ts (escape queue) depth)
+      | kind ->
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"i\",\"s\":\"p\",\"cat\":\"%s\",\"pid\":%d,\"tid\":0,\"ts\":%.3f,\"name\":\"%s\",\"args\":{%s}}"
+               (category kind) site ts (Event.label kind)
+               (fields_to_json (Event.args kind))));
+  write "\n]}\n"
+
+let chrome_to_channel ?n_sites t oc = chrome ?n_sites t (output_string oc)
+
+let chrome_to_string ?n_sites t =
+  let buf = Buffer.create 4096 in
+  chrome ?n_sites t (Buffer.add_string buf);
+  Buffer.contents buf

@@ -1,0 +1,27 @@
+(** Trace exporters.
+
+    Two formats:
+
+    - {b JSONL}: one self-describing JSON object per line —
+      [{"t":12.5,"e":"lock_wait","site":3,"owner":17,"item":42,"mode":"X"}] —
+      convenient for [jq]-style ad-hoc analysis and streaming to stdout.
+
+    - {b Chrome [trace_event]}: a JSON object loadable in
+      [chrome://tracing] / Perfetto. Each site becomes one process track;
+      transactions appear as async begin/end spans keyed by gid, queue-depth
+      samples as counter series, everything else as instant events. *)
+
+(** [jsonl t write] — stream every event through [write], one line each
+    (lines include the trailing newline). *)
+val jsonl : Trace.t -> (string -> unit) -> unit
+
+val jsonl_to_channel : Trace.t -> out_channel -> unit
+val jsonl_to_string : Trace.t -> string
+
+(** [chrome ?n_sites t write] — emit the complete Chrome trace JSON.
+    [n_sites] sizes the per-site metadata tracks; inferred from the events
+    when omitted. *)
+val chrome : ?n_sites:int -> Trace.t -> (string -> unit) -> unit
+
+val chrome_to_channel : ?n_sites:int -> Trace.t -> out_channel -> unit
+val chrome_to_string : ?n_sites:int -> Trace.t -> string

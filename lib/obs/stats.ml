@@ -1,0 +1,155 @@
+type counter = { c_name : string; c : int array }
+
+type histogram = {
+  h_name : string;
+  bounds : float array; (* strictly increasing upper bounds *)
+  counts : int array array; (* site -> bucket (last = overflow) *)
+  sums : float array; (* per site *)
+  ns : int array; (* per site *)
+}
+
+type t = {
+  n_sites : int;
+  mutable counters : counter list; (* reverse registration order *)
+  mutable histograms : histogram list;
+}
+
+let default_buckets =
+  [| 0.25; 0.5; 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0; 1000.0; 2000.0; 5000.0;
+     10000.0; 30000.0 |]
+
+let create ~n_sites () =
+  if n_sites < 1 then invalid_arg "Stats.create: need at least one site";
+  { n_sites; counters = []; histograms = [] }
+
+let n_sites t = t.n_sites
+
+let counter t name =
+  match List.find_opt (fun c -> c.c_name = name) t.counters with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c = Array.make t.n_sites 0 } in
+      t.counters <- c :: t.counters;
+      c
+
+let histogram ?(buckets = default_buckets) t name =
+  match List.find_opt (fun h -> h.h_name = name) t.histograms with
+  | Some h -> h
+  | None ->
+      Array.iteri
+        (fun i b ->
+          if i > 0 && buckets.(i - 1) >= b then
+            invalid_arg "Stats.histogram: buckets must be strictly increasing")
+        buckets;
+      let h =
+        {
+          h_name = name;
+          bounds = Array.copy buckets;
+          counts = Array.init t.n_sites (fun _ -> Array.make (Array.length buckets + 1) 0);
+          sums = Array.make t.n_sites 0.0;
+          ns = Array.make t.n_sites 0;
+        }
+      in
+      t.histograms <- h :: t.histograms;
+      h
+
+let[@inline] incr c ~site = c.c.(site) <- c.c.(site) + 1
+let[@inline] add c ~site n = c.c.(site) <- c.c.(site) + n
+
+(* First bucket whose upper bound admits [v]; the overflow bucket otherwise. *)
+let bucket_of bounds v =
+  let n = Array.length bounds in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if v <= bounds.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let observe h ~site v =
+  let b = bucket_of h.bounds v in
+  h.counts.(site).(b) <- h.counts.(site).(b) + 1;
+  h.sums.(site) <- h.sums.(site) +. v;
+  h.ns.(site) <- h.ns.(site) + 1
+
+let counter_value c ~site = c.c.(site)
+let counter_total c = Array.fold_left ( + ) 0 c.c
+let histogram_count h ~site = h.ns.(site)
+
+let histogram_mean h ~site =
+  if h.ns.(site) = 0 then 0.0 else h.sums.(site) /. float_of_int h.ns.(site)
+
+(* Aggregate bucket counts for [site], or all sites when [site < 0]. *)
+let bucket_counts h site =
+  let nb = Array.length h.bounds + 1 in
+  if site >= 0 then h.counts.(site)
+  else begin
+    let acc = Array.make nb 0 in
+    Array.iter (fun row -> Array.iteri (fun i n -> acc.(i) <- acc.(i) + n) row) h.counts;
+    acc
+  end
+
+let percentile h ~site q =
+  let counts = bucket_counts h site in
+  let total = Array.fold_left ( + ) 0 counts in
+  if total = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int total)) in
+    let rank = max 1 (min total rank) in
+    let acc = ref 0 and result = ref h.bounds.(Array.length h.bounds - 1) in
+    (try
+       Array.iteri
+         (fun i n ->
+           acc := !acc + n;
+           if !acc >= rank then begin
+             (result :=
+                if i < Array.length h.bounds then h.bounds.(i)
+                else h.bounds.(Array.length h.bounds - 1));
+             raise Exit
+           end)
+         counts
+     with Exit -> ());
+    !result
+  end
+
+let percentile_total h q = percentile h ~site:(-1) q
+
+let counter_names t = List.rev_map (fun c -> c.c_name) t.counters
+let histogram_names t = List.rev_map (fun h -> h.h_name) t.histograms
+
+let pp_table ppf t =
+  let counters = List.rev t.counters and histograms = List.rev t.histograms in
+  Fmt.pf ppf "@[<v>%-6s" "site";
+  List.iter (fun c -> Fmt.pf ppf " %12s" c.c_name) counters;
+  List.iter
+    (fun h ->
+      Fmt.pf ppf " %10s %9s %8s %8s %8s"
+        (h.h_name ^ "#") (h.h_name ^ ".avg") "p50" "p95" "p99")
+    histograms;
+  Fmt.pf ppf "@,";
+  let row label site =
+    Fmt.pf ppf "%-6s" label;
+    List.iter
+      (fun c ->
+        let v = if site >= 0 then c.c.(site) else counter_total c in
+        Fmt.pf ppf " %12d" v)
+      counters;
+    List.iter
+      (fun h ->
+        let n, mean =
+          if site >= 0 then (h.ns.(site), histogram_mean h ~site)
+          else
+            let n = Array.fold_left ( + ) 0 h.ns in
+            let s = Array.fold_left ( +. ) 0.0 h.sums in
+            (n, if n = 0 then 0.0 else s /. float_of_int n)
+        in
+        Fmt.pf ppf " %10d %9.1f %8.1f %8.1f %8.1f" n mean (percentile h ~site 0.5)
+          (percentile h ~site 0.95) (percentile h ~site 0.99))
+      histograms;
+    Fmt.pf ppf "@,"
+  in
+  for site = 0 to t.n_sites - 1 do
+    row (string_of_int site) site
+  done;
+  row "all" (-1);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,47 @@
+type t = {
+  enabled : bool;
+  clock : unit -> float;
+  capacity : int;
+  buf : Event.t option array;
+  mutable next : int; (* write position *)
+  mutable len : int; (* events held: min (total recorded) capacity *)
+  mutable dropped : int;
+}
+
+let disabled =
+  {
+    enabled = false;
+    clock = (fun () -> 0.0);
+    capacity = 0;
+    buf = [||];
+    next = 0;
+    len = 0;
+    dropped = 0;
+  }
+
+let create ?(capacity = 1 lsl 20) ~clock () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { enabled = true; clock; capacity; buf = Array.make capacity None; next = 0; len = 0; dropped = 0 }
+
+let[@inline] on t = t.enabled
+
+let record t kind =
+  if t.enabled then begin
+    t.buf.(t.next) <- Some { Event.time = t.clock (); kind };
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.len < t.capacity then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+  end
+
+let iter t f =
+  let start = (t.next - t.len + t.capacity * 2) mod max 1 t.capacity in
+  for i = 0 to t.len - 1 do
+    match t.buf.((start + i) mod t.capacity) with Some e -> f e | None -> ()
+  done
+
+let events t =
+  let acc = ref [] in
+  iter t (fun e -> acc := e :: !acc);
+  List.rev !acc
+
+let length t = t.len
+let dropped t = t.dropped

@@ -14,6 +14,7 @@ exception Stuck of exn
 let create () = { clock = 0.0; seq = 0; executed = 0; events = Heap.create () }
 
 let now t = t.clock
+let clock t () = t.clock
 let events_executed t = t.executed
 
 let schedule t time fn =

@@ -31,6 +31,10 @@ val create : unit -> t
 (** Current simulated time (ms). *)
 val now : t -> float
 
+(** [clock t] — the kernel's clock as a thunk, for observers (e.g. trace
+    collectors) that timestamp events without holding the kernel itself. *)
+val clock : t -> unit -> float
+
 (** Number of events executed so far. *)
 val events_executed : t -> int
 

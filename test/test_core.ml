@@ -19,11 +19,11 @@ let checkf = Alcotest.(check (float 1e-9))
 
 let test_metrics_counts () =
   let m = Metrics.create () in
-  Metrics.commit m ~response:10.0;
-  Metrics.commit m ~response:20.0;
-  Metrics.abort m Txn.Lock_timeout;
-  Metrics.abort m Txn.Lock_timeout;
-  Metrics.abort m Txn.Deadlock;
+  Metrics.commit m ~site:0 ~response:10.0;
+  Metrics.commit m ~site:0 ~response:20.0;
+  Metrics.abort m ~site:0 Txn.Lock_timeout;
+  Metrics.abort m ~site:0 Txn.Lock_timeout;
+  Metrics.abort m ~site:0 Txn.Deadlock;
   Metrics.propagation m ~delay:5.0;
   Metrics.client_done m ~time:1000.0;
   let s = Metrics.summarize m ~n_sites:2 ~messages:7 in
@@ -44,19 +44,63 @@ let test_metrics_counts () =
 let test_metrics_percentiles () =
   let m = Metrics.create () in
   for i = 1 to 100 do
-    Metrics.commit m ~response:(float_of_int i)
+    Metrics.commit m ~site:0 ~response:(float_of_int i)
   done;
   Metrics.client_done m ~time:100.0;
   let s = Metrics.summarize m ~n_sites:1 ~messages:0 in
   checkf "p50" 51.0 s.p50_response;
-  checkf "p95" 96.0 s.p95_response
+  checkf "p95" 96.0 s.p95_response;
+  checkf "p99" 100.0 s.p99_response
 
 let test_metrics_empty () =
   let m = Metrics.create () in
   let s = Metrics.summarize m ~n_sites:3 ~messages:0 in
   checkf "no throughput" 0.0 s.throughput;
   checkf "no response" 0.0 s.avg_response;
-  checkf "no abort rate" 0.0 s.abort_rate
+  checkf "no abort rate" 0.0 s.abort_rate;
+  (* Zero commits must not produce NaN anywhere in the summary. *)
+  checkb "p50 finite" false (Float.is_nan s.p50_response);
+  checkb "p95 finite" false (Float.is_nan s.p95_response);
+  checkb "p99 finite" false (Float.is_nan s.p99_response);
+  checkb "avg prop finite" false (Float.is_nan s.avg_propagation)
+
+let test_metrics_single_sample () =
+  let m = Metrics.create () in
+  Metrics.commit m ~site:0 ~response:42.0;
+  Metrics.client_done m ~time:100.0;
+  let s = Metrics.summarize m ~n_sites:1 ~messages:0 in
+  checkf "p50 of one" 42.0 s.p50_response;
+  checkf "p95 of one" 42.0 s.p95_response;
+  checkf "p99 of one" 42.0 s.p99_response;
+  checkf "avg of one" 42.0 s.avg_response
+
+let test_metrics_aborts_only () =
+  let m = Metrics.create () in
+  Metrics.abort m ~site:0 Txn.Deadlock;
+  Metrics.abort m ~site:0 Txn.Lock_timeout;
+  Metrics.client_done m ~time:50.0;
+  let s = Metrics.summarize m ~n_sites:1 ~messages:0 in
+  checki "no commits" 0 s.commits;
+  checki "two aborts" 2 s.aborts;
+  checkf "abort rate is total" 100.0 s.abort_rate;
+  checkb "avg response finite" false (Float.is_nan s.avg_response);
+  checkb "p99 finite" false (Float.is_nan s.p99_response)
+
+let test_metrics_per_site () =
+  let m = Metrics.create ~n_sites:3 () in
+  Metrics.commit m ~site:0 ~response:10.0;
+  Metrics.commit m ~site:2 ~response:30.0;
+  Metrics.abort m ~site:2 Txn.Deadlock;
+  Metrics.client_done m ~time:100.0;
+  let s = Metrics.summarize m ~n_sites:3 ~messages:0 in
+  checki "three rows" 3 (List.length s.per_site);
+  let row site = List.nth s.per_site site in
+  checki "site 0 commits" 1 (row 0).Metrics.s_commits;
+  checki "site 1 commits" 0 (row 1).Metrics.s_commits;
+  checki "site 2 commits" 1 (row 2).Metrics.s_commits;
+  checki "site 2 aborts" 1 (row 2).Metrics.s_aborts;
+  checkf "site 0 avg" 10.0 (row 0).Metrics.s_avg_response;
+  checkf "site 1 avg" 0.0 (row 1).Metrics.s_avg_response
 
 (* --- convergence --------------------------------------------------------- *)
 
@@ -219,6 +263,9 @@ let () =
           Alcotest.test_case "counts" `Quick test_metrics_counts;
           Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
           Alcotest.test_case "empty" `Quick test_metrics_empty;
+          Alcotest.test_case "single sample" `Quick test_metrics_single_sample;
+          Alcotest.test_case "aborts only" `Quick test_metrics_aborts_only;
+          Alcotest.test_case "per site" `Quick test_metrics_per_site;
         ] );
       ( "convergence",
         [ Alcotest.test_case "detects divergence" `Quick test_convergence_detects_divergence ] );

@@ -1,0 +1,291 @@
+(* Tests for the observability subsystem (lib/obs): ring-buffer trace
+   collector, per-site stats registries, exporters, and — the load-bearing
+   part — protocol invariants asserted over real traces:
+
+   - DAG(WT) commits secondaries in FIFO receive order at every site;
+   - PSL sends no propagation traffic at all (replicas stay virtual);
+   - BackEdge participants hold their staged locks across the primary
+     commit (stage <= primary commit <= decide, per gid and site);
+   - DAG(T) epochs advance monotonically at every site. *)
+
+module Trace = Repdb_obs.Trace
+module Event = Repdb_obs.Event
+module Stats = Repdb_obs.Stats
+module Export = Repdb_obs.Export
+module Params = Repdb_workload.Params
+module Driver = Repdb.Driver
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- trace ring buffer ---------------------------------------------------- *)
+
+(* A deterministic fake clock: 0.0, 1.0, 2.0, ... *)
+let ticking_clock () =
+  let n = ref (-1) in
+  fun () ->
+    incr n;
+    float_of_int !n
+
+let test_ring_overflow () =
+  let tr = Trace.create ~capacity:4 ~clock:(ticking_clock ()) () in
+  for gid = 0 to 9 do
+    Trace.record tr (Event.Txn_begin { gid; site = 0 })
+  done;
+  checki "length capped" 4 (Trace.length tr);
+  checki "dropped counted" 6 (Trace.dropped tr);
+  let gids =
+    List.map
+      (fun (e : Event.t) ->
+        match e.kind with Event.Txn_begin { gid; _ } -> gid | _ -> -1)
+      (Trace.events tr)
+  in
+  Alcotest.(check (list int)) "last four survive in order" [ 6; 7; 8; 9 ] gids;
+  let times = List.map (fun (e : Event.t) -> e.time) (Trace.events tr) in
+  Alcotest.(check (list (float 1e-9))) "clock stamps" [ 6.0; 7.0; 8.0; 9.0 ] times
+
+let test_disabled_noop () =
+  let tr = Trace.disabled in
+  checkb "off" false (Trace.on tr);
+  Trace.record tr (Event.Txn_begin { gid = 1; site = 0 });
+  checki "no events" 0 (Trace.length tr);
+  checki "nothing dropped" 0 (Trace.dropped tr)
+
+(* --- stats registries ------------------------------------------------------ *)
+
+let test_stats_counters () =
+  let s = Stats.create ~n_sites:3 () in
+  let c = Stats.counter s "txn.commit" in
+  Stats.incr c ~site:0;
+  Stats.incr c ~site:0;
+  Stats.incr c ~site:2;
+  Stats.add c ~site:1 5;
+  checki "site 0" 2 (Stats.counter_value c ~site:0);
+  checki "site 1" 5 (Stats.counter_value c ~site:1);
+  checki "site 2" 1 (Stats.counter_value c ~site:2);
+  checki "total" 8 (Stats.counter_total c);
+  (* find-or-register returns the same handle *)
+  let c' = Stats.counter s "txn.commit" in
+  Stats.incr c' ~site:0;
+  checki "shared handle" 3 (Stats.counter_value c ~site:0)
+
+let test_stats_histogram () =
+  let s = Stats.create ~n_sites:2 () in
+  let h = Stats.histogram s "response" in
+  Stats.observe h ~site:0 3.0;
+  Stats.observe h ~site:0 7.0;
+  Stats.observe h ~site:1 900.0;
+  checki "count site 0" 2 (Stats.histogram_count h ~site:0);
+  checkf "mean site 0" 5.0 (Stats.histogram_mean h ~site:0);
+  (* Percentiles are bucket upper bounds: 3.0 lands in (2,5], 7.0 in (5,10]. *)
+  checkf "p50 site 0" 5.0 (Stats.percentile h ~site:0 0.5);
+  checkf "p99 site 0" 10.0 (Stats.percentile h ~site:0 0.99);
+  checkf "aggregate p99" 1000.0 (Stats.percentile_total h 0.99);
+  checkf "empty percentile" 0.0 (Stats.percentile (Stats.histogram s "other") ~site:0 0.5)
+
+(* --- exporters ------------------------------------------------------------- *)
+
+(* Minimal JSON well-formedness check: brackets/braces balance outside
+   strings, and the text is non-empty. Catches truncation and bad escaping
+   without needing a JSON parser. *)
+let json_balanced s =
+  let depth = ref 0 and in_str = ref false and escaped = ref false and ok = ref true in
+  String.iter
+    (fun ch ->
+      if !escaped then escaped := false
+      else if !in_str then begin
+        if ch = '\\' then escaped := true else if ch = '"' then in_str := false
+      end
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str && String.length s > 0
+
+let sample_trace () =
+  let tr = Trace.create ~capacity:64 ~clock:(ticking_clock ()) () in
+  Trace.record tr (Event.Txn_begin { gid = 7; site = 1 });
+  Trace.record tr
+    (Event.Lock_wait { site = 1; owner = 7; item = 3; mode = Event.Exclusive });
+  Trace.record tr (Event.Msg_send { src = 1; dst = 2; kind = "secondary"; size = 40 });
+  Trace.record tr (Event.Queue_depth { site = 2; queue = "fifo"; depth = 3 });
+  Trace.record tr (Event.Txn_abort { gid = 7; site = 1; reason = "deadlock \"x\"" });
+  tr
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let test_export_jsonl () =
+  let tr = sample_trace () in
+  let out = Export.jsonl_to_string tr in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  checki "one line per event" (Trace.length tr) (List.length lines);
+  List.iter
+    (fun line ->
+      checkb "object per line" true
+        (String.length line > 1 && line.[0] = '{' && line.[String.length line - 1] = '}');
+      checkb "line is balanced json" true (json_balanced line))
+    lines;
+  checkb "label present" true (List.exists (contains ~affix:"\"lock_wait\"") lines);
+  checkb "escaped quote survives" true (List.exists (contains ~affix:"\\\"x\\\"") lines)
+
+let test_export_chrome () =
+  let tr = sample_trace () in
+  let out = Export.chrome_to_string ~n_sites:3 tr in
+  checkb "balanced json" true (json_balanced out);
+  checkb "trace events array" true (contains ~affix:"\"traceEvents\"" out);
+  checkb "site process metadata" true (contains ~affix:"\"process_name\"" out);
+  checkb "txn async begin" true (contains ~affix:"\"ph\":\"b\"" out);
+  checkb "txn async end" true (contains ~affix:"\"ph\":\"e\"" out);
+  checkb "queue counter" true (contains ~affix:"\"ph\":\"C\"" out);
+  (* ts is microseconds: event at t=2.0ms must appear as 2000. *)
+  checkb "microsecond timestamps" true (contains ~affix:"\"ts\":2000" out)
+
+(* --- trace-backed protocol invariants -------------------------------------- *)
+
+let quick_params =
+  { Params.default with txns_per_thread = 10; backedge_prob = 0.0 }
+
+let find_protocol name =
+  match Repdb.Registry.find name with
+  | Some p -> p
+  | None -> Alcotest.failf "protocol %s not registered" name
+
+let run_traced ?(params = quick_params) name =
+  let r = Driver.run ~trace:true params (find_protocol name) in
+  Alcotest.(check bool) "trace collected" true (Trace.on r.trace);
+  checki "no events dropped" 0 (Trace.dropped r.trace);
+  r
+
+(* DAG(WT): at every site the secondary commit order must equal the receive
+   (FIFO dequeue) order restricted to subtransactions that write locally —
+   the ordering guarantee Section 3.1's correctness argument rests on. *)
+let test_dagwt_fifo_commit_order () =
+  let r = run_traced "dag-wt" in
+  let m = r.params.n_sites in
+  let recvs = Array.make m [] and commits = Array.make m [] in
+  Trace.iter r.trace (fun e ->
+      match e.kind with
+      | Event.Secondary_recv { gid; site } -> recvs.(site) <- gid :: recvs.(site)
+      | Event.Secondary_commit { gid; site } -> commits.(site) <- gid :: commits.(site)
+      | _ -> ());
+  let checked = ref 0 in
+  for site = 0 to m - 1 do
+    let recv_seq = List.rev recvs.(site) and commit_seq = List.rev commits.(site) in
+    let committed = List.fold_left (fun s g -> g :: s) [] commit_seq in
+    let expected = List.filter (fun g -> List.mem g committed) recv_seq in
+    Alcotest.(check (list int))
+      (Printf.sprintf "site %d commits in receive order" site)
+      expected commit_seq;
+    checked := !checked + List.length commit_seq
+  done;
+  checkb "assertion is not vacuous" true (!checked > 10)
+
+(* PSL keeps replicas virtual: the trace must contain no propagation events
+   of any kind, and every message on the wire is read-lock traffic. *)
+let test_psl_no_propagation () =
+  let r = run_traced "psl" in
+  let sends = ref 0 in
+  Trace.iter r.trace (fun e ->
+      match e.kind with
+      | Event.Secondary_recv _ | Event.Secondary_commit _ | Event.Prop_apply _
+      | Event.Dummy_emit _ ->
+          Alcotest.failf "PSL emitted a propagation event: %s" (Fmt.str "%a" Event.pp e)
+      | Event.Msg_send { kind; _ } ->
+          incr sends;
+          checkb ("message kind " ^ kind) true
+            (List.mem kind [ "read-request"; "read-reply"; "release" ])
+      | _ -> ());
+  checkb "remote reads happened" true (!sends > 0)
+
+(* BackEdge: a participant that staged a backedge subtransaction holds its
+   write locks from the stage until the origin's decision arrives — in
+   particular across the primary commit (Section 4's eager leg). The trace
+   must show stage <= primary commit <= decide for every committed gid. *)
+let test_backedge_eager_lock_span () =
+  let params = { Params.default with txns_per_thread = 20 } in
+  let r = run_traced ~params "backedge" in
+  let stage = Hashtbl.create 64 and commit = Hashtbl.create 64 in
+  let checked = ref 0 in
+  Trace.iter r.trace (fun e ->
+      match e.kind with
+      | Event.Backedge_stage { gid; site } ->
+          if not (Hashtbl.mem stage (gid, site)) then Hashtbl.add stage (gid, site) e.time
+      | Event.Txn_commit { gid; _ } -> Hashtbl.replace commit gid e.time
+      | Event.Backedge_decide { gid; site; commit = true } -> begin
+          match (Hashtbl.find_opt stage (gid, site), Hashtbl.find_opt commit gid) with
+          | Some t_stage, Some t_commit ->
+              incr checked;
+              checkb
+                (Printf.sprintf "gid %d site %d: staged before primary commit" gid site)
+                true (t_stage <= t_commit);
+              checkb
+                (Printf.sprintf "gid %d site %d: decide after primary commit" gid site)
+                true (t_commit <= e.time)
+          | Some _, None ->
+              Alcotest.failf "gid %d: commit-decide without a primary commit event" gid
+          | None, _ -> Alcotest.failf "gid %d site %d: decide without a stage" gid site
+        end
+      | _ -> ());
+  checkb "backedge commits observed" true (!checked > 0)
+
+(* DAG(T): each site's epoch only moves forward. *)
+let test_dagt_epoch_monotone () =
+  let r = run_traced "dag-t" in
+  let m = r.params.n_sites in
+  let last = Array.make m min_int in
+  let advances = ref 0 in
+  Trace.iter r.trace (fun e ->
+      match e.kind with
+      | Event.Epoch_advance { site; epoch } ->
+          incr advances;
+          checkb (Printf.sprintf "site %d epoch grows" site) true (epoch > last.(site));
+          last.(site) <- epoch
+      | _ -> ());
+  checkb "epochs advanced" true (!advances > 0)
+
+(* Tracing off (the default) must leave the shared disabled collector in the
+   report and collect nothing. *)
+let test_trace_off_by_default () =
+  let r = Driver.run quick_params (find_protocol "dag-wt") in
+  checkb "disabled" false (Trace.on r.trace);
+  checki "empty" 0 (Trace.length r.trace);
+  (* The per-site registries stay on regardless. *)
+  let c = Stats.counter r.site_stats "txn.commit" in
+  checki "stats still collected" r.summary.commits (Stats.counter_total c)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+          Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "counters" `Quick test_stats_counters;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl" `Quick test_export_jsonl;
+          Alcotest.test_case "chrome" `Quick test_export_chrome;
+        ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "dag-wt fifo commits" `Quick test_dagwt_fifo_commit_order;
+          Alcotest.test_case "psl no propagation" `Quick test_psl_no_propagation;
+          Alcotest.test_case "backedge eager lock span" `Quick test_backedge_eager_lock_span;
+          Alcotest.test_case "dag-t epoch monotone" `Quick test_dagt_epoch_monotone;
+          Alcotest.test_case "trace off by default" `Quick test_trace_off_by_default;
+        ] );
+    ]
