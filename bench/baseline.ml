@@ -1,0 +1,147 @@
+(* Tracked performance baselines for the evaluation engine.
+
+     dune exec bench/baseline.exe                    # fig2a fig2b fig3a fig3b
+     dune exec bench/baseline.exe -- -j 4 fig2a
+     REPDB_BENCH_TXNS=50 dune exec bench/baseline.exe -- -o /tmp/b.json
+
+   Each selected figure is regenerated twice — sequentially and on a [-j]
+   domain pool — and BENCH_sweeps.json records wall-clock per figure for
+   both paths, the speedup, simulator events/second, and whether the two
+   CSVs were byte-identical (they must be). Future PRs diff this file to
+   regression-check the experiment engine's performance. *)
+
+module Params = Repdb_workload.Params
+module Experiment = Repdb.Experiment
+module Pool = Repdb_par.Pool
+
+let txns_per_thread =
+  match Sys.getenv_opt "REPDB_BENCH_TXNS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1000)
+  | None -> 1000
+
+let base = { Params.default with txns_per_thread }
+
+let figures : (string * (?pool:Pool.t -> unit -> Experiment.figure)) list =
+  [
+    ("fig2a", fun ?pool () -> Experiment.fig2a ?pool ~base ());
+    ("fig2b", fun ?pool () -> Experiment.fig2b ?pool ~base ());
+    ("fig3a", fun ?pool () -> Experiment.fig3a ?pool ~base ());
+    ("fig3b", fun ?pool () -> Experiment.fig3b ?pool ~base ());
+    ("sites", fun ?pool () -> Experiment.sweep_sites ?pool ~base ());
+    ("threads", fun ?pool () -> Experiment.sweep_threads ?pool ~base ());
+    ("latency", fun ?pool () -> Experiment.sweep_latency ?pool ~base ());
+    ("readtxn", fun ?pool () -> Experiment.sweep_read_txn ?pool ~base ());
+    ("eager-scaling", fun ?pool () -> Experiment.ablation_eager_scaling ?pool ~base ());
+    ("tree-routing", fun ?pool () -> Experiment.ablation_tree_routing ?pool ~base ());
+    ("dummy-period", fun ?pool () -> Experiment.ablation_dummy_period ?pool ~base ());
+    ("hotspot", fun ?pool () -> Experiment.ablation_hotspot ?pool ~base ());
+    ("straggler", fun ?pool () -> Experiment.ablation_straggler ?pool ~base ());
+  ]
+
+let default_figures = [ "fig2a"; "fig2b"; "fig3a"; "fig3b" ]
+
+let usage () =
+  Fmt.epr "usage: baseline [-j N] [-o FILE] [figure...]@.figures: %s@."
+    (String.concat ", " (List.map fst figures));
+  exit 1
+
+let jobs, out_file, selected =
+  let rec parse jobs out acc = function
+    | [] -> (jobs, out, List.rev acc)
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with Some j when j >= 1 -> parse j out acc rest | _ -> usage ())
+    | "-o" :: f :: rest -> parse jobs f acc rest
+    | ("-j" | "-o") :: _ -> usage ()
+    | arg :: rest ->
+        if List.mem_assoc arg figures then parse jobs out (arg :: acc) rest
+        else begin
+          Fmt.epr "unknown figure %S@." arg;
+          usage ()
+        end
+  in
+  parse (Pool.default_domains ()) "BENCH_sweeps.json" [] (List.tl (Array.to_list Sys.argv))
+
+let selected = if selected = [] then default_figures else selected
+
+type row = {
+  id : string;
+  seq_s : float;
+  par_s : float;
+  events : int;  (* simulator events per full figure (same both paths) *)
+  identical : bool;
+}
+
+let events_of (fig : Experiment.figure) =
+  List.fold_left
+    (fun acc (pt : Experiment.point) ->
+      List.fold_left (fun acc (_, (r : Repdb.Driver.report)) -> acc + r.sim_events) acc pt.reports)
+    0 fig.points
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (Unix.gettimeofday () -. t0, v)
+
+let () =
+  let pool = if jobs > 1 then Some (Pool.create ~domains:jobs) else None in
+  let rows =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Pool.shutdown pool)
+      (fun () ->
+        List.map
+          (fun id ->
+            let make = List.assoc id figures in
+            Fmt.pr "%-14s seq ... %!" id;
+            let seq_s, seq_fig = time (fun () -> make ()) in
+            Fmt.pr "%6.2fs   -j %d ... %!" seq_s jobs;
+            let par_s, par_fig = time (fun () -> make ?pool ()) in
+            let identical = Experiment.to_csv seq_fig = Experiment.to_csv par_fig in
+            let events = events_of seq_fig in
+            Fmt.pr "%6.2fs   %4.2fx   %s@." par_s (seq_s /. par_s)
+              (if identical then "csv identical" else "CSV MISMATCH");
+            { id; seq_s; par_s; events; identical })
+          selected)
+  in
+  let tot f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let seq_total = tot (fun r -> r.seq_s) and par_total = tot (fun r -> r.par_s) in
+  let events_total = List.fold_left (fun acc r -> acc + r.events) 0 rows in
+  let all_identical = List.for_all (fun r -> r.identical) rows in
+  let buf = Buffer.create 4096 in
+  let row_json r =
+    Printf.sprintf
+      "    { \"id\": %S, \"seq_s\": %.4f, \"par_s\": %.4f, \"speedup\": %.3f,\n\
+      \      \"events\": %d, \"seq_events_per_s\": %.0f, \"par_events_per_s\": %.0f,\n\
+      \      \"identical\": %b }"
+      r.id r.seq_s r.par_s (r.seq_s /. r.par_s) r.events
+      (float_of_int r.events /. r.seq_s)
+      (float_of_int r.events /. r.par_s)
+      r.identical
+  in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"generated_by\": \"bench/baseline.exe\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"txns_per_thread\": %d,\n" txns_per_thread);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ()));
+  Buffer.add_string buf "  \"figures\": [\n";
+  Buffer.add_string buf (String.concat ",\n" (List.map row_json rows));
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"total\": { \"seq_s\": %.4f, \"par_s\": %.4f, \"speedup\": %.3f, \"events\": %d,\n\
+       \             \"seq_events_per_s\": %.0f, \"par_events_per_s\": %.0f, \"identical\": %b }\n"
+       seq_total par_total
+       (seq_total /. par_total)
+       events_total
+       (float_of_int events_total /. seq_total)
+       (float_of_int events_total /. par_total)
+       all_identical);
+  Buffer.add_string buf "}\n";
+  let oc = open_out out_file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "total: seq %.2fs, -j %d %.2fs (%.2fx), %d events, %s -> %s@." seq_total jobs par_total
+    (seq_total /. par_total) events_total
+    (if all_identical then "all CSVs identical" else "CSV MISMATCH")
+    out_file;
+  if not all_identical then exit 1

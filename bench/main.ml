@@ -7,10 +7,16 @@
      REPDB_BENCH_TXNS=100 dune exec bench/main.exe   # faster, coarser
 
    Experiments run at the paper's scale (1000 transactions per thread) by
-   default; figures print both a human-readable table and CSV. *)
+   default; figures print both a human-readable table and CSV.
+
+   [-j N] runs the independent simulations of each target on N domains
+   (default: Domain.recommended_domain_count () - 1, at least 1). Output is
+   bit-identical to [-j 1] — tasks land by input index and each owns its
+   whole simulator state. *)
 
 module Params = Repdb_workload.Params
 module Experiment = Repdb.Experiment
+module Pool = Repdb_par.Pool
 
 let txns_per_thread =
   match Sys.getenv_opt "REPDB_BENCH_TXNS" with
@@ -18,6 +24,28 @@ let txns_per_thread =
   | None -> 1000
 
 let base = { Params.default with txns_per_thread }
+
+let jobs, requested =
+  let bad arg =
+    Fmt.epr "bad argument %s: expected -j N with N >= 1@." arg;
+    exit 1
+  in
+  let rec parse jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with Some j when j >= 1 -> parse j acc rest | _ -> bad ("-j " ^ n))
+    | [ "-j" ] -> bad "-j"
+    | arg :: rest when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
+        let n = String.sub arg 2 (String.length arg - 2) in
+        match int_of_string_opt n with Some j when j >= 1 -> parse j acc rest | _ -> bad arg)
+    | arg :: rest -> parse jobs (arg :: acc) rest
+  in
+  parse (Pool.default_domains ()) [] (List.tl (Array.to_list Sys.argv))
+
+let pool = if jobs > 1 then Some (Pool.create ~domains:jobs) else None
+
+(* Parallel map for this file's own seed loops; sequential without a pool. *)
+let par_map arr ~f = match pool with Some p -> Pool.map p arr ~f | None -> Array.map f arr
 
 let print_figure fig =
   Fmt.pr "%a@." Experiment.pp_figure fig;
@@ -42,7 +70,7 @@ let resp () =
     (fun (name, (r : Repdb.Driver.report)) ->
       Fmt.pr "  %-9s avg response = %6.1f ms   avg propagation = %6.1f ms   abort = %5.2f%%@."
         name r.summary.avg_response r.summary.avg_propagation r.summary.abort_rate)
-    (Experiment.response_times ~base ());
+    (Experiment.response_times ?pool ~base ());
   Fmt.pr "  (paper: ~180 ms BackEdge vs ~260 ms PSL; propagation \"a few hundred millisec\")@.@."
 
 (* --- ablations ----------------------------------------------------------------- *)
@@ -54,7 +82,7 @@ let ablation () =
       Fmt.pr "  %-9s thr/site=%7.2f  abort=%6.2f%%  resp=%7.1fms  prop=%7.1fms  msgs=%d@." name
         r.summary.throughput_per_site r.summary.abort_rate r.summary.avg_response
         r.summary.avg_propagation r.summary.messages)
-    (Experiment.ablation_protocols ~base ());
+    (Experiment.ablation_protocols ?pool ~base ());
   Fmt.pr "@."
 
 (* --- Section 4.2: minimising the effects of backedges ---------------------------- *)
@@ -69,59 +97,71 @@ let fas () =
   let module Placement = Repdb_workload.Placement in
   Fmt.pr "== Section 4.2: backedge-set weight by construction (weight = items per edge) ==@.";
   Fmt.pr "  %-6s %-14s %-14s %-14s@." "seed" "identity-order" "dfs-minimal" "greedy-fas";
+  let seeds = Array.init 10 (fun i -> i + 1) in
+  let rows =
+    par_map seeds ~f:(fun seed ->
+        let params = { base with Params.backedge_prob = 0.5; replication_prob = 0.5 } in
+        let pl = Placement.generate (Repdb_sim.Rng.create seed) params in
+        let g = Placement.copy_graph pl in
+        let m = params.Params.n_sites in
+        (* Edge weight: how many items have their primary at u and a replica
+           at v — each committed update to one of them crosses the edge.
+           Counted once per placement (one pass over the items) instead of
+           rescanning all items on every weight query. *)
+        let counts = Array.make_matrix m m 0 in
+        Array.iteri
+          (fun item u ->
+            List.iter (fun v -> counts.(u).(v) <- counts.(u).(v) + 1) pl.Placement.replicas.(item))
+          pl.Placement.primary;
+        let weight u v = float_of_int counts.(u).(v) in
+        let sets =
+          [
+            Backedge.of_order g (Array.init m Fun.id);
+            Backedge.minimal_set g;
+            Backedge.greedy_fas g ~weight;
+          ]
+        in
+        List.map (fun set -> Backedge.total_weight set ~weight) sets)
+  in
   let totals = Array.make 3 0.0 in
-  for seed = 1 to 10 do
-    let params = { base with Params.backedge_prob = 0.5; replication_prob = 0.5 } in
-    let pl = Placement.generate (Repdb_sim.Rng.create seed) params in
-    let g = Placement.copy_graph pl in
-    (* Edge weight: how many items have their primary at u and a replica at
-       v — each committed update to one of them crosses the edge. *)
-    let weight u v =
-      let n = ref 0 in
-      Array.iteri
-        (fun item p -> if p = u && List.mem v pl.Placement.replicas.(item) then incr n)
-        pl.Placement.primary;
-      float_of_int !n
-    in
-    let sets =
-      [
-        Backedge.of_order g (Array.init params.Params.n_sites Fun.id);
-        Backedge.minimal_set g;
-        Backedge.greedy_fas g ~weight;
-      ]
-    in
-    let weights = List.map (fun s -> Backedge.total_weight s ~weight) sets in
-    List.iteri (fun i w -> totals.(i) <- totals.(i) +. w) weights;
-    (match weights with
-    | [ a; b; c ] -> Fmt.pr "  %-6d %-14.0f %-14.0f %-14.0f@." seed a b c
-    | _ -> assert false)
-  done;
+  Array.iteri
+    (fun i weights ->
+      List.iteri (fun j w -> totals.(j) <- totals.(j) +. w) weights;
+      match weights with
+      | [ a; b; c ] -> Fmt.pr "  %-6d %-14.0f %-14.0f %-14.0f@." seeds.(i) a b c
+      | _ -> assert false)
+    rows;
   Fmt.pr "  %-6s %-14.1f %-14.1f %-14.1f@." "mean" (totals.(0) /. 10.0) (totals.(1) /. 10.0)
     (totals.(2) /. 10.0);
   Fmt.pr "  (uniform placements give near-symmetric weights, so the sets tie)@.@.";
   (* Skewed weights — where the weighted heuristic is supposed to help. *)
   Fmt.pr "  Skewed random digraphs (12 vertices, ~30 edges, weights 1..100):@.";
   Fmt.pr "  %-6s %-14s %-14s@." "seed" "dfs-minimal" "greedy-fas";
+  let rows =
+    par_map seeds ~f:(fun seed ->
+        let rng = Repdb_sim.Rng.create (seed * 131) in
+        let g = Digraph.create 12 in
+        let w = Hashtbl.create 64 in
+        for _ = 1 to 30 do
+          let u = Repdb_sim.Rng.int rng 12 and v = Repdb_sim.Rng.int rng 12 in
+          if u <> v then begin
+            Digraph.add_edge g u v;
+            if not (Hashtbl.mem w (u, v)) then
+              Hashtbl.replace w (u, v) (1.0 +. float_of_int (Repdb_sim.Rng.int rng 100))
+          end
+        done;
+        let weight u v = try Hashtbl.find w (u, v) with Not_found -> 1.0 in
+        let dfs = Backedge.total_weight (Backedge.minimal_set g) ~weight in
+        let greedy = Backedge.total_weight (Backedge.greedy_fas g ~weight) ~weight in
+        (dfs, greedy))
+  in
   let totals = Array.make 2 0.0 in
-  for seed = 1 to 10 do
-    let rng = Repdb_sim.Rng.create (seed * 131) in
-    let g = Digraph.create 12 in
-    let w = Hashtbl.create 64 in
-    for _ = 1 to 30 do
-      let u = Repdb_sim.Rng.int rng 12 and v = Repdb_sim.Rng.int rng 12 in
-      if u <> v then begin
-        Digraph.add_edge g u v;
-        if not (Hashtbl.mem w (u, v)) then
-          Hashtbl.replace w (u, v) (1.0 +. float_of_int (Repdb_sim.Rng.int rng 100))
-      end
-    done;
-    let weight u v = try Hashtbl.find w (u, v) with Not_found -> 1.0 in
-    let dfs = Backedge.total_weight (Backedge.minimal_set g) ~weight in
-    let greedy = Backedge.total_weight (Backedge.greedy_fas g ~weight) ~weight in
-    totals.(0) <- totals.(0) +. dfs;
-    totals.(1) <- totals.(1) +. greedy;
-    Fmt.pr "  %-6d %-14.0f %-14.0f@." seed dfs greedy
-  done;
+  Array.iteri
+    (fun i (dfs, greedy) ->
+      totals.(0) <- totals.(0) +. dfs;
+      totals.(1) <- totals.(1) +. greedy;
+      Fmt.pr "  %-6d %-14.0f %-14.0f@." seeds.(i) dfs greedy)
+    rows;
   Fmt.pr "  %-6s %-14.1f %-14.1f@." "mean" (totals.(0) /. 10.0) (totals.(1) /. 10.0);
   Fmt.pr "@."
 
@@ -131,16 +171,26 @@ let fas () =
    single runs; this quantifies the noise band around our shapes.) *)
 let variance () =
   Fmt.pr "== Seed variance at the defaults (5 seeds) ==@.";
-  List.iter
-    (fun (proto : Repdb.Protocol.t) ->
-      let samples =
-        List.map
-          (fun seed ->
-            let r = Repdb.Driver.run { base with Params.seed } proto in
-            r.summary.throughput_per_site)
-          [ 42; 43; 44; 45; 46 ]
-      in
-      let n = float_of_int (List.length samples) in
+  let protos : Repdb.Protocol.t array =
+    [| (module Repdb.Backedge_proto : Repdb.Protocol.S); (module Repdb.Psl : Repdb.Protocol.S) |]
+  in
+  let seeds = [| 42; 43; 44; 45; 46 |] in
+  let ns = Array.length seeds in
+  (* One task per protocol x seed pair; results land by index, so the
+     printed table is independent of -j. *)
+  let tasks =
+    Array.init
+      (Array.length protos * ns)
+      (fun i -> (protos.(i / ns), seeds.(i mod ns)))
+  in
+  let thr =
+    par_map tasks ~f:(fun (proto, seed) ->
+        (Repdb.Driver.run { base with Params.seed } proto).summary.throughput_per_site)
+  in
+  Array.iteri
+    (fun pi proto ->
+      let samples = Array.to_list (Array.sub thr (pi * ns) ns) in
+      let n = float_of_int ns in
       let mean = List.fold_left ( +. ) 0.0 samples /. n in
       let var =
         List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples /. n
@@ -149,10 +199,66 @@ let variance () =
         (Repdb.Protocol.name proto) mean (sqrt var)
         (List.fold_left min infinity samples)
         (List.fold_left max neg_infinity samples))
-    [ (module Repdb.Backedge_proto : Repdb.Protocol.S); (module Repdb.Psl : Repdb.Protocol.S) ];
+    protos;
   Fmt.pr "@."
 
 (* --- micro-benchmarks ----------------------------------------------------------- *)
+
+(* The pre-PR heap, kept verbatim as a baseline so the micro target shows
+   what the hole-sifting rewrite of [Repdb_sim.Heap] buys: this version does
+   a three-word swap per level in both sift directions. *)
+module Swap_heap = struct
+  type 'a entry = { time : float; seq : int; value : 'a }
+  type 'a t = { mutable data : 'a entry array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+  let is_empty h = h.len = 0
+  let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push h ~time ~seq value =
+    let entry = { time; seq; value } in
+    let cap = Array.length h.data in
+    if h.len = cap then begin
+      let ndata = Array.make (if cap = 0 then 16 else cap * 2) entry in
+      Array.blit h.data 0 ndata 0 h.len;
+      h.data <- ndata
+    end;
+    h.data.(h.len) <- entry;
+    h.len <- h.len + 1;
+    let rec up i =
+      if i > 0 then begin
+        let parent = (i - 1) / 2 in
+        if less h.data.(i) h.data.(parent) then begin
+          let tmp = h.data.(i) in
+          h.data.(i) <- h.data.(parent);
+          h.data.(parent) <- tmp;
+          up parent
+        end
+      end
+    in
+    up (h.len - 1)
+
+  let pop_min h =
+    let min = h.data.(0) in
+    h.len <- h.len - 1;
+    if h.len > 0 then begin
+      h.data.(0) <- h.data.(h.len);
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i in
+        if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> i then begin
+          let tmp = h.data.(i) in
+          h.data.(i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    (min.time, min.seq, min.value)
+end
 
 let micro () =
   let open Bechamel in
@@ -173,13 +279,18 @@ let micro () =
     g
   in
   let heap_rng = Repdb_sim.Rng.create 2 in
+  let swap_heap_rng = Repdb_sim.Rng.create 2 in
+  (* Per-task pool overhead: 256 no-op tasks on a 2-domain pool, so the
+     measured cost is claim/synchronisation, not work. *)
+  let micro_pool = Pool.create ~domains:2 in
+  let pool_tasks = Array.init 256 Fun.id in
   let tests =
     [
       Test.make ~name:"Timestamp.compare" (Staged.stage (fun () -> Repdb.Timestamp.compare ts_a ts_b));
       Test.make ~name:"Rng.next_int64" (Staged.stage (fun () -> Repdb_sim.Rng.next_int64 rng));
       Test.make ~name:"Tree.of_dag (16 sites)" (Staged.stage (fun () -> Repdb_graph.Tree.of_dag dag));
       Test.make ~name:"Backedge.minimal_set" (Staged.stage (fun () -> Repdb_graph.Backedge.minimal_set dag));
-      Test.make ~name:"Heap push/pop"
+      Test.make ~name:"Heap push/pop (hole-sift)"
         (Staged.stage (fun () ->
              let h = Repdb_sim.Heap.create () in
              for seq = 0 to 63 do
@@ -188,6 +299,17 @@ let micro () =
              while not (Repdb_sim.Heap.is_empty h) do
                ignore (Repdb_sim.Heap.pop_min h)
              done));
+      Test.make ~name:"Heap push/pop (pairwise-swap)"
+        (Staged.stage (fun () ->
+             let h = Swap_heap.create () in
+             for seq = 0 to 63 do
+               Swap_heap.push h ~time:(Repdb_sim.Rng.float swap_heap_rng) ~seq ()
+             done;
+             while not (Swap_heap.is_empty h) do
+               ignore (Swap_heap.pop_min h)
+             done));
+      Test.make ~name:"Pool.map (256 tasks, 2 domains)"
+        (Staged.stage (fun () -> ignore (Pool.map micro_pool pool_tasks ~f:succ)));
     ]
   in
   let benchmark test =
@@ -208,6 +330,7 @@ let micro () =
           | _ -> Fmt.pr "  %-28s (no estimate)@." name)
         results)
     tests;
+  Pool.shutdown micro_pool;
   Fmt.pr "@."
 
 (* --- dispatch ------------------------------------------------------------------- *)
@@ -215,18 +338,18 @@ let micro () =
 let targets : (string * (unit -> unit)) list =
   [
     ("table1", table1);
-    ("fig2a", fun () -> print_figure (Experiment.fig2a ~base ()));
-    ("fig2b", fun () -> print_figure (Experiment.fig2b ~base ()));
-    ("fig3a", fun () -> print_figure (Experiment.fig3a ~base ()));
-    ("fig3b", fun () -> print_figure (Experiment.fig3b ~base ()));
+    ("fig2a", fun () -> print_figure (Experiment.fig2a ?pool ~base ()));
+    ("fig2b", fun () -> print_figure (Experiment.fig2b ?pool ~base ()));
+    ("fig3a", fun () -> print_figure (Experiment.fig3a ?pool ~base ()));
+    ("fig3b", fun () -> print_figure (Experiment.fig3b ?pool ~base ()));
     ("resp", resp);
-    ("sites", fun () -> print_figure (Experiment.sweep_sites ~base ()));
-    ("threads", fun () -> print_figure (Experiment.sweep_threads ~base ()));
-    ("latency", fun () -> print_figure (Experiment.sweep_latency ~base ()));
-    ("readtxn", fun () -> print_figure (Experiment.sweep_read_txn ~base ()));
+    ("sites", fun () -> print_figure (Experiment.sweep_sites ?pool ~base ()));
+    ("threads", fun () -> print_figure (Experiment.sweep_threads ?pool ~base ()));
+    ("latency", fun () -> print_figure (Experiment.sweep_latency ?pool ~base ()));
+    ("readtxn", fun () -> print_figure (Experiment.sweep_read_txn ?pool ~base ()));
     ("ablation", ablation);
-    ("eager-scaling", fun () -> print_figure (Experiment.ablation_eager_scaling ~base ()));
-    ("tree-routing", fun () -> print_figure (Experiment.ablation_tree_routing ~base ()));
+    ("eager-scaling", fun () -> print_figure (Experiment.ablation_eager_scaling ?pool ~base ()));
+    ("tree-routing", fun () -> print_figure (Experiment.ablation_tree_routing ?pool ~base ()));
     ( "deadlock-policy",
       fun () ->
         Fmt.pr "== Ablation: timeout vs waits-for-graph detection (defaults) ==@.";
@@ -234,11 +357,11 @@ let targets : (string * (unit -> unit)) list =
           (fun (name, (r : Repdb.Driver.report)) ->
             Fmt.pr "  %-18s thr/site=%7.2f  abort=%6.2f%%  resp=%7.1fms@." name
               r.summary.throughput_per_site r.summary.abort_rate r.summary.avg_response)
-          (Experiment.ablation_deadlock_policy ~base ());
+          (Experiment.ablation_deadlock_policy ?pool ~base ());
         Fmt.pr "@." );
-    ("dummy-period", fun () -> print_figure (Experiment.ablation_dummy_period ~base ()));
-    ("hotspot", fun () -> print_figure (Experiment.ablation_hotspot ~base ()));
-    ("straggler", fun () -> print_figure (Experiment.ablation_straggler ~base ()));
+    ("dummy-period", fun () -> print_figure (Experiment.ablation_dummy_period ?pool ~base ()));
+    ("hotspot", fun () -> print_figure (Experiment.ablation_hotspot ?pool ~base ()));
+    ("straggler", fun () -> print_figure (Experiment.ablation_straggler ?pool ~base ()));
     ( "site-order",
       fun () ->
         Fmt.pr "== Ablation: BackEdge site ordering on a hub topology (Section 4.2) ==@.";
@@ -246,7 +369,7 @@ let targets : (string * (unit -> unit)) list =
           (fun (label, (r : Repdb.Driver.report)) ->
             Fmt.pr "  %-15s thr/site=%7.2f  abort=%6.2f%%  backedges=%d@." label
               r.summary.throughput_per_site r.summary.abort_rate r.n_backedges)
-          (Experiment.ablation_site_order ~base ());
+          (Experiment.ablation_site_order ?pool ~base ());
         Fmt.pr "  (n_backedges is counted under the identity order; the fas order removes them@.\
          \   from the protocol's tree even though the copy graph is unchanged)@.@." );
     ("fas", fas);
@@ -255,16 +378,18 @@ let targets : (string * (unit -> unit)) list =
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
   let requested = if requested = [] then List.map fst targets else requested in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name targets with
-      | Some run ->
-          Fmt.pr "#### %s (txns/thread = %d) ####@." name txns_per_thread;
-          run ()
-      | None ->
-          Fmt.epr "unknown bench target %S; available: %s@." name
-            (String.concat ", " (List.map fst targets));
-          exit 1)
-    requested
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name targets with
+          | Some run ->
+              Fmt.pr "#### %s (txns/thread = %d, -j %d) ####@." name txns_per_thread jobs;
+              run ()
+          | None ->
+              Fmt.epr "unknown bench target %S; available: %s@." name
+                (String.concat ", " (List.map fst targets));
+              exit 1)
+        requested)

@@ -172,6 +172,24 @@ let stats_cmd =
 
 (* --- experiment ------------------------------------------------------------ *)
 
+module Pool = Repdb_par.Pool
+
+let jobs_term =
+  Arg.(
+    value
+    & opt int (Pool.default_domains ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run the sweep's independent simulations on $(docv) domains (default: \
+           $(b,Domain.recommended_domain_count () - 1), at least 1). Results are bit-identical \
+           to $(b,-j 1): every run owns its simulator and RNG, and results are ordered by \
+           input index. $(b,-j 1) is the plain sequential path.")
+
+(* Run [f] with a pool of [jobs] domains (or none for [jobs <= 1]), shutting
+   the pool down afterwards. *)
+let with_jobs jobs f =
+  if jobs > 1 then Pool.with_pool ~domains:jobs (fun pool -> f (Some pool)) else f None
+
 let experiment_cmd =
   let exp_name =
     Arg.(
@@ -187,36 +205,39 @@ let experiment_cmd =
     Arg.(value & opt int 10 & info [ "steps" ] ~doc:"Sweep resolution for probability axes.")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Print CSV only.") in
-  let run params exp_name steps csv =
+  let run params exp_name steps csv jobs =
     let base = params in
-    let print fig =
-      if csv then print_string (Repdb.Experiment.to_csv fig)
-      else Fmt.pr "%a@." Repdb.Experiment.pp_figure fig
-    in
-    let reports rs = Fmt.pr "%a@." Repdb.Experiment.pp_reports rs in
-    match exp_name with
-    | "fig2a" -> print (Repdb.Experiment.fig2a ~base ~steps ())
-    | "fig2b" -> print (Repdb.Experiment.fig2b ~base ~steps ())
-    | "fig3a" -> print (Repdb.Experiment.fig3a ~base ~steps ())
-    | "fig3b" -> print (Repdb.Experiment.fig3b ~base ~steps ())
-    | "resp" -> reports (Repdb.Experiment.response_times ~base ())
-    | "sites" -> print (Repdb.Experiment.sweep_sites ~base ())
-    | "threads" -> print (Repdb.Experiment.sweep_threads ~base ())
-    | "latency" -> print (Repdb.Experiment.sweep_latency ~base ())
-    | "readtxn" -> print (Repdb.Experiment.sweep_read_txn ~base ())
-    | "ablation" -> reports (Repdb.Experiment.ablation_protocols ~base ())
-    | "eager-scaling" -> print (Repdb.Experiment.ablation_eager_scaling ~base ())
-    | "tree-routing" -> print (Repdb.Experiment.ablation_tree_routing ~base ())
-    | "deadlock-policy" -> reports (Repdb.Experiment.ablation_deadlock_policy ~base ())
-    | "dummy-period" -> print (Repdb.Experiment.ablation_dummy_period ~base ())
-    | "hotspot" -> print (Repdb.Experiment.ablation_hotspot ~base ())
-    | "straggler" -> print (Repdb.Experiment.ablation_straggler ~base ())
-    | "site-order" -> reports (Repdb.Experiment.ablation_site_order ~base ())
-    | other -> Fmt.epr "unknown experiment %S@." other
+    with_jobs jobs (fun pool ->
+        let print fig =
+          if csv then print_string (Repdb.Experiment.to_csv fig)
+          else Fmt.pr "%a@." Repdb.Experiment.pp_figure fig
+        in
+        let reports rs = Fmt.pr "%a@." Repdb.Experiment.pp_reports rs in
+        match exp_name with
+        | "fig2a" -> print (Repdb.Experiment.fig2a ?pool ~base ~steps ())
+        | "fig2b" -> print (Repdb.Experiment.fig2b ?pool ~base ~steps ())
+        | "fig3a" -> print (Repdb.Experiment.fig3a ?pool ~base ~steps ())
+        | "fig3b" -> print (Repdb.Experiment.fig3b ?pool ~base ~steps ())
+        | "resp" -> reports (Repdb.Experiment.response_times ?pool ~base ())
+        | "sites" -> print (Repdb.Experiment.sweep_sites ?pool ~base ())
+        | "threads" -> print (Repdb.Experiment.sweep_threads ?pool ~base ())
+        | "latency" -> print (Repdb.Experiment.sweep_latency ?pool ~base ())
+        | "readtxn" -> print (Repdb.Experiment.sweep_read_txn ?pool ~base ())
+        | "ablation" -> reports (Repdb.Experiment.ablation_protocols ?pool ~base ())
+        | "eager-scaling" -> print (Repdb.Experiment.ablation_eager_scaling ?pool ~base ())
+        | "tree-routing" -> print (Repdb.Experiment.ablation_tree_routing ?pool ~base ())
+        | "deadlock-policy" -> reports (Repdb.Experiment.ablation_deadlock_policy ?pool ~base ())
+        | "dummy-period" -> print (Repdb.Experiment.ablation_dummy_period ?pool ~base ())
+        | "hotspot" -> print (Repdb.Experiment.ablation_hotspot ?pool ~base ())
+        | "straggler" -> print (Repdb.Experiment.ablation_straggler ?pool ~base ())
+        | "site-order" -> reports (Repdb.Experiment.ablation_site_order ?pool ~base ())
+        | other -> Fmt.epr "unknown experiment %S@." other)
   in
   Cmd.v
-    (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables/figures or a sweep.")
-    Term.(const run $ params_term $ exp_name $ steps $ csv)
+    (Cmd.info "experiment"
+       ~doc:
+         "Regenerate one of the paper's tables/figures or a sweep. Independent simulations run           on $(b,-j) domains.")
+    Term.(const run $ params_term $ exp_name $ steps $ csv $ jobs_term)
 
 (* --- protocols / table1 ------------------------------------------------------ *)
 

@@ -30,6 +30,18 @@ type report = {
 (** [run ?placement params protocol] — build a cluster (with the given or a
     generated placement), run the workload to quiescence, and report.
     [~trace:true] collects a structured event trace into the report.
+
+    {b Domain safety.} [run] is safe to call concurrently from several
+    domains (the experiment harness does, via [Repdb_par.Pool]): every piece
+    of mutable state it touches — the simulator and its event heap, RNG
+    streams, stores, lock managers, network, metrics, trace and per-site
+    stats — is created inside the call and owned by its cluster. An audit
+    (this PR) found no module-level mutable state anywhere in
+    core/sim/store/lock/net/txn/workload/obs; the only shared top-level
+    values ([Params.default], [Registry.all], [Stats.default_buckets],
+    [Trace.disabled]) are never written ([Trace.record] is a no-op on the
+    disabled trace). A caller-supplied [?placement] may be shared across
+    concurrent runs: it is read-only after construction.
     @raise Failure if the system fails to quiesce within a generous horizon
     (indicates a protocol bug). *)
 val run :

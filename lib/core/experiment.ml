@@ -1,83 +1,124 @@
 module Params = Repdb_workload.Params
+module Pool = Repdb_par.Pool
 
 type point = { x : float; reports : (string * Driver.report) list }
 type figure = { id : string; title : string; xlabel : string; points : point list }
 
 let be_psl : Protocol.t list = [ (module Backedge_proto : Protocol.S); (module Psl : Protocol.S) ]
 
-let run_point params protocols x =
+(* Every fan-out below goes through [run_tasks]: an array of independent
+   thunks (each one a self-contained [Driver.run] — own [Sim.t], [Rng],
+   cluster, trace) evaluated either sequentially or on the pool. [Pool.map]
+   lands results by input index, so the two paths produce identical arrays;
+   see the determinism test in [test/test_par.ml]. *)
+let run_tasks ?pool tasks =
+  match pool with
+  | None -> Array.map (fun task -> task ()) tasks
+  | Some pool -> Pool.map pool tasks ~f:(fun task -> task ())
+
+(* Run [(label, params, protocol)] tasks and pair labels with reports. *)
+let run_labelled ?pool jobs =
+  let jobs = Array.of_list jobs in
   let reports =
-    List.map (fun p -> (Protocol.name p, Driver.run params p)) protocols
+    run_tasks ?pool (Array.map (fun (_, params, p) -> fun () -> Driver.run params p) jobs)
+  in
+  Array.to_list (Array.map2 (fun (label, _, _) r -> (label, r)) jobs reports)
+
+let run_point ?pool params protocols x =
+  let reports =
+    run_labelled ?pool (List.map (fun p -> (Protocol.name p, params, p)) protocols)
   in
   { x; reports }
 
-let sweep ~id ~title ~xlabel ~protocols ~values ~params_of () =
-  { id; title; xlabel; points = List.map (fun x -> run_point (params_of x) protocols x) values }
+let sweep ?pool ~id ~title ~xlabel ~protocols ~values ~params_of () =
+  (* One task per protocol x x-value pair, row-major by point so the grid
+     reassembles in figure order whatever the parallel interleaving was. *)
+  let protos = Array.of_list protocols in
+  let xs = Array.of_list values in
+  let np = Array.length protos in
+  let tasks =
+    Array.init
+      (Array.length xs * np)
+      (fun i ->
+        let x = xs.(i / np) and p = protos.(i mod np) in
+        fun () -> Driver.run (params_of x) p)
+  in
+  let reports = run_tasks ?pool tasks in
+  let points =
+    List.init (Array.length xs) (fun xi ->
+        {
+          x = xs.(xi);
+          reports =
+            List.init np (fun pi -> (Protocol.name protos.(pi), reports.((xi * np) + pi)));
+        })
+  in
+  { id; title; xlabel; points }
 
 let probs steps = List.init (steps + 1) (fun i -> float_of_int i /. float_of_int steps)
 
-let fig2a ?(base = Params.default) ?(steps = 10) () =
-  sweep ~id:"fig2a" ~title:"Throughput vs backedge probability (Figure 2a)"
+let fig2a ?pool ?(base = Params.default) ?(steps = 10) () =
+  sweep ?pool ~id:"fig2a" ~title:"Throughput vs backedge probability (Figure 2a)"
     ~xlabel:"backedge probability b" ~protocols:be_psl ~values:(probs steps)
     ~params_of:(fun b -> { base with backedge_prob = b })
     ()
 
-let fig2b ?(base = Params.default) ?(steps = 10) () =
-  sweep ~id:"fig2b" ~title:"Throughput vs replication probability (Figure 2b)"
+let fig2b ?pool ?(base = Params.default) ?(steps = 10) () =
+  sweep ?pool ~id:"fig2b" ~title:"Throughput vs replication probability (Figure 2b)"
     ~xlabel:"replication probability r" ~protocols:be_psl ~values:(probs steps)
     ~params_of:(fun r -> { base with replication_prob = r })
     ()
 
 let extreme base = { base with Params.replication_prob = 0.5; read_txn_prob = 0.0 }
 
-let fig3a ?(base = Params.default) ?(steps = 10) () =
+let fig3a ?pool ?(base = Params.default) ?(steps = 10) () =
   let base = { (extreme base) with backedge_prob = 0.0 } in
-  sweep ~id:"fig3a" ~title:"Throughput vs read-op probability, b=0 (Figure 3a)"
+  sweep ?pool ~id:"fig3a" ~title:"Throughput vs read-op probability, b=0 (Figure 3a)"
     ~xlabel:"read operation probability" ~protocols:be_psl ~values:(probs steps)
     ~params_of:(fun p -> { base with read_op_prob = p })
     ()
 
-let fig3b ?(base = Params.default) ?(steps = 10) () =
+let fig3b ?pool ?(base = Params.default) ?(steps = 10) () =
   let base = { (extreme base) with backedge_prob = 1.0 } in
-  sweep ~id:"fig3b" ~title:"Throughput vs read-op probability, b=1 (Figure 3b)"
+  sweep ?pool ~id:"fig3b" ~title:"Throughput vs read-op probability, b=1 (Figure 3b)"
     ~xlabel:"read operation probability" ~protocols:be_psl ~values:(probs steps)
     ~params_of:(fun p -> { base with read_op_prob = p })
     ()
 
-let response_times ?(base = Params.default) () =
-  List.map (fun p -> (Protocol.name p, Driver.run base p)) be_psl
+let response_times ?pool ?(base = Params.default) () =
+  run_labelled ?pool (List.map (fun p -> (Protocol.name p, base, p)) be_psl)
 
-let sweep_sites ?(base = Params.default) () =
-  sweep ~id:"sites" ~title:"Throughput vs number of sites" ~xlabel:"sites m" ~protocols:be_psl
+let sweep_sites ?pool ?(base = Params.default) () =
+  sweep ?pool ~id:"sites" ~title:"Throughput vs number of sites" ~xlabel:"sites m" ~protocols:be_psl
     ~values:[ 3.0; 6.0; 9.0; 12.0; 15.0 ]
     ~params_of:(fun m -> { base with n_sites = int_of_float m })
     ()
 
-let sweep_threads ?(base = Params.default) () =
-  sweep ~id:"threads" ~title:"Throughput vs threads per site" ~xlabel:"threads/site"
+let sweep_threads ?pool ?(base = Params.default) () =
+  sweep ?pool ~id:"threads" ~title:"Throughput vs threads per site" ~xlabel:"threads/site"
     ~protocols:be_psl
     ~values:[ 1.0; 2.0; 3.0; 4.0; 5.0 ]
     ~params_of:(fun k -> { base with threads_per_site = int_of_float k })
     ()
 
-let sweep_latency ?(base = Params.default) () =
-  sweep ~id:"latency" ~title:"Throughput vs network latency" ~xlabel:"latency (ms)"
+let sweep_latency ?pool ?(base = Params.default) () =
+  sweep ?pool ~id:"latency" ~title:"Throughput vs network latency" ~xlabel:"latency (ms)"
     ~protocols:be_psl
     ~values:[ 0.15; 1.0; 5.0; 20.0; 50.0; 100.0 ]
     ~params_of:(fun l -> { base with latency = l })
     ()
 
-let sweep_read_txn ?(base = Params.default) ?(steps = 5) () =
-  sweep ~id:"readtxn" ~title:"Throughput vs read-transaction probability"
+let sweep_read_txn ?pool ?(base = Params.default) ?(steps = 5) () =
+  sweep ?pool ~id:"readtxn" ~title:"Throughput vs read-transaction probability"
     ~xlabel:"read transaction probability" ~protocols:be_psl ~values:(probs steps)
     ~params_of:(fun p -> { base with read_txn_prob = p })
     ()
 
-let ablation_protocols ?(base = Params.default) () =
+let ablation_protocols ?pool ?(base = Params.default) () =
   let params = { base with Params.backedge_prob = 0.0 } in
-  List.map (fun p -> (Protocol.name p, Driver.run params p)) (Registry.all @ [ Registry.dag_t_pipelined ])
+  run_labelled ?pool
+    (List.map (fun p -> (Protocol.name p, params, p)) (Registry.all @ [ Registry.dag_t_pipelined ]))
 
-let ablation_eager_scaling ?(base = Params.default) () =
+let ablation_eager_scaling ?pool ?(base = Params.default) () =
   let protocols : Protocol.t list =
     [
       (module Eager : Protocol.S);
@@ -87,49 +128,48 @@ let ablation_eager_scaling ?(base = Params.default) () =
       (module Psl : Protocol.S);
     ]
   in
-  sweep ~id:"eager-scaling" ~title:"Eager / central-cert / lazy-master vs lazy as sites grow"
+  sweep ?pool ~id:"eager-scaling" ~title:"Eager / central-cert / lazy-master vs lazy as sites grow"
     ~xlabel:"sites m" ~protocols
     ~values:[ 3.0; 6.0; 9.0; 12.0; 15.0 ]
     ~params_of:(fun m -> { base with n_sites = int_of_float m })
     ()
 
-let ablation_tree_routing ?(base = Params.default) ?(steps = 5) () =
+let ablation_tree_routing ?pool ?(base = Params.default) ?(steps = 5) () =
   let protocols : Protocol.t list = [ (module Backedge_proto : Protocol.S); Registry.backedge_general ] in
-  sweep ~id:"tree-routing" ~title:"BackEdge: chain tree vs general per-component tree"
+  sweep ?pool ~id:"tree-routing" ~title:"BackEdge: chain tree vs general per-component tree"
     ~xlabel:"backedge probability b" ~protocols ~values:(probs steps)
     ~params_of:(fun b -> { base with backedge_prob = b })
     ()
 
-let ablation_deadlock_policy ?(base = Params.default) () =
-  List.concat_map
-    (fun (label, policy) ->
-      let params = { base with Params.deadlock_policy = policy } in
-      List.map
-        (fun p -> (Protocol.name p ^ "/" ^ label, Driver.run params p))
-        be_psl)
-    [ ("timeout", `Timeout); ("detect", `Detect) ]
+let ablation_deadlock_policy ?pool ?(base = Params.default) () =
+  run_labelled ?pool
+    (List.concat_map
+       (fun (label, policy) ->
+         let params = { base with Params.deadlock_policy = policy } in
+         List.map (fun p -> (Protocol.name p ^ "/" ^ label, params, p)) be_psl)
+       [ ("timeout", `Timeout); ("detect", `Detect) ])
 
-let ablation_dummy_period ?(base = Params.default) () =
+let ablation_dummy_period ?pool ?(base = Params.default) () =
   let base = { base with Params.backedge_prob = 0.0 } in
-  sweep ~id:"dummy-period" ~title:"DAG(T): propagation delay vs dummy idle threshold"
+  sweep ?pool ~id:"dummy-period" ~title:"DAG(T): propagation delay vs dummy idle threshold"
     ~xlabel:"dummy idle threshold (ms)"
     ~protocols:[ (module Dag_t : Protocol.S) ]
     ~values:[ 10.0; 25.0; 50.0; 100.0; 200.0 ]
     ~params_of:(fun d -> { base with dummy_idle = d; epoch_period = 2.0 *. d })
     ()
 
-let ablation_hotspot ?(base = Params.default) () =
-  sweep ~id:"hotspot" ~title:"Hotspot skew: throughput vs hot-access probability"
+let ablation_hotspot ?pool ?(base = Params.default) () =
+  sweep ?pool ~id:"hotspot" ~title:"Hotspot skew: throughput vs hot-access probability"
     ~xlabel:"hot access probability (hot set = 20% of the pool)" ~protocols:be_psl
     ~values:[ 0.0; 0.3; 0.5; 0.7; 0.9 ]
     ~params_of:(fun h -> { base with hot_access_prob = h })
     ()
 
-let ablation_straggler ?(base = Params.default) () =
+let ablation_straggler ?pool ?(base = Params.default) () =
   let protocols : Protocol.t list =
     [ (module Backedge_proto : Protocol.S); (module Psl : Protocol.S); (module Central : Protocol.S) ]
   in
-  sweep ~id:"straggler" ~title:"Straggler machine: throughput vs CPU slowdown of machine 0"
+  sweep ?pool ~id:"straggler" ~title:"Straggler machine: throughput vs CPU slowdown of machine 0"
     ~xlabel:"straggler slowdown factor" ~protocols
     ~values:[ 1.0; 2.0; 4.0; 8.0 ]
     ~params_of:(fun f -> { base with straggler_machine = 0; straggler_factor = f })
@@ -145,7 +185,7 @@ let ordered_backedge name order : Protocol.t =
     let submit = Backedge_proto.submit
   end : Protocol.S)
 
-let ablation_site_order ?(base = Params.default) () =
+let ablation_site_order ?pool ?(base = Params.default) () =
   let m = base.Params.n_sites in
   let hub = m - 1 in
   let n_reference = 30 and n_local = 10 in
@@ -171,12 +211,19 @@ let ablation_site_order ?(base = Params.default) () =
   let order =
     match Repdb_graph.Digraph.topo_sort gdag with Some o -> Array.of_list o | None -> assert false
   in
-  List.map
-    (fun (label, proto) -> (label, Driver.run ~placement params proto))
+  (* The two runs share [placement] read-only; each builds its own cluster. *)
+  let jobs =
     [
       ("identity-order", ordered_backedge "backedge" (Array.init m Fun.id));
       ("fas-order", ordered_backedge "backedge" order);
     ]
+  in
+  let jobs_arr = Array.of_list jobs in
+  let reports =
+    run_tasks ?pool
+      (Array.map (fun (_, proto) -> fun () -> Driver.run ~placement params proto) jobs_arr)
+  in
+  Array.to_list (Array.map2 (fun (label, _) r -> (label, r)) jobs_arr reports)
 
 let pp_point ppf (pt : point) =
   List.iter

@@ -6,6 +6,12 @@
 
 module Params = Repdb_workload.Params
 
+(** Every experiment accepts an optional [?pool]; with one, the independent
+    [Driver.run]s (one per protocol x swept value) execute on its domains.
+    Results are placed by input index and each run owns all of its mutable
+    state, so parallel output is bit-identical to the sequential path (there
+    is a test). Without [?pool] everything runs in the caller, as before. *)
+
 type point = {
   x : float;  (** The swept parameter value. *)
   reports : (string * Driver.report) list;  (** protocol name -> report. *)
@@ -18,64 +24,69 @@ type figure = {
   points : point list;
 }
 
+(** [run_point params protocols x] runs every protocol at one parameter
+    setting (in parallel given [?pool]) and returns the figure point for
+    swept value [x]. *)
+val run_point : ?pool:Repdb_par.Pool.t -> Params.t -> Protocol.t list -> float -> point
+
 (** {1 The paper's figures} *)
 
 (** Figure 2(a): throughput vs backedge probability, BackEdge vs PSL. *)
-val fig2a : ?base:Params.t -> ?steps:int -> unit -> figure
+val fig2a : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> ?steps:int -> unit -> figure
 
 (** Figure 2(b): throughput vs replication probability. *)
-val fig2b : ?base:Params.t -> ?steps:int -> unit -> figure
+val fig2b : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> ?steps:int -> unit -> figure
 
 (** Figure 3(a): throughput vs read-op probability at [b = 0], [r = 0.5],
     no read-only transactions. *)
-val fig3a : ?base:Params.t -> ?steps:int -> unit -> figure
+val fig3a : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> ?steps:int -> unit -> figure
 
 (** Figure 3(b): same sweep at [b = 1]. *)
-val fig3b : ?base:Params.t -> ?steps:int -> unit -> figure
+val fig3b : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> ?steps:int -> unit -> figure
 
 (** Section 5.3.4: response times and propagation delay at the defaults. *)
-val response_times : ?base:Params.t -> unit -> (string * Driver.report) list
+val response_times : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> (string * Driver.report) list
 
 (** {1 Table 1 range sweeps (tech-report experiments)} *)
 
-val sweep_sites : ?base:Params.t -> unit -> figure
-val sweep_threads : ?base:Params.t -> unit -> figure
-val sweep_latency : ?base:Params.t -> unit -> figure
-val sweep_read_txn : ?base:Params.t -> ?steps:int -> unit -> figure
+val sweep_sites : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
+val sweep_threads : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
+val sweep_latency : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
+val sweep_read_txn : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> ?steps:int -> unit -> figure
 
 (** {1 Ablations} *)
 
 (** All six protocols at the defaults, over a DAG copy graph ([b = 0]) so the
     DAG protocols are applicable. *)
-val ablation_protocols : ?base:Params.t -> unit -> (string * Driver.report) list
+val ablation_protocols : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> (string * Driver.report) list
 
 (** Eager, centralized certification and lazy-master vs the lazy protocols as
     sites grow — the introduction's "eager does not scale" claim plus
     Section 1.2's "the central site becomes a bottleneck". *)
-val ablation_eager_scaling : ?base:Params.t -> unit -> figure
+val ablation_eager_scaling : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
 
 (** Chain-tree BackEdge (the paper's evaluated variant) vs the general
     per-component tree (Section 5.1 expects the latter to win) across the
     backedge-probability sweep. *)
-val ablation_tree_routing : ?base:Params.t -> ?steps:int -> unit -> figure
+val ablation_tree_routing : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> ?steps:int -> unit -> figure
 
 (** The paper's 50 ms timeout vs local waits-for-graph detection (with the
     timeout kept as a distributed-deadlock backstop), at the defaults. *)
-val ablation_deadlock_policy : ?base:Params.t -> unit -> (string * Driver.report) list
+val ablation_deadlock_policy : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> (string * Driver.report) list
 
 (** DAG(T) propagation delay as the dummy-subtransaction idle threshold
     varies — the cost of the Section 3.3 progress machinery ([b = 0]). *)
-val ablation_dummy_period : ?base:Params.t -> unit -> figure
+val ablation_dummy_period : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
 
 (** Hotspot skew: BackEdge vs PSL as the probability of hitting the hot 20%
     of each site's pool grows — contention beyond the paper's uniform
     workload. *)
-val ablation_hotspot : ?base:Params.t -> unit -> figure
+val ablation_hotspot : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
 
 (** Straggler machine: one machine's CPU slowed by a growing factor. The
     centralized certifier (whose central site lives on the straggler)
     collapses; the decentralized lazy protocols degrade gracefully. *)
-val ablation_straggler : ?base:Params.t -> unit -> figure
+val ablation_straggler : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
 
 (** Site ordering (Section 4.2 in protocol form): a hub site that replicates
     reference data to every spoke. If the hub is numbered last, every copy-
@@ -83,7 +94,7 @@ val ablation_straggler : ?base:Params.t -> unit -> figure
     feedback-arc-set-derived order puts the hub first and makes the whole
     graph forward. Compares BackEdge under the identity order vs the
     [Backedge.greedy_fas]-derived order on that topology. *)
-val ablation_site_order : ?base:Params.t -> unit -> (string * Driver.report) list
+val ablation_site_order : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> (string * Driver.report) list
 
 (** {1 Rendering} *)
 

@@ -17,46 +17,56 @@ let grow h entry =
     h.data <- ndata
   end
 
+(* Both sift directions move a "hole" instead of swapping pairwise: the
+   entry in motion stays in a register, each level does one array write
+   (the displaced element into the hole), and the entry is written once at
+   its final position — half the writes of the swap formulation on the
+   scheduler's hottest loop. *)
+
 let push h ~time ~seq value =
   let entry = { time; seq; value } in
   grow h entry;
-  h.data.(h.len) <- entry;
+  let i = ref h.len in
   h.len <- h.len + 1;
-  (* Sift up. *)
-  let rec up i =
-    if i > 0 then begin
-      let parent = (i - 1) / 2 in
-      if less h.data.(i) h.data.(parent) then begin
-        let tmp = h.data.(i) in
-        h.data.(i) <- h.data.(parent);
-        h.data.(parent) <- tmp;
-        up parent
-      end
+  (* Sift the hole up: parents larger than [entry] move down one level. *)
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less entry h.data.(parent) then begin
+      h.data.(!i) <- h.data.(parent);
+      i := parent
     end
-  in
-  up (h.len - 1)
+    else moving := false
+  done;
+  h.data.(!i) <- entry
 
 let pop_min h =
-  if h.len = 0 then raise Not_found;
+  if h.len = 0 then invalid_arg "Heap.pop_min: empty heap";
   let min = h.data.(0) in
   h.len <- h.len - 1;
   if h.len > 0 then begin
-    h.data.(0) <- h.data.(h.len);
-    (* Sift down. *)
-    let rec down i =
-      let l = (2 * i) + 1 and r = (2 * i) + 2 in
-      let smallest = ref i in
-      if l < h.len && less h.data.(l) h.data.(!smallest) then smallest := l;
-      if r < h.len && less h.data.(r) h.data.(!smallest) then smallest := r;
-      if !smallest <> i then begin
-        let tmp = h.data.(i) in
-        h.data.(i) <- h.data.(!smallest);
-        h.data.(!smallest) <- tmp;
-        down !smallest
+    let entry = h.data.(h.len) in
+    (* Sift the hole down from the root: the smaller child moves up one
+       level until [entry] (the old last leaf) fits. *)
+    let i = ref 0 in
+    let moving = ref true in
+    while !moving do
+      let l = (2 * !i) + 1 in
+      if l >= h.len then moving := false
+      else begin
+        let r = l + 1 in
+        let c = if r < h.len && less h.data.(r) h.data.(l) then r else l in
+        if less h.data.(c) entry then begin
+          h.data.(!i) <- h.data.(c);
+          i := c
+        end
+        else moving := false
       end
-    in
-    down 0
+    done;
+    h.data.(!i) <- entry
   end;
   (min.time, min.seq, min.value)
+
+let pop_min_opt h = if h.len = 0 then None else Some (pop_min h)
 
 let min_time h = if h.len = 0 then None else Some h.data.(0).time

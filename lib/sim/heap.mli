@@ -11,8 +11,11 @@ val size : 'a t -> int
 val push : 'a t -> time:float -> seq:int -> 'a -> unit
 
 (** [pop_min h] removes and returns the minimum entry.
-    @raise Not_found if the heap is empty. *)
+    @raise Invalid_argument if the heap is empty. *)
 val pop_min : 'a t -> float * int * 'a
+
+(** [pop_min_opt h] is [pop_min h], or [None] if the heap is empty. *)
+val pop_min_opt : 'a t -> (float * int * 'a) option
 
 (** [min_time h] is the priority of the minimum entry, if any. *)
 val min_time : 'a t -> float option

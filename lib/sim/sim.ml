@@ -67,6 +67,7 @@ let run_process t f =
 let spawn t f = schedule t t.clock (fun () -> run_process t f)
 
 let step t =
+  if Heap.is_empty t.events then invalid_arg "Sim.step: no scheduled events";
   let time, _, fn = Heap.pop_min t.events in
   t.clock <- time;
   t.executed <- t.executed + 1;

@@ -48,6 +48,12 @@ val at : t -> float -> (unit -> unit) -> unit
 (** [after t d f] runs [f] after delay [d >= 0]. *)
 val after : t -> float -> (unit -> unit) -> unit
 
+(** [step t] executes the single next scheduled event, advancing the clock
+    to its timestamp.
+    @raise Invalid_argument if no events are scheduled.
+    @raise Stuck if the event's process raised an unhandled exception. *)
+val step : t -> unit
+
 (** [run t] executes events until the heap is empty.
     @raise Stuck if a process raised an unhandled exception. *)
 val run : t -> unit

@@ -44,7 +44,9 @@ let test_heap_large () =
     end
   in
   checki "drained all" 1000 (drain neg_infinity 0);
-  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Heap.pop_min h))
+  Alcotest.check_raises "pop empty" (Invalid_argument "Heap.pop_min: empty heap") (fun () ->
+      ignore (Heap.pop_min h));
+  checkb "pop_min_opt empty" true (Heap.pop_min_opt h = None)
 
 let test_heap_min_time () =
   let h = Heap.create () in
@@ -368,6 +370,42 @@ let prop_heap_sorts =
       in
       drain neg_infinity)
 
+(* Model check for the hole-sifting rewrite: interleave pushes and pops and
+   require the exact drain sequence (times, seqs and values) of a sorted
+   list. Duplicate times exercise the seq tiebreak. *)
+let prop_heap_matches_sorted_model =
+  QCheck2.Test.make ~name:"heap matches sorted-list model" ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 120) (int_range 0 15))
+        (int_range 0 40))
+    (fun (raw_times, pops_mid) ->
+      let h = Heap.create () in
+      let entries = List.mapi (fun seq t -> (float_of_int t, seq)) raw_times in
+      let model = List.sort compare entries in
+      (* Push everything, pop a prefix mid-stream, push nothing more, drain:
+         intermediate pops must already follow the model order. *)
+      List.iter (fun (time, seq) -> Heap.push h ~time ~seq seq) entries;
+      let n = List.length entries in
+      let popped =
+        List.init (min pops_mid n) (fun _ ->
+            let t, s, v = Heap.pop_min h in
+            (t, s, v))
+      in
+      let rest =
+        List.init (Heap.size h) (fun _ ->
+            let t, s, v = Heap.pop_min h in
+            (t, s, v))
+      in
+      let got = popped @ rest in
+      Heap.is_empty h
+      && List.for_all2 (fun (mt, ms) (t, s, v) -> mt = t && ms = s && ms = v) model got)
+
+let test_step_empty () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "step on empty" (Invalid_argument "Sim.step: no scheduled events")
+    (fun () -> Sim.step sim)
+
 let () =
   Alcotest.run "sim"
     [
@@ -378,6 +416,7 @@ let () =
           Alcotest.test_case "large" `Quick test_heap_large;
           Alcotest.test_case "min_time" `Quick test_heap_min_time;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_matches_sorted_model;
         ] );
       ( "rng",
         [
@@ -399,6 +438,7 @@ let () =
           Alcotest.test_case "suspend resumes once" `Quick test_suspend_resume_once;
           Alcotest.test_case "suspend value" `Quick test_suspend_value;
           Alcotest.test_case "events executed" `Quick test_events_executed;
+          Alcotest.test_case "step on empty" `Quick test_step_empty;
         ] );
       ( "condvar",
         [
