@@ -8,8 +8,13 @@
 
 open Cmdliner
 module Params = Repdb_workload.Params
+module Fault = Repdb_fault.Fault
 
 (* --- shared parameter flags --------------------------------------------- *)
+
+let faults_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Fault.of_string s) in
+  Arg.conv (parse, Fault.pp)
 
 let params_term =
   let open Term in
@@ -22,7 +27,8 @@ let params_term =
     Arg.(value & opt float default & info names ~docs ~doc)
   in
   let d = Params.default in
-  let make sites items r s b ops threads txns read_op read_txn latency timeout seed retry check =
+  let make sites items r s b ops threads txns read_op read_txn latency timeout seed retry check
+      faults =
     {
       d with
       n_sites = sites;
@@ -40,6 +46,7 @@ let params_term =
       seed;
       retry_aborted = retry;
       record_history = check;
+      faults;
     }
   in
   const make
@@ -62,6 +69,18 @@ let params_term =
       & info [ "check" ] ~docs
           ~doc:
             "Record the access history and verify global serializability and replica convergence.")
+  $ Arg.(
+      value
+      & opt faults_conv Fault.empty
+      & info [ "faults" ] ~docs ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault schedule the run must survive: $(b,;)-separated clauses \
+             $(b,crash@T:site=S,down=D) (site $(i,S) crashes at $(i,T) ms, restarts after \
+             $(i,D), default 500), $(b,drop@T1-T2:p=P,src=A,dst=B) (drop transmission attempts \
+             with probability $(i,P) in the window; src/dst optional), \
+             $(b,delay@T1-T2:add=MS,src=A,dst=B) (delivery surcharge) and $(b,rto=MS) \
+             (retransmit timeout, default 5). Example: \
+             $(b,\"crash@300:site=1,down=400;drop@0-200:p=0.2\").")
 
 (* --- run ------------------------------------------------------------------ *)
 
@@ -199,7 +218,7 @@ let experiment_cmd =
           ~doc:
             "One of: fig2a, fig2b, fig3a, fig3b, resp, sites, threads, latency, readtxn, \
              ablation, eager-scaling, tree-routing, deadlock-policy, dummy-period, hotspot, \
-             straggler, site-order.")
+             straggler, site-order, faults.")
   in
   let steps =
     Arg.(value & opt int 10 & info [ "steps" ] ~doc:"Sweep resolution for probability axes.")
@@ -231,6 +250,7 @@ let experiment_cmd =
         | "hotspot" -> print (Repdb.Experiment.ablation_hotspot ?pool ~base ())
         | "straggler" -> print (Repdb.Experiment.ablation_straggler ?pool ~base ())
         | "site-order" -> reports (Repdb.Experiment.ablation_site_order ?pool ~base ())
+        | "faults" -> print (Repdb.Experiment.sweep_faults ?pool ~base ())
         | other -> Fmt.epr "unknown experiment %S@." other)
   in
   Cmd.v

@@ -3,7 +3,9 @@ module Rng = Repdb_sim.Rng
 module Resource = Repdb_sim.Resource
 module Condvar = Repdb_sim.Condvar
 module Store = Repdb_store.Store
+module Wal = Repdb_store.Wal
 module Lock_mgr = Repdb_lock.Lock_mgr
+module Fault = Repdb_fault.Fault
 module History = Repdb_txn.History
 module Params = Repdb_workload.Params
 module Placement = Repdb_workload.Placement
@@ -32,6 +34,11 @@ type t = {
   mutable clients_running : int;
   mutable stopped : bool;
   quiesced : Condvar.t;
+  injector : Fault.injector option;
+  wals : Wal.t array; (* one per site when faults are on; [||] otherwise *)
+  site_up : bool array;
+  up_cv : Condvar.t array; (* broadcast when the site restarts *)
+  mutable crashes : int;
 }
 
 let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) placement =
@@ -53,6 +60,23 @@ let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) pl
   let locks = Array.init m (fun site -> Lock_mgr.create ~sim ~policy ~site ~trace:tr ~stats ()) in
   let n_machines = min params.n_machines m in
   let cpus = Array.init n_machines (fun _ -> Resource.create ~capacity:1 ()) in
+  let faulty = not (Fault.is_empty params.faults) in
+  let injector =
+    if faulty then Some (Fault.injector ~n_sites:m ~seed:((params.seed * 69069) + 13) params.faults)
+    else None
+  in
+  (* Redo logs are only attached under fault injection: they hook every
+     committed write, and fault-free runs never crash. *)
+  let wals =
+    if faulty then
+      Array.mapi
+        (fun _ store ->
+          let wal = Wal.create () in
+          Wal.attach wal store;
+          wal)
+        stores
+    else [||]
+  in
   {
     sim;
     params;
@@ -74,6 +98,11 @@ let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) pl
     clients_running = 0;
     stopped = false;
     quiesced = Condvar.create ();
+    injector;
+    wals;
+    site_up = Array.make m true;
+    up_cv = Array.init m (fun _ -> Condvar.create ());
+    crashes = 0;
   }
 
 let create ?trace ?trace_capacity (params : Params.t) =
@@ -102,7 +131,7 @@ let latency_fn t src dst = t.lat_fn src dst
 let make_net ?describe t =
   Repdb_net.Network.create ~sim:t.sim ~n_sites:t.params.n_sites ~latency:(latency_fn t)
     ~on_send:(fun () -> t.messages <- t.messages + 1)
-    ~trace:t.trace ?describe ~stats:t.stats ()
+    ~trace:t.trace ?describe ~stats:t.stats ?injector:t.injector ()
 
 (* --- trace/metrics emission helpers (shared by the protocols) ------------- *)
 
@@ -157,3 +186,46 @@ let await_quiescence t =
     Condvar.await t.quiesced
   done;
   t.stopped <- true
+
+(* --- fault injection ------------------------------------------------------ *)
+
+let faulty t = Option.is_some t.injector
+let site_up t site = t.site_up.(site)
+
+let await_site_up t site =
+  while not t.site_up.(site) do
+    Condvar.await t.up_cv.(site)
+  done
+
+let crash_site t ~site =
+  t.site_up.(site) <- false;
+  t.crashes <- t.crashes + 1;
+  if Trace.on t.trace then Trace.record t.trace (Event.Site_crash { site })
+
+let recover_site t ~site ~downtime =
+  let wal = t.wals.(site) in
+  let lost = t.stores.(site) in
+  let recovered = Wal.recover wal ~site in
+  (* The redo log hooks every committed write, so the rebuild must reproduce
+     the pre-crash image exactly; a mismatch means durability is broken and
+     any run that continued from it would be meaningless. *)
+  if Store.contents recovered <> Store.contents lost then
+    failwith (Printf.sprintf "Cluster: recovery of site %d diverged from its redo log" site);
+  t.stores.(site) <- recovered;
+  Wal.reattach wal recovered;
+  t.site_up.(site) <- true;
+  if Trace.on t.trace then Trace.record t.trace (Event.Site_recover { site; downtime });
+  Condvar.broadcast t.up_cv.(site)
+
+let schedule_faults t =
+  match t.injector with
+  | None -> ()
+  | Some inj ->
+      List.iter
+        (fun (c : Fault.crash) ->
+          Sim.at t.sim c.at (fun () -> crash_site t ~site:c.site);
+          Sim.at t.sim (c.at +. c.down_for) (fun () ->
+              recover_site t ~site:c.site ~downtime:c.down_for))
+        (Fault.schedule inj).crashes
+
+let crash_count t = t.crashes

@@ -11,7 +11,9 @@ module Rng = Repdb_sim.Rng
 module Resource = Repdb_sim.Resource
 module Condvar = Repdb_sim.Condvar
 module Store = Repdb_store.Store
+module Wal = Repdb_store.Wal
 module Lock_mgr = Repdb_lock.Lock_mgr
+module Fault = Repdb_fault.Fault
 module History = Repdb_txn.History
 module Params = Repdb_workload.Params
 module Placement = Repdb_workload.Placement
@@ -39,6 +41,16 @@ type t = {
   mutable clients_running : int;
   mutable stopped : bool;  (** Set once quiescent; periodic processes exit. *)
   quiesced : Condvar.t;  (** Broadcast on transitions relevant to quiescence. *)
+  injector : Fault.injector option;
+      (** Built from [params.faults] when that schedule is non-empty; drives
+          the networks' drop/delay behaviour and {!schedule_faults}. *)
+  wals : Wal.t array;
+      (** Per-site redo logs, attached at creation — only under fault
+          injection ([[||]] otherwise), since hooking every write has a cost
+          and fault-free runs never crash. *)
+  site_up : bool array;
+  up_cv : Condvar.t array;  (** Per-site; broadcast when the site restarts. *)
+  mutable crashes : int;  (** Crash events executed so far. *)
 }
 
 (** [create params] — build the cluster; the placement is drawn from a
@@ -100,3 +112,40 @@ val quiescent : t -> bool
 
 (** Block until {!quiescent}, then set [stopped]. *)
 val await_quiescence : t -> unit
+
+(** {1 Fault injection}
+
+    Crashes are modelled at the storage and transport boundaries: while a
+    site is down it is unreachable in both directions (the networks' acked
+    links retry around the downtime) and its clients pause before starting
+    new transactions; at restart the volatile store is discarded and rebuilt
+    from the site's redo log. Work the site had already accepted completes —
+    the paper's durability story (DataBlitz redo recovery) covers committed
+    state, not scheduler state. *)
+
+(** Is fault injection active (i.e. [params.faults] non-empty)? *)
+val faulty : t -> bool
+
+val site_up : t -> int -> bool
+
+(** Block until the site is up; returns immediately if it already is.
+    Clients call this before starting each transaction. *)
+val await_site_up : t -> int -> unit
+
+(** Mark the site down and trace [Site_crash]. Driven by {!schedule_faults};
+    exposed for tests. *)
+val crash_site : t -> site:int -> unit
+
+(** Restart the site: rebuild the store with [Wal.recover], verify the
+    rebuild matches the pre-crash contents exactly, install it, re-hook the
+    log ([Wal.reattach]), mark the site up and wake waiting clients.
+    @raise Failure if the recovered contents diverge from the live store. *)
+val recover_site : t -> site:int -> downtime:float -> unit
+
+(** Schedule every crash/restart in the fault schedule as simulation events;
+    no-op without an injector. The driver calls this before starting
+    clients. *)
+val schedule_faults : t -> unit
+
+(** Crash events executed so far. *)
+val crash_count : t -> int

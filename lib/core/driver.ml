@@ -24,6 +24,8 @@ type report = {
   sim_time : float;
   trace : Trace.t;
   site_stats : Stats.t;
+  crashes : int;
+  msg_drops : int;
 }
 
 let client (c : Cluster.t) submit gen rng ~site =
@@ -32,6 +34,9 @@ let client (c : Cluster.t) submit gen rng ~site =
   and abort_ctr = Stats.counter c.stats "txn.abort"
   and response_hist = Stats.histogram c.stats "response" in
   for _ = 1 to p.txns_per_thread do
+    (* A crashed site accepts no new transactions; its clients pause until
+       the restart broadcast. *)
+    if Cluster.faulty c then Cluster.await_site_up c site;
     let spec = Generator.gen_with gen rng ~site in
     let start = Sim.now c.sim in
     let rec attempt () =
@@ -64,9 +69,14 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
       Sim.spawn c.sim (fun () -> client c (P.submit proto) gen rng ~site)
     done
   done;
+  Cluster.schedule_faults c;
   Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
   let total_txns = p.n_sites * p.threads_per_site * p.txns_per_thread in
-  let horizon = 120_000.0 +. (2_000.0 *. float_of_int total_txns /. float_of_int p.n_sites) in
+  let horizon =
+    120_000.0
+    +. (2_000.0 *. float_of_int total_txns /. float_of_int p.n_sites)
+    +. Repdb_fault.Fault.last_event p.faults
+  in
   Sim.run_until c.sim horizon;
   if not (Cluster.quiescent c) then
     failwith
@@ -102,6 +112,9 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
     sim_time = Sim.now c.sim;
     trace = c.trace;
     site_stats = c.stats;
+    crashes = Cluster.crash_count c;
+    msg_drops =
+      (if Cluster.faulty c then Stats.counter_total (Stats.counter c.stats "msg.drop") else 0);
   }
 
 let run ?placement ?trace ?trace_capacity params protocol =
@@ -113,11 +126,15 @@ let run ?placement ?trace ?trace_capacity params protocol =
   run_on c protocol
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>[%s] %a@ %a@ %a@ copy-graph edges=%d backedges=%d replicas=%d@ locks: %d acquires, %d waits, %d timeouts, %d deadlock aborts@ %a%a@]"
+  Fmt.pf ppf "@[<v>[%s] %a@ %a@ %a@ copy-graph edges=%d backedges=%d replicas=%d@ locks: %d acquires, %d waits, %d timeouts, %d deadlock aborts@ %a%a%a@]"
     r.protocol Params.pp r.params Metrics.pp_summary r.summary Metrics.pp_per_site r.summary
     r.copy_graph_edges r.n_backedges
     r.n_replicas r.lock_stats.acquires r.lock_stats.waits r.lock_stats.timeouts
     r.lock_stats.deadlock_aborts
+    (fun ppf r ->
+      if not (Repdb_fault.Fault.is_empty r.params.faults) then
+        Fmt.pf ppf "faults: %d crashes survived, %d dropped transmissions@ " r.crashes r.msg_drops)
+    r
     (Fmt.option (fun ppf v -> Fmt.pf ppf "serializability: %a@ " Serializability.pp_verdict v))
     r.serializability
     (Fmt.option (fun ppf d ->

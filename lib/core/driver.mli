@@ -25,6 +25,10 @@ type report = {
       (** The run's event trace; {!Repdb_obs.Trace.disabled} unless [run] was
           called with [~trace:true]. Export with {!Repdb_obs.Export}. *)
   site_stats : Repdb_obs.Stats.t;  (** Per-site counters and histograms. *)
+  crashes : int;  (** Crash events injected and survived; 0 without faults. *)
+  msg_drops : int;
+      (** Dropped transmission attempts across all networks; 0 without
+          faults. *)
 }
 
 (** [run ?placement params protocol] — build a cluster (with the given or a

@@ -175,6 +175,28 @@ let ablation_straggler ?pool ?(base = Params.default) () =
     ~params_of:(fun f -> { base with straggler_machine = 0; straggler_factor = f })
     ()
 
+let sweep_faults ?pool ?(base = Params.default) () =
+  (* b = 0 keeps the copy graph a DAG so DAG(WT) is applicable alongside the
+     hybrid and PSL. The x axis is the number of injected crashes; each point
+     draws its crash instants/downtimes from [Fault.synthetic] on the run
+     seed, so the whole figure is deterministic in [base]. Convergence lag
+     under faults shows up in the avg_propagation column. *)
+  let base = { base with Params.backedge_prob = 0.0 } in
+  let protocols : Protocol.t list =
+    [ (module Backedge_proto : Protocol.S); (module Dag_wt : Protocol.S); (module Psl : Protocol.S) ]
+  in
+  sweep ?pool ~id:"faults" ~title:"Throughput and propagation lag vs injected crash count"
+    ~xlabel:"site crashes injected" ~protocols
+    ~values:[ 0.0; 1.0; 2.0; 4.0; 8.0 ]
+    ~params_of:(fun k ->
+      {
+        base with
+        faults =
+          Repdb_fault.Fault.synthetic ~n_sites:base.n_sites ~seed:base.seed
+            ~n_crashes:(int_of_float k) ();
+      })
+    ()
+
 let ordered_backedge name order : Protocol.t =
   (module struct
     type t = Backedge_proto.t

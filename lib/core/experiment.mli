@@ -96,6 +96,14 @@ val ablation_straggler : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> fig
     [Backedge.greedy_fas]-derived order on that topology. *)
 val ablation_site_order : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> (string * Driver.report) list
 
+(** Fault sweep: BackEdge, DAG(WT) and PSL ([b = 0] so the copy graph is a
+    DAG) under 0 / 1 / 2 / 4 / 8 injected site crashes drawn by
+    [Fault.synthetic] from the run seed. Throughput degrades with downtime
+    while the avg_propagation column shows the convergence lag the
+    retransmitting links introduce; every run still converges and (with
+    [record_history]) stays serializable. *)
+val sweep_faults : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
+
 (** {1 Rendering} *)
 
 val pp_figure : Format.formatter -> figure -> unit

@@ -79,10 +79,15 @@ type summary = {
   per_site : site_summary list;
 }
 
+(* Nearest-rank: the smallest element with at least [q] of the sample at or
+   below it, i.e. rank ceil(q*n) (1-based). Truncating q*n instead would skew
+   one element high on exact boundaries — p50 of [1;2;3;4] must be 2, not 3. *)
 let percentile sorted q =
   let n = Array.length sorted in
   if n = 0 then 0.0
-  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 1 (min n rank) - 1)
 
 let summarize (t : t) ~n_sites ~messages =
   let attempts = t.commits + t.aborts in

@@ -52,6 +52,12 @@ type summary = {
   per_site : site_summary list;  (** One row per origin site. *)
 }
 
+(** [percentile sorted q] — nearest-rank percentile of an ascending-sorted
+    sample: the element at 1-based rank [ceil (q *. n)], clamped to the
+    array; 0 when empty. Agrees with {!Repdb_obs.Stats.percentile} up to
+    bucket resolution. *)
+val percentile : float array -> float -> float
+
 (** [summarize t ~n_sites ~messages] — compute the summary; [duration] is the
     latest {!client_done} time. *)
 val summarize : t -> n_sites:int -> messages:int -> summary

@@ -1,0 +1,299 @@
+module Rng = Repdb_sim.Rng
+
+type crash = { site : int; at : float; down_for : float }
+
+type window = {
+  src : int;
+  dst : int;
+  from_t : float;
+  until_t : float;
+  drop_prob : float;
+  extra_delay : float;
+}
+
+type schedule = { crashes : crash list; windows : window list; rto : float }
+
+let default_rto = 5.0
+let default_down = 500.0
+let max_attempts = 10_000
+
+let empty = { crashes = []; windows = []; rto = default_rto }
+let is_empty s = s.crashes = [] && s.windows = []
+
+let last_event s =
+  let m = List.fold_left (fun acc c -> Float.max acc (c.at +. c.down_for)) 0.0 s.crashes in
+  List.fold_left
+    (fun acc w -> if Float.is_finite w.until_t then Float.max acc w.until_t else acc)
+    m s.windows
+
+let validate ~n_sites s =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let site_ok ~any name v =
+    if v >= n_sites || v < if any then -1 else 0 then
+      fail "Fault: %s=%d out of range for %d sites" name v n_sites
+  in
+  if not (s.rto > 0.0 && Float.is_finite s.rto) then fail "Fault: rto=%g must be positive" s.rto;
+  List.iter
+    (fun c ->
+      site_ok ~any:false "site" c.site;
+      if c.at < 0.0 || not (Float.is_finite c.at) then fail "Fault: crash at %g ms" c.at;
+      if c.down_for <= 0.0 || not (Float.is_finite c.down_for) then
+        fail "Fault: crash downtime %g must be positive" c.down_for)
+    s.crashes;
+  (* Per-site downtimes must not overlap: a site cannot crash while down. *)
+  let by_site = Hashtbl.create 8 in
+  List.iter
+    (fun c -> Hashtbl.replace by_site c.site (c :: Option.value ~default:[] (Hashtbl.find_opt by_site c.site)))
+    s.crashes;
+  Hashtbl.iter
+    (fun site cs ->
+      let sorted = List.sort (fun a b -> compare a.at b.at) cs in
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+            if a.at +. a.down_for > b.at then
+              fail "Fault: overlapping crashes at site %d (%.0f+%.0f overlaps %.0f)" site a.at
+                a.down_for b.at;
+            check rest
+        | _ -> ()
+      in
+      check sorted)
+    by_site;
+  List.iter
+    (fun w ->
+      site_ok ~any:true "src" w.src;
+      site_ok ~any:true "dst" w.dst;
+      if w.from_t < 0.0 || not (Float.is_finite w.until_t) || w.until_t <= w.from_t then
+        fail "Fault: bad window %g-%g" w.from_t w.until_t;
+      if w.drop_prob < 0.0 || w.drop_prob > 1.0 then
+        fail "Fault: drop probability %g not in [0,1]" w.drop_prob;
+      if w.extra_delay < 0.0 || not (Float.is_finite w.extra_delay) then
+        fail "Fault: extra delay %g must be >= 0" w.extra_delay)
+    s.windows
+
+(* --- spec parsing --------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let parse_float name v =
+  match float_of_string_opt v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "faults: %s is not a number: %S" name v)
+
+let parse_int name v =
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "faults: %s is not an integer: %S" name v)
+
+(* "k1=v1,k2=v2" -> assoc list *)
+let parse_opts s =
+  let parts = if s = "" then [] else String.split_on_char ',' s in
+  List.fold_left
+    (fun acc part ->
+      let* acc = acc in
+      match String.index_opt part '=' with
+      | Some i ->
+          let k = String.sub part 0 i
+          and v = String.sub part (i + 1) (String.length part - i - 1) in
+          Ok ((k, v) :: acc)
+      | None -> Error (Printf.sprintf "faults: expected key=value, got %S" part))
+    (Ok []) parts
+
+let opt_field opts key ~default parse =
+  match List.assoc_opt key opts with Some v -> parse key v | None -> Ok default
+
+let req_field opts key parse =
+  match List.assoc_opt key opts with
+  | Some v -> parse key v
+  | None -> Error (Printf.sprintf "faults: missing %s=..." key)
+
+(* "T1-T2" *)
+let parse_span s =
+  match String.index_opt s '-' with
+  | Some i ->
+      let* a = parse_float "window start" (String.sub s 0 i) in
+      let* b = parse_float "window end" (String.sub s (i + 1) (String.length s - i - 1)) in
+      Ok (a, b)
+  | None -> Error (Printf.sprintf "faults: expected T1-T2, got %S" s)
+
+let parse_clause acc clause =
+  let head, opts_s =
+    match String.index_opt clause ':' with
+    | Some i -> (String.sub clause 0 i, String.sub clause (i + 1) (String.length clause - i - 1))
+    | None -> (clause, "")
+  in
+  let* opts = parse_opts opts_s in
+  match String.index_opt head '@' with
+  | Some i -> (
+      let kind = String.sub head 0 i
+      and arg = String.sub head (i + 1) (String.length head - i - 1) in
+      match kind with
+      | "crash" ->
+          let* at = parse_float "crash time" arg in
+          let* site = req_field opts "site" parse_int in
+          let* down_for = opt_field opts "down" ~default:default_down parse_float in
+          Ok { acc with crashes = { site; at; down_for } :: acc.crashes }
+      | "drop" ->
+          let* from_t, until_t = parse_span arg in
+          let* drop_prob = req_field opts "p" parse_float in
+          let* src = opt_field opts "src" ~default:(-1) parse_int in
+          let* dst = opt_field opts "dst" ~default:(-1) parse_int in
+          Ok
+            {
+              acc with
+              windows = { src; dst; from_t; until_t; drop_prob; extra_delay = 0.0 } :: acc.windows;
+            }
+      | "delay" ->
+          let* from_t, until_t = parse_span arg in
+          let* extra_delay = req_field opts "add" parse_float in
+          let* src = opt_field opts "src" ~default:(-1) parse_int in
+          let* dst = opt_field opts "dst" ~default:(-1) parse_int in
+          Ok
+            {
+              acc with
+              windows = { src; dst; from_t; until_t; drop_prob = 0.0; extra_delay } :: acc.windows;
+            }
+      | other -> Error (Printf.sprintf "faults: unknown clause %S" other))
+  | None -> (
+      match String.index_opt head '=' with
+      | Some i when String.sub head 0 i = "rto" ->
+          let* rto = parse_float "rto" (String.sub head (i + 1) (String.length head - i - 1)) in
+          Ok { acc with rto }
+      | _ -> Error (Printf.sprintf "faults: unknown clause %S" clause))
+
+let of_string spec =
+  let clauses =
+    String.split_on_char ';' spec |> List.map String.trim |> List.filter (fun s -> s <> "")
+  in
+  let* s = List.fold_left (fun acc c -> Result.bind acc (fun acc -> parse_clause acc c)) (Ok empty) clauses in
+  Ok
+    {
+      s with
+      crashes = List.sort (fun a b -> compare (a.at, a.site) (b.at, b.site)) (List.rev s.crashes);
+      windows = List.rev s.windows;
+    }
+
+let to_string s =
+  let buf = Buffer.create 64 in
+  let clause fmt =
+    if Buffer.length buf > 0 then Buffer.add_char buf ';';
+    Printf.ksprintf (Buffer.add_string buf) fmt
+  in
+  List.iter (fun c -> clause "crash@%g:site=%d,down=%g" c.at c.site c.down_for) s.crashes;
+  List.iter
+    (fun w ->
+      let pair () =
+        (if w.src >= 0 then Printf.sprintf ",src=%d" w.src else "")
+        ^ if w.dst >= 0 then Printf.sprintf ",dst=%d" w.dst else ""
+      in
+      if w.drop_prob > 0.0 then
+        clause "drop@%g-%g:p=%g%s" w.from_t w.until_t w.drop_prob (pair ());
+      if w.extra_delay > 0.0 then
+        clause "delay@%g-%g:add=%g%s" w.from_t w.until_t w.extra_delay (pair ()))
+    s.windows;
+  if s.rto <> default_rto then clause "rto=%g" s.rto;
+  Buffer.contents buf
+
+let pp ppf s =
+  if is_empty s then Fmt.string ppf "(none)" else Fmt.string ppf (to_string s)
+
+let synthetic ~n_sites ~seed ~n_crashes ?(mean_downtime = 300.0) ?(window = (200.0, 4000.0)) () =
+  let rng = Rng.create ((seed * 73) + 5) in
+  let lo, hi = window in
+  let site_free = Array.make n_sites 0.0 in
+  let crashes = ref [] in
+  for _ = 1 to n_crashes do
+    let at = Rng.float_range rng lo hi in
+    let down_for = Float.min 2000.0 (Float.max 100.0 (Rng.exponential rng mean_downtime)) in
+    let start = Rng.int rng n_sites in
+    (* First site (in rotation from a random start) that is back up by [at];
+       skip the crash when every site is still down. *)
+    let rec pick k =
+      if k = n_sites then None
+      else
+        let s = (start + k) mod n_sites in
+        if site_free.(s) <= at then Some s else pick (k + 1)
+    in
+    match pick 0 with
+    | Some site ->
+        site_free.(site) <- at +. down_for;
+        crashes := { site; at; down_for } :: !crashes
+    | None -> ()
+  done;
+  {
+    empty with
+    crashes = List.sort (fun a b -> compare (a.at, a.site) (b.at, b.site)) !crashes;
+  }
+
+(* --- injection ------------------------------------------------------------ *)
+
+type injector = {
+  sched : schedule;
+  rng : Rng.t;
+  down_iv : (float * float) list array; (* per site, disjoint, sorted by start *)
+}
+
+let injector ~n_sites ~seed sched =
+  validate ~n_sites sched;
+  let down_iv = Array.make n_sites [] in
+  List.iter
+    (fun c -> down_iv.(c.site) <- (c.at, c.at +. c.down_for) :: down_iv.(c.site))
+    sched.crashes;
+  Array.iteri (fun i ivs -> down_iv.(i) <- List.sort compare ivs) down_iv;
+  { sched; rng = Rng.create ((seed * 2654435761) + 99); down_iv }
+
+let schedule inj = inj.sched
+
+let down inj ~site ~at =
+  List.exists (fun (s, e) -> at >= s && at < e) inj.down_iv.(site)
+
+(* Earliest instant >= [at] with [site] up. *)
+let next_up inj site at =
+  match List.find_opt (fun (s, e) -> at >= s && at < e) inj.down_iv.(site) with
+  | Some (_, e) -> e
+  | None -> at
+
+let matches w ~src ~dst ~at =
+  (w.src < 0 || w.src = src) && (w.dst < 0 || w.dst = dst) && at >= w.from_t && at < w.until_t
+
+(* Combined loss probability and delay surcharge of the windows active on
+   (src, dst) at [at]. *)
+let link_state inj ~src ~dst ~at =
+  List.fold_left
+    (fun (p, extra) w ->
+      if matches w ~src ~dst ~at then
+        (1.0 -. ((1.0 -. p) *. (1.0 -. w.drop_prob)), extra +. w.extra_delay)
+      else (p, extra))
+    (0.0, 0.0) inj.sched.windows
+
+type transmit = { dropped : float list; depart : float; extra : float }
+
+let transmit inj ~src ~dst ~now =
+  let rto = inj.sched.rto in
+  let dropped = ref [] in
+  let t = ref now in
+  let tries = ref 0 in
+  let result = ref None in
+  while !result = None do
+    incr tries;
+    if !tries > max_attempts then
+      failwith
+        (Printf.sprintf
+           "Fault.transmit: message %d->%d sent at %.0f ms never got through after %d attempts \
+            (unbounded drop window?)"
+           src dst now max_attempts);
+    if down inj ~site:src ~at:!t || down inj ~site:dst ~at:!t then begin
+      (* One timed-out attempt, then probe again once both ends can be up. *)
+      dropped := !t :: !dropped;
+      let up = Float.max (next_up inj src !t) (next_up inj dst !t) in
+      t := Float.max up (!t +. rto)
+    end
+    else begin
+      let p, extra = link_state inj ~src ~dst ~at:!t in
+      if p > 0.0 && Rng.bool inj.rng p then begin
+        dropped := !t :: !dropped;
+        t := !t +. rto
+      end
+      else result := Some extra
+    end
+  done;
+  { dropped = List.rev !dropped; depart = !t; extra = Option.get !result }

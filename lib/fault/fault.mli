@@ -1,0 +1,124 @@
+(** Deterministic fault schedules and their run-time injector.
+
+    The paper assumes live sites and a network that "delivers messages
+    reliably and in FIFO order"; this module is where that assumption is
+    deliberately broken. A {!schedule} is a static, seed-independent
+    description of the faults a run must survive: site crash/restart windows
+    and per-link message-drop / extra-delay windows. An {!injector} turns the
+    schedule plus a seeded {!Repdb_sim.Rng} into concrete per-message
+    transmission plans, so a run is a pure function of [(params, schedule)] —
+    byte-identical across repeats and [-j] levels.
+
+    {b Transport model.} Links are acked: a dropped transmission attempt (a
+    drop-window loss, or either endpoint being down) is retried every
+    {!field:schedule.rto} ms until it gets through, and per-pair delivery
+    order is enforced by the network layer, so each ordered site pair still
+    behaves as one reliable FIFO channel — it just stalls while the fault is
+    active. This is what lets every propagation protocol converge after
+    recovery without protocol-specific resynchronisation: missed propagation
+    is simply still in flight.
+
+    {b Crash model.} A crash makes the site unreachable (both directions) for
+    [down_for] ms and marks its volatile store memory as lost; at restart the
+    cluster wipes the store, rebuilds it with {!Repdb_store.Wal.recover},
+    verifies the rebuild, and re-attaches the log. Work already accepted by
+    the site before the crash (queued subtransactions, held locks) completes
+    rather than being killed — the crash is modelled at the storage and
+    transport boundaries, which is where the paper's durability story
+    (DataBlitz redo recovery) lives. *)
+
+(** One site failure: down for [[at, at +. down_for)]. *)
+type crash = { site : int; at : float; down_for : float }
+
+(** A per-link perturbation window over [[from_t, until_t)]. [src] / [dst] of
+    [-1] match any site. Within the window each transmission attempt is lost
+    with probability [drop_prob], and successful attempts take [extra_delay]
+    additional ms. *)
+type window = {
+  src : int;
+  dst : int;
+  from_t : float;
+  until_t : float;
+  drop_prob : float;
+  extra_delay : float;
+}
+
+type schedule = {
+  crashes : crash list;  (** Sorted by [at] after {!validate}. *)
+  windows : window list;
+  rto : float;  (** Retransmit timeout, ms, for dropped attempts. *)
+}
+
+(** No faults; [rto] = 5 ms. *)
+val empty : schedule
+
+val is_empty : schedule -> bool
+
+(** Latest instant at which the schedule can still act (last restart or
+    window close); 0 when empty. Used to extend run horizons. *)
+val last_event : schedule -> float
+
+(** Range/overlap checks: sites within [n_sites], positive durations, probs
+    in [0,1], finite windows, per-site crash intervals disjoint.
+    @raise Invalid_argument when violated. *)
+val validate : n_sites:int -> schedule -> unit
+
+(** {1 Spec syntax}
+
+    A schedule is written as [;]-separated clauses:
+
+    {v
+crash@T:site=S[,down=D]       crash site S at T ms, restart after D (default 500)
+drop@T1-T2:p=P[,src=A][,dst=B]    drop attempts with prob P in the window
+delay@T1-T2:add=MS[,src=A][,dst=B]  add MS ms to deliveries in the window
+rto=MS                        retransmit timeout (default 5)
+    v}
+
+    e.g. ["crash@2000:site=1,down=500;drop@0-1000:p=0.05,src=0;rto=2"]. *)
+
+val of_string : string -> (schedule, string) result
+
+(** Canonical spec text; [of_string (to_string s)] round-trips. *)
+val to_string : schedule -> string
+
+val pp : Format.formatter -> schedule -> unit
+
+(** [synthetic ~n_sites ~seed ~n_crashes ()] — a crash-only schedule drawn
+    from a seeded generator: crash instants uniform in [window] (default
+    200–4000 ms), downtimes exponential with [mean_downtime] (default 300 ms,
+    clamped to 100–2000), sites chosen so per-site downtimes never overlap.
+    Deterministic in its arguments; used by the fault-sweep experiment. *)
+val synthetic :
+  n_sites:int ->
+  seed:int ->
+  n_crashes:int ->
+  ?mean_downtime:float ->
+  ?window:float * float ->
+  unit ->
+  schedule
+
+(** {1 Run-time injection} *)
+
+type injector
+
+(** [injector ~n_sites ~seed schedule] — validates the schedule and owns a
+    private RNG stream for drop draws (so fault draws never perturb the
+    workload streams). *)
+val injector : n_sites:int -> seed:int -> schedule -> injector
+
+val schedule : injector -> schedule
+
+(** Is [site] crashed at simulated time [at]? *)
+val down : injector -> site:int -> at:float -> bool
+
+(** The transmission plan for one message handed to the link at [now]:
+    [dropped] are the failed attempt instants (drop-window losses and
+    attempts while an endpoint is down), [depart] is the instant of the
+    successful attempt, [extra] the delay-window surcharge at that instant.
+    Attempts advance by [rto] (jumping over known downtime), so the plan is
+    computed in O(attempts) at send time.
+    @raise Failure if no attempt can succeed within 10_000 tries (e.g. a
+    [drop_prob = 1] window that never closes). *)
+type transmit = { dropped : float list; depart : float; extra : float }
+
+val transmit : injector -> src:int -> dst:int -> now:float -> transmit

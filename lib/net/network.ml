@@ -3,6 +3,7 @@ module Mailbox = Repdb_sim.Mailbox
 module Trace = Repdb_obs.Trace
 module Event = Repdb_obs.Event
 module Stats = Repdb_obs.Stats
+module Fault = Repdb_fault.Fault
 
 type 'a target = Inbox of (int * 'a) Mailbox.t | Handler of (src:int -> 'a -> unit)
 
@@ -12,15 +13,22 @@ type 'a t = {
   delays : float array array;
   mutable targets : 'a target array;
   mutable sent : int;
+  mutable dropped : int;
   on_send : unit -> unit;
   trace : Trace.t;
   describe : ('a -> string * int) option;
   sent_ctr : Stats.counter option;
   recv_ctr : Stats.counter option;
+  drop_ctr : Stats.counter option;
+  injector : Fault.injector option;
+  fifo_clear : float array array;
+      (* Per ordered pair: latest delivery instant scheduled so far. Faulty
+         transmissions finish at irregular times, so later sends clamp to this
+         to preserve the FIFO-channel guarantee. *)
 }
 
 let create ~sim ~n_sites ~latency ?(on_send = fun () -> ()) ?(trace = Trace.disabled) ?describe
-    ?stats () =
+    ?stats ?injector () =
   if n_sites < 1 then invalid_arg "Network.create: need at least one site";
   let delays =
     Array.init n_sites (fun src ->
@@ -35,11 +43,18 @@ let create ~sim ~n_sites ~latency ?(on_send = fun () -> ()) ?(trace = Trace.disa
     delays;
     targets = Array.init n_sites (fun _ -> Inbox (Mailbox.create ()));
     sent = 0;
+    dropped = 0;
     on_send;
     trace;
     describe;
     sent_ctr = Option.map (fun s -> Stats.counter s "msg.sent") stats;
     recv_ctr = Option.map (fun s -> Stats.counter s "msg.recv") stats;
+    drop_ctr =
+      (match injector with
+      | Some _ -> Option.map (fun s -> Stats.counter s "msg.drop") stats
+      | None -> None);
+    injector;
+    fifo_clear = Array.init n_sites (fun _ -> Array.make n_sites 0.0);
   }
 
 let n_sites t = t.n
@@ -61,14 +76,43 @@ let send t ~src ~dst msg =
     | Inbox mb -> Mailbox.send mb (src, msg)
     | Handler f -> f ~src msg
   in
-  if Trace.on t.trace then begin
-    let kind, size = describe_msg t msg in
-    Trace.record t.trace (Event.Msg_send { src; dst; kind; size });
-    Sim.after t.sim t.delays.(src).(dst) (fun () ->
-        Trace.record t.trace (Event.Msg_recv { src; dst; kind; size });
-        deliver ())
-  end
-  else Sim.after t.sim t.delays.(src).(dst) deliver
+  let tracing = Trace.on t.trace in
+  let kind, size = if tracing then describe_msg t msg else ("msg", 0) in
+  if tracing then Trace.record t.trace (Event.Msg_send { src; dst; kind; size });
+  match t.injector with
+  | None ->
+      if tracing then
+        Sim.after t.sim t.delays.(src).(dst) (fun () ->
+            Trace.record t.trace (Event.Msg_recv { src; dst; kind; size });
+            deliver ())
+      else Sim.after t.sim t.delays.(src).(dst) deliver
+  | Some inj ->
+      (* The acked link computes the whole retransmission plan up front (the
+         schedule is static, so future attempt outcomes are known); the clamp
+         against [fifo_clear] keeps the pair a FIFO channel even though
+         retransmitted messages finish late. *)
+      let tm = Fault.transmit inj ~src ~dst ~now:(Sim.now t.sim) in
+      let n_drops = List.length tm.Fault.dropped in
+      if n_drops > 0 then begin
+        t.dropped <- t.dropped + n_drops;
+        match t.drop_ctr with Some c -> Stats.add c ~site:src n_drops | None -> ()
+      end;
+      if tracing then
+        List.iter
+          (fun at ->
+            Sim.at t.sim at (fun () ->
+                Trace.record t.trace (Event.Msg_drop { src; dst; kind; size })))
+          tm.Fault.dropped;
+      let arrive = tm.Fault.depart +. t.delays.(src).(dst) +. tm.Fault.extra in
+      let arrive = Float.max arrive t.fifo_clear.(src).(dst) in
+      t.fifo_clear.(src).(dst) <- arrive;
+      if tracing then
+        Sim.at t.sim arrive (fun () ->
+            Trace.record t.trace (Event.Msg_recv { src; dst; kind; size });
+            deliver ())
+      else Sim.at t.sim arrive deliver
+
+let messages_dropped t = t.dropped
 
 let inbox t dst =
   check t dst;

@@ -23,7 +23,14 @@ type 'a t
     recorded as a [Msg_send] / [Msg_recv] event tagged with the message kind
     and approximate size from [describe] (defaults to [("msg", 0)]); when
     [stats] is given, per-site ["msg.sent"] / ["msg.recv"] counters are
-    registered and bumped. *)
+    registered and bumped.
+
+    Faults: when [injector] is given, each send consults its transmission
+    plan — failed attempts (drop windows, endpoints down) are retried every
+    RTO, traced as [Msg_drop] and counted in a per-site ["msg.drop"] counter,
+    and deliveries are clamped to the pair's latest scheduled delivery so the
+    channel stays FIFO across losses. Messages are therefore delayed by
+    faults, never lost: the reliable-FIFO contract above still holds. *)
 val create :
   sim:Repdb_sim.Sim.t ->
   n_sites:int ->
@@ -32,6 +39,7 @@ val create :
   ?trace:Repdb_obs.Trace.t ->
   ?describe:('a -> string * int) ->
   ?stats:Repdb_obs.Stats.t ->
+  ?injector:Repdb_fault.Fault.injector ->
   unit ->
   'a t
 
@@ -50,6 +58,10 @@ val set_handler : 'a t -> int -> (src:int -> 'a -> unit) -> unit
 
 (** Total messages sent so far. *)
 val messages_sent : 'a t -> int
+
+(** Total dropped transmission attempts so far (0 without an injector; a
+    single message may account for several). *)
+val messages_dropped : 'a t -> int
 
 (** One-way latency for a pair (as sampled at creation). *)
 val latency : 'a t -> src:int -> dst:int -> float

@@ -12,6 +12,9 @@ type kind =
   | Lock_release of { site : int; owner : int }
   | Msg_send of { src : int; dst : int; kind : string; size : int }
   | Msg_recv of { src : int; dst : int; kind : string; size : int }
+  | Msg_drop of { src : int; dst : int; kind : string; size : int }
+  | Site_crash of { site : int }
+  | Site_recover of { site : int; downtime : float }
   | Secondary_recv of { gid : int; site : int }
   | Secondary_commit of { gid : int; site : int }
   | Prop_apply of { gid : int; site : int; delay : float }
@@ -35,6 +38,9 @@ let label = function
   | Lock_release _ -> "lock_release"
   | Msg_send _ -> "msg_send"
   | Msg_recv _ -> "msg_recv"
+  | Msg_drop _ -> "msg_drop"
+  | Site_crash _ -> "site_crash"
+  | Site_recover _ -> "site_recover"
   | Secondary_recv _ -> "secondary_recv"
   | Secondary_commit _ -> "secondary_commit"
   | Prop_apply _ -> "prop_apply"
@@ -54,6 +60,8 @@ let site = function
   | Lock_timeout { site; _ }
   | Lock_deadlock { site; _ }
   | Lock_release { site; _ }
+  | Site_crash { site }
+  | Site_recover { site; _ }
   | Secondary_recv { site; _ }
   | Secondary_commit { site; _ }
   | Prop_apply { site; _ }
@@ -62,7 +70,7 @@ let site = function
   | Backedge_stage { site; _ }
   | Backedge_decide { site; _ } -> site
   | Msg_send { src; _ } -> src
-  | Msg_recv { dst; _ } | Dummy_emit { dst; _ } -> dst
+  | Msg_recv { dst; _ } | Msg_drop { dst; _ } | Dummy_emit { dst; _ } -> dst
 
 let string_of_mode = function Shared -> "S" | Exclusive -> "X"
 
@@ -76,8 +84,11 @@ let args = function
   | Lock_timeout { owner; item; _ } | Lock_deadlock { owner; item; _ } ->
       [ ("owner", `Int owner); ("item", `Int item) ]
   | Lock_release { owner; _ } -> [ ("owner", `Int owner) ]
-  | Msg_send { src; dst; kind; size } | Msg_recv { src; dst; kind; size } ->
+  | Msg_send { src; dst; kind; size } | Msg_recv { src; dst; kind; size }
+  | Msg_drop { src; dst; kind; size } ->
       [ ("src", `Int src); ("dst", `Int dst); ("kind", `String kind); ("size", `Int size) ]
+  | Site_crash _ -> []
+  | Site_recover { downtime; _ } -> [ ("downtime", `Float downtime) ]
   | Secondary_recv { gid; _ } | Secondary_commit { gid; _ } -> [ ("gid", `Int gid) ]
   | Prop_apply { gid; delay; _ } -> [ ("gid", `Int gid); ("delay", `Float delay) ]
   | Epoch_advance { epoch; _ } -> [ ("epoch", `Int epoch) ]

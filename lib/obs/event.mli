@@ -24,6 +24,14 @@ type kind =
       (** [release_all] for the owner (commit or abort). *)
   | Msg_send of { src : int; dst : int; kind : string; size : int }
   | Msg_recv of { src : int; dst : int; kind : string; size : int }
+  | Msg_drop of { src : int; dst : int; kind : string; size : int }
+      (** A transmission attempt was lost (drop window, or an endpoint down);
+          the acked link retries it after the schedule's RTO. *)
+  | Site_crash of { site : int }
+      (** The site became unreachable and its volatile memory is lost. *)
+  | Site_recover of { site : int; downtime : float }
+      (** The site restarted: store rebuilt from the redo log after
+          [downtime] ms down. *)
   | Secondary_recv of { gid : int; site : int }
       (** A propagated subtransaction was dequeued for processing. *)
   | Secondary_commit of { gid : int; site : int }

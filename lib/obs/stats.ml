@@ -6,6 +6,7 @@ type histogram = {
   counts : int array array; (* site -> bucket (last = overflow) *)
   sums : float array; (* per site *)
   ns : int array; (* per site *)
+  maxs : float array; (* per site: largest observation, for overflow hits *)
 }
 
 type t = {
@@ -32,10 +33,18 @@ let counter t name =
       t.counters <- c :: t.counters;
       c
 
-let histogram ?(buckets = default_buckets) t name =
+let histogram ?buckets t name =
   match List.find_opt (fun h -> h.h_name = name) t.histograms with
-  | Some h -> h
+  | Some h -> (
+      (* A histogram silently returned with different buckets than requested
+         would misattribute every subsequent observation. *)
+      match buckets with
+      | Some b when b <> h.bounds ->
+          invalid_arg
+            (Printf.sprintf "Stats.histogram: %S already registered with different buckets" name)
+      | _ -> h)
   | None ->
+      let buckets = Option.value buckets ~default:default_buckets in
       Array.iteri
         (fun i b ->
           if i > 0 && buckets.(i - 1) >= b then
@@ -48,6 +57,7 @@ let histogram ?(buckets = default_buckets) t name =
           counts = Array.init t.n_sites (fun _ -> Array.make (Array.length buckets + 1) 0);
           sums = Array.make t.n_sites 0.0;
           ns = Array.make t.n_sites 0;
+          maxs = Array.make t.n_sites 0.0;
         }
       in
       t.histograms <- h :: t.histograms;
@@ -70,7 +80,8 @@ let observe h ~site v =
   let b = bucket_of h.bounds v in
   h.counts.(site).(b) <- h.counts.(site).(b) + 1;
   h.sums.(site) <- h.sums.(site) +. v;
-  h.ns.(site) <- h.ns.(site) + 1
+  h.ns.(site) <- h.ns.(site) + 1;
+  if v > h.maxs.(site) then h.maxs.(site) <- v
 
 let counter_value c ~site = c.c.(site)
 let counter_total c = Array.fold_left ( + ) 0 c.c
@@ -89,6 +100,9 @@ let bucket_counts h site =
     acc
   end
 
+let histogram_max h ~site =
+  if site >= 0 then h.maxs.(site) else Array.fold_left Float.max 0.0 h.maxs
+
 let percentile h ~site q =
   let counts = bucket_counts h site in
   let total = Array.fold_left ( + ) 0 counts in
@@ -96,20 +110,18 @@ let percentile h ~site q =
   else begin
     let rank = int_of_float (ceil (q *. float_of_int total)) in
     let rank = max 1 (min total rank) in
-    let acc = ref 0 and result = ref h.bounds.(Array.length h.bounds - 1) in
-    (try
-       Array.iteri
-         (fun i n ->
-           acc := !acc + n;
-           if !acc >= rank then begin
-             (result :=
-                if i < Array.length h.bounds then h.bounds.(i)
-                else h.bounds.(Array.length h.bounds - 1));
-             raise Exit
-           end)
-         counts
-     with Exit -> ());
-    !result
+    let nb = Array.length h.bounds in
+    let rec find i acc =
+      if i >= nb then
+        (* The rank falls in the overflow bucket: clamping to the largest
+           finite bound would silently under-report the tail, so report the
+           observed maximum instead. *)
+        histogram_max h ~site
+      else
+        let acc = acc + counts.(i) in
+        if acc >= rank then h.bounds.(i) else find (i + 1) acc
+    in
+    find 0 0
   end
 
 let percentile_total h q = percentile h ~site:(-1) q

@@ -29,7 +29,9 @@ val counter : t -> string -> counter
 (** [histogram t name] — likewise for histograms. [buckets] are the
     inclusive upper bounds (ms) of the finite buckets, strictly increasing;
     an overflow bucket is added implicitly. The default spans 0.25 ms to
-    30 s in roughly 1-2-5 steps. *)
+    30 s in roughly 1-2-5 steps.
+    @raise Invalid_argument if [name] is already registered and [buckets]
+    differs from its bounds. *)
 val histogram : ?buckets:float array -> t -> string -> histogram
 
 val incr : counter -> site:int -> unit
@@ -46,8 +48,14 @@ val histogram_count : histogram -> site:int -> int
 
 val histogram_mean : histogram -> site:int -> float
 
+(** Largest value observed at [site] ([site:-1] for all sites); 0 when
+    empty. *)
+val histogram_max : histogram -> site:int -> float
+
 (** [percentile h ~site q] with [q] in [0,1]; 0 when empty. Pass [site:-1]
-    (or use {!percentile_total}) for the all-site aggregate. *)
+    (or use {!percentile_total}) for the all-site aggregate. When the rank
+    lands in the overflow bucket the observed maximum is reported rather
+    than the largest finite bound. *)
 val percentile : histogram -> site:int -> float -> float
 
 val percentile_total : histogram -> float -> float

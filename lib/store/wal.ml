@@ -14,11 +14,14 @@ let checkpoint t contents =
   t.snap <- contents;
   t.log <- []
 
-let attach t store =
-  checkpoint t (Store.contents store);
+let reattach t store =
   Store.set_write_hook store (function
     | Store.Applied { item; writer; payload } -> append t (Apply { item; writer; payload })
     | Store.Installed { item; value } -> append t (Ship { item; value }))
+
+let attach t store =
+  checkpoint t (Store.contents store);
+  reattach t store
 
 let recover t ~site =
   let store = Store.create ~site [] in

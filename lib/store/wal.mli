@@ -37,6 +37,13 @@ val checkpoint : t -> (int * Value.t) list -> unit
     start logging its subsequent writes. *)
 val attach : t -> Store.t -> unit
 
+(** [reattach t store] — start logging [store]'s writes into [t] {e without}
+    taking a checkpoint: the existing snapshot and log are kept. This is the
+    restart path — hook the log back onto the store {!recover} just rebuilt.
+    Calling {!attach} here instead would silently truncate the log, losing
+    the ability to re-recover from the original checkpoint. *)
+val reattach : t -> Store.t -> unit
+
 (** [recover t ~site] — rebuild the site store: start from the checkpoint
     snapshot and replay the log in order. *)
 val recover : t -> site:int -> Store.t

@@ -49,6 +49,11 @@ type t = {
   (* DAG(T) progress machinery *)
   epoch_period : float;  (** Sources bump their epoch every this many ms. *)
   dummy_idle : float;  (** Send a dummy subtransaction after this idle time, ms. *)
+  (* Fault injection *)
+  faults : Repdb_fault.Fault.schedule;
+      (** Site crash/restart and link drop/delay schedule the run must
+          survive; {!Repdb_fault.Fault.empty} (the default) disables
+          injection entirely. *)
 }
 
 val default : t

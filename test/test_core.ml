@@ -48,9 +48,37 @@ let test_metrics_percentiles () =
   done;
   Metrics.client_done m ~time:100.0;
   let s = Metrics.summarize m ~n_sites:1 ~messages:0 in
-  checkf "p50" 51.0 s.p50_response;
-  checkf "p95" 96.0 s.p95_response;
-  checkf "p99" 100.0 s.p99_response
+  (* Nearest-rank: of 1..100, pXX is exactly XX. *)
+  checkf "p50" 50.0 s.p50_response;
+  checkf "p95" 95.0 s.p95_response;
+  checkf "p99" 99.0 s.p99_response
+
+let test_metrics_percentile_nearest_rank () =
+  (* The regression the truncating index had: p50 of an even-sized sample
+     must be the lower middle element, not the upper. *)
+  checkf "p50 of [1;2;3;4]" 2.0 (Metrics.percentile [| 1.0; 2.0; 3.0; 4.0 |] 0.5);
+  checkf "p25 of [1;2;3;4]" 1.0 (Metrics.percentile [| 1.0; 2.0; 3.0; 4.0 |] 0.25);
+  checkf "p100" 4.0 (Metrics.percentile [| 1.0; 2.0; 3.0; 4.0 |] 1.0);
+  checkf "p0 clamps to first" 1.0 (Metrics.percentile [| 1.0; 2.0; 3.0; 4.0 |] 0.0);
+  checkf "empty" 0.0 (Metrics.percentile [||] 0.5)
+
+let test_metrics_stats_percentiles_agree () =
+  (* The two percentile implementations must give the same answer when the
+     histogram buckets resolve every sample exactly. *)
+  let samples = Array.init 40 (fun i -> float_of_int (1 + (i mod 10))) in
+  let stats = Repdb_obs.Stats.create ~n_sites:1 () in
+  let buckets = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  let h = Repdb_obs.Stats.histogram ~buckets stats "x" in
+  Array.iter (fun v -> Repdb_obs.Stats.observe h ~site:0 v) samples;
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  List.iter
+    (fun q ->
+      checkf
+        (Printf.sprintf "q=%g agrees" q)
+        (Metrics.percentile sorted q)
+        (Repdb_obs.Stats.percentile h ~site:0 q))
+    [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1.0 ]
 
 let test_metrics_empty () =
   let m = Metrics.create () in
@@ -262,6 +290,9 @@ let () =
         [
           Alcotest.test_case "counts" `Quick test_metrics_counts;
           Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
+          Alcotest.test_case "percentile nearest rank" `Quick test_metrics_percentile_nearest_rank;
+          Alcotest.test_case "percentile agrees with stats" `Quick
+            test_metrics_stats_percentiles_agree;
           Alcotest.test_case "empty" `Quick test_metrics_empty;
           Alcotest.test_case "single sample" `Quick test_metrics_single_sample;
           Alcotest.test_case "aborts only" `Quick test_metrics_aborts_only;

@@ -39,6 +39,28 @@ let test_fifo_per_pair () =
   Sim.run sim;
   Alcotest.(check (list int)) "FIFO" (List.init 20 (fun i -> i + 1)) (List.rev !got)
 
+let test_same_instant_send_order () =
+  (* Two sends at the same simulated instant to the same destination arrive
+     in send order: their delivery events carry equal times, so ordering
+     rests entirely on the heap's sequence tiebreaker. *)
+  let sim, net = make () in
+  let got = ref [] in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 4 do
+        let src, v = Mailbox.recv (Network.inbox net 2) in
+        got := (src, v) :: !got
+      done);
+  Sim.after sim 3.0 (fun () ->
+      Network.send net ~src:0 ~dst:2 1;
+      Network.send net ~src:0 ~dst:2 2;
+      Network.send net ~src:1 ~dst:2 3;
+      Network.send net ~src:0 ~dst:2 4);
+  Sim.run sim;
+  Alcotest.(check (list (pair int int)))
+    "same-instant sends keep order"
+    [ (0, 1); (0, 2); (1, 3); (0, 4) ]
+    (List.rev !got)
+
 let test_asymmetric_latency () =
   (* A slow link delays only its own pair — the setup of Example 1.1. *)
   let latency src dst = if src = 0 && dst = 2 then 100.0 else 1.0 in
@@ -93,6 +115,7 @@ let () =
         [
           Alcotest.test_case "delivery latency" `Quick test_delivery_latency;
           Alcotest.test_case "fifo per pair" `Quick test_fifo_per_pair;
+          Alcotest.test_case "same-instant send order" `Quick test_same_instant_send_order;
           Alcotest.test_case "asymmetric latency" `Quick test_asymmetric_latency;
           Alcotest.test_case "handler routing" `Quick test_handler_routing;
           Alcotest.test_case "counting" `Quick test_counting_and_on_send;

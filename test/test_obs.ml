@@ -84,6 +84,38 @@ let test_stats_histogram () =
   checkf "aggregate p99" 1000.0 (Stats.percentile_total h 0.99);
   checkf "empty percentile" 0.0 (Stats.percentile (Stats.histogram s "other") ~site:0 0.5)
 
+let test_stats_histogram_overflow_max () =
+  let s = Stats.create ~n_sites:2 () in
+  let h = Stats.histogram s "slow" in
+  (* Observations beyond the largest finite bound (30 s) land in the overflow
+     bucket; percentiles there must report the observed maximum, not clamp. *)
+  Stats.observe h ~site:0 45_000.0;
+  Stats.observe h ~site:0 90_000.0;
+  Stats.observe h ~site:1 120_000.0;
+  checkf "max site 0" 90_000.0 (Stats.histogram_max h ~site:0);
+  checkf "max aggregate" 120_000.0 (Stats.histogram_max h ~site:(-1));
+  checkf "p99 reports observed max" 90_000.0 (Stats.percentile h ~site:0 0.99);
+  checkf "aggregate p99 reports observed max" 120_000.0 (Stats.percentile_total h 0.99);
+  (* Mixed: the median still resolves to a finite bucket bound. *)
+  Stats.observe h ~site:0 1.0;
+  Stats.observe h ~site:0 1.0;
+  Stats.observe h ~site:0 1.0;
+  checkf "p50 stays in finite buckets" 1.0 (Stats.percentile h ~site:0 0.5);
+  checkf "p99 still the max" 90_000.0 (Stats.percentile h ~site:0 0.99)
+
+let test_stats_histogram_bucket_mismatch () =
+  let s = Stats.create ~n_sites:1 () in
+  let h = Stats.histogram ~buckets:[| 1.0; 2.0 |] s "lat" in
+  (* Same name, no buckets or identical buckets: same handle. *)
+  Stats.observe h ~site:0 1.5;
+  Stats.observe (Stats.histogram s "lat") ~site:0 1.5;
+  Stats.observe (Stats.histogram ~buckets:[| 1.0; 2.0 |] s "lat") ~site:0 1.5;
+  checki "one histogram" 3 (Stats.histogram_count h ~site:0);
+  (* Different buckets for an existing name must raise, not silently ignore. *)
+  Alcotest.check_raises "bucket mismatch raises"
+    (Invalid_argument "Stats.histogram: \"lat\" already registered with different buckets")
+    (fun () -> ignore (Stats.histogram ~buckets:[| 5.0; 10.0 |] s "lat"))
+
 (* --- exporters ------------------------------------------------------------- *)
 
 (* Minimal JSON well-formedness check: brackets/braces balance outside
@@ -274,6 +306,9 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_stats_counters;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "histogram overflow max" `Quick test_stats_histogram_overflow_max;
+          Alcotest.test_case "histogram bucket mismatch" `Quick
+            test_stats_histogram_bucket_mismatch;
         ] );
       ( "export",
         [

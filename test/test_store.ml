@@ -163,6 +163,29 @@ let test_wal_checkpoint_truncates () =
   let recovered = Wal.recover wal ~site:0 in
   checkb "checkpoint + tail = live" true (Store.contents recovered = Store.contents s)
 
+let test_wal_reattach () =
+  (* The restart drill: recover a store from the log, hook the log back on
+     with [reattach] (no checkpoint), and keep writing. The log must keep the
+     original checkpoint — so a second recovery still replays everything —
+     and must capture writes made through the recovered store. *)
+  let s = Store.create ~site:0 [ 0; 1 ] in
+  let wal = Wal.create () in
+  Wal.attach wal s;
+  Store.apply s 0 ~writer:1 ();
+  Store.apply s 1 ~writer:2 ~payload:"a" ();
+  let recovered = Wal.recover wal ~site:0 in
+  checkb "recover reproduces contents" true (Store.contents recovered = Store.contents s);
+  let snap_before = Wal.snapshot wal in
+  Wal.reattach wal recovered;
+  checki "reattach keeps the log" 2 (Wal.length wal);
+  checkb "reattach keeps the snapshot" true (Wal.snapshot wal = snap_before);
+  Store.apply recovered 0 ~writer:3 ();
+  checki "logging continues" 3 (Wal.length wal);
+  let again = Wal.recover wal ~site:0 in
+  checkb "second recovery sees post-restart writes" true
+    (Store.contents again = Store.contents recovered);
+  checkb "post-restart write present" true ((Store.read again 0).Value.writer = 3)
+
 let prop_wal_recovery_roundtrip =
   QCheck2.Test.make ~name:"recovery reproduces the store after random writes" ~count:200
     QCheck2.Gen.(list_size (int_range 0 60) (pair (int_range 0 9) (int_range 1 50)))
@@ -228,6 +251,7 @@ let () =
         [
           Alcotest.test_case "replay" `Quick test_wal_replay;
           Alcotest.test_case "checkpoint truncates" `Quick test_wal_checkpoint_truncates;
+          Alcotest.test_case "reattach continues the log" `Quick test_wal_reattach;
           QCheck_alcotest.to_alcotest prop_wal_recovery_roundtrip;
           Alcotest.test_case "recovers a protocol run" `Quick test_wal_recovers_protocol_run;
         ] );
