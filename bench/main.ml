@@ -280,6 +280,13 @@ let micro () =
   in
   let heap_rng = Repdb_sim.Rng.create 2 in
   let swap_heap_rng = Repdb_sim.Rng.create 2 in
+  (* Memoized placement accessors vs the full recompute a reconfiguration
+     step pays: copy_graph/backedges are O(1) field reads since the memos
+     moved into [Placement.make]. *)
+  let placement =
+    Repdb_workload.Placement.generate (Repdb_sim.Rng.create 3)
+      { base with Params.backedge_prob = 0.5; replication_prob = 0.5 }
+  in
   (* Per-task pool overhead: 256 no-op tasks on a 2-domain pool, so the
      measured cost is claim/synchronisation, not work. *)
   let micro_pool = Pool.create ~domains:2 in
@@ -308,6 +315,15 @@ let micro () =
              while not (Swap_heap.is_empty h) do
                ignore (Swap_heap.pop_min h)
              done));
+      Test.make ~name:"Placement.copy_graph (memoized)"
+        (Staged.stage (fun () ->
+             ignore (Repdb_workload.Placement.copy_graph placement);
+             ignore (Repdb_workload.Placement.backedges placement)));
+      Test.make ~name:"Placement.apply_step (memo rebuild)"
+        (Staged.stage (fun () ->
+             ignore
+               (Repdb_workload.Placement.apply_step placement
+                  (Repdb_reconfig.Reconfig.Add_replica { item = 0; site = 1 }))));
       Test.make ~name:"Pool.map (256 tasks, 2 domains)"
         (Staged.stage (fun () -> ignore (Pool.map micro_pool pool_tasks ~f:succ)));
     ]
@@ -372,6 +388,8 @@ let targets : (string * (unit -> unit)) list =
           (Experiment.ablation_site_order ?pool ~base ());
         Fmt.pr "  (n_backedges is counted under the identity order; the fas order removes them@.\
          \   from the protocol's tree even though the copy graph is unchanged)@.@." );
+    ("faults", fun () -> print_figure (Experiment.sweep_faults ?pool ~base ()));
+    ("reconfig", fun () -> print_figure (Experiment.sweep_reconfig ?pool ~base ()));
     ("fas", fas);
     ("variance", variance);
     ("micro", micro);

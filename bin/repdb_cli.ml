@@ -9,12 +9,17 @@
 open Cmdliner
 module Params = Repdb_workload.Params
 module Fault = Repdb_fault.Fault
+module Reconfig = Repdb_reconfig.Reconfig
 
 (* --- shared parameter flags --------------------------------------------- *)
 
 let faults_conv =
   let parse s = Result.map_error (fun m -> `Msg m) (Fault.of_string s) in
   Arg.conv (parse, Fault.pp)
+
+let reconfig_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Reconfig.of_string s) in
+  Arg.conv (parse, Reconfig.pp)
 
 let params_term =
   let open Term in
@@ -28,7 +33,7 @@ let params_term =
   in
   let d = Params.default in
   let make sites items r s b ops threads txns read_op read_txn latency timeout seed retry check
-      faults =
+      faults reconfig =
     {
       d with
       n_sites = sites;
@@ -47,6 +52,7 @@ let params_term =
       retry_aborted = retry;
       record_history = check;
       faults;
+      reconfig;
     }
   in
   const make
@@ -81,6 +87,18 @@ let params_term =
              $(b,delay@T1-T2:add=MS,src=A,dst=B) (delivery surcharge) and $(b,rto=MS) \
              (retransmit timeout, default 5). Example: \
              $(b,\"crash@300:site=1,down=400;drop@0-200:p=0.2\").")
+  $ Arg.(
+      value
+      & opt reconfig_conv Reconfig.empty
+      & info [ "reconfig" ] ~docs ~docv:"SPEC"
+          ~doc:
+            "Online reconfiguration plan executed live at simulated times: $(b,;)-separated \
+             clauses $(b,add@T:item=I,site=S) (add a replica of item $(i,I) at site $(i,S), \
+             state-transferred from its primary), $(b,drop@T:item=I,site=S) (drop that \
+             replica) and $(b,rebalance@T:from=A,to=B) (move every replica site $(i,A) holds \
+             to site $(i,B)). Each step is an epoch switch: quiesce, transfer, atomic \
+             placement/tree swap, resume. Example: \
+             $(b,\"add@300:item=5,site=3;rebalance@600:from=1,to=2\").")
 
 (* --- run ------------------------------------------------------------------ *)
 
@@ -210,15 +228,14 @@ let with_jobs jobs f =
   if jobs > 1 then Pool.with_pool ~domains:jobs (fun pool -> f (Some pool)) else f None
 
 let experiment_cmd =
+  (* Both the help text and the dispatch come from [Experiment.registry], so
+     adding a sweep there is all it takes to expose it here. *)
   let exp_name =
     Arg.(
       required
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT"
-          ~doc:
-            "One of: fig2a, fig2b, fig3a, fig3b, resp, sites, threads, latency, readtxn, \
-             ablation, eager-scaling, tree-routing, deadlock-policy, dummy-period, hotspot, \
-             straggler, site-order, faults.")
+          ~doc:(Printf.sprintf "One of: %s." (String.concat ", " Repdb.Experiment.ids)))
   in
   let steps =
     Arg.(value & opt int 10 & info [ "steps" ] ~doc:"Sweep resolution for probability axes.")
@@ -226,37 +243,32 @@ let experiment_cmd =
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Print CSV only.") in
   let run params exp_name steps csv jobs =
     let base = params in
-    with_jobs jobs (fun pool ->
-        let print fig =
-          if csv then print_string (Repdb.Experiment.to_csv fig)
-          else Fmt.pr "%a@." Repdb.Experiment.pp_figure fig
-        in
-        let reports rs = Fmt.pr "%a@." Repdb.Experiment.pp_reports rs in
-        match exp_name with
-        | "fig2a" -> print (Repdb.Experiment.fig2a ?pool ~base ~steps ())
-        | "fig2b" -> print (Repdb.Experiment.fig2b ?pool ~base ~steps ())
-        | "fig3a" -> print (Repdb.Experiment.fig3a ?pool ~base ~steps ())
-        | "fig3b" -> print (Repdb.Experiment.fig3b ?pool ~base ~steps ())
-        | "resp" -> reports (Repdb.Experiment.response_times ?pool ~base ())
-        | "sites" -> print (Repdb.Experiment.sweep_sites ?pool ~base ())
-        | "threads" -> print (Repdb.Experiment.sweep_threads ?pool ~base ())
-        | "latency" -> print (Repdb.Experiment.sweep_latency ?pool ~base ())
-        | "readtxn" -> print (Repdb.Experiment.sweep_read_txn ?pool ~base ())
-        | "ablation" -> reports (Repdb.Experiment.ablation_protocols ?pool ~base ())
-        | "eager-scaling" -> print (Repdb.Experiment.ablation_eager_scaling ?pool ~base ())
-        | "tree-routing" -> print (Repdb.Experiment.ablation_tree_routing ?pool ~base ())
-        | "deadlock-policy" -> reports (Repdb.Experiment.ablation_deadlock_policy ?pool ~base ())
-        | "dummy-period" -> print (Repdb.Experiment.ablation_dummy_period ?pool ~base ())
-        | "hotspot" -> print (Repdb.Experiment.ablation_hotspot ?pool ~base ())
-        | "straggler" -> print (Repdb.Experiment.ablation_straggler ?pool ~base ())
-        | "site-order" -> reports (Repdb.Experiment.ablation_site_order ?pool ~base ())
-        | "faults" -> print (Repdb.Experiment.sweep_faults ?pool ~base ())
-        | other -> Fmt.epr "unknown experiment %S@." other)
+    match Repdb.Experiment.find exp_name with
+    | None ->
+        Fmt.epr "unknown experiment %S (try: %s)@." exp_name
+          (String.concat ", " Repdb.Experiment.ids);
+        exit 1
+    | Some entry ->
+        with_jobs jobs (fun pool ->
+            match entry.run ~pool ~base ~steps with
+            | Repdb.Experiment.Figure fig ->
+                if csv then print_string (Repdb.Experiment.to_csv fig)
+                else Fmt.pr "%a@." Repdb.Experiment.pp_figure fig
+            | Repdb.Experiment.Reports rs -> Fmt.pr "%a@." Repdb.Experiment.pp_reports rs)
+  in
+  let exp_list =
+    `Blocks
+      (`P "Available experiments:"
+      :: List.map
+           (fun (e : Repdb.Experiment.entry) ->
+             `P (Printf.sprintf "$(b,%s) — %s" e.exp_id e.doc))
+           Repdb.Experiment.registry)
   in
   Cmd.v
     (Cmd.info "experiment"
        ~doc:
-         "Regenerate one of the paper's tables/figures or a sweep. Independent simulations run           on $(b,-j) domains.")
+         "Regenerate one of the paper's tables/figures or a sweep. Independent simulations run           on $(b,-j) domains."
+       ~man:[ `S Manpage.s_description; exp_list ])
     Term.(const run $ params_term $ exp_name $ steps $ csv $ jobs_term)
 
 (* --- protocols / table1 ------------------------------------------------------ *)

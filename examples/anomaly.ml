@@ -24,7 +24,7 @@ let params =
 (* a = item 0: primary s1(=0), replicas s2(=1), s3(=2);
    b = item 1: primary s2(=1), replica s3(=2). *)
 let placement_1_1 =
-  { Placement.n_sites = 3; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 1; 2 ]; [ 2 ] |] }
+  Placement.make ~n_sites:3 ~n_items:2 ~primary:[| 0; 1 |] ~replicas:[| [ 1; 2 ]; [ 2 ] |]
 
 (* The slow link s1 -> s3 that makes the indiscriminate schedule possible. *)
 let slow src dst = if src = 0 && dst = 2 then 200.0 else 1.0
@@ -49,7 +49,7 @@ let run_example_1_1 (proto : Repdb.Protocol.t) =
   (P.name, Serializability.check c.history)
 
 let placement_4_1 =
-  { Placement.n_sites = 2; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 1 ]; [ 0 ] |] }
+  Placement.make ~n_sites:2 ~n_items:2 ~primary:[| 0; 1 |] ~replicas:[| [ 1 ]; [ 0 ] |]
 
 let run_example_4_1 () =
   let c = Cluster.create_with { params with Params.n_sites = 2 } placement_4_1 in

@@ -35,7 +35,7 @@ let placement =
       replicas.(i) <- [ 0 ] (* status flows back: a backedge *)
     done
   done;
-  { Placement.n_sites = n_managers + 1; n_items; primary; replicas }
+  Placement.make ~n_sites:(n_managers + 1) ~n_items ~primary ~replicas
 
 let params =
   {

@@ -40,7 +40,7 @@ let placement =
     primary.(j) <- 2;
     replicas.(j) <- [ 5; 6 ]
   done;
-  { Placement.n_sites = 7; n_items; primary; replicas }
+  Placement.make ~n_sites:7 ~n_items ~primary ~replicas
 
 let params =
   {

@@ -20,8 +20,8 @@ let origin_wait_factor = 40.0
 let max_participant_retries = 50
 
 type chain_msg =
-  | Normal of { gid : int; writes : int list; origin_commit : float }
-  | Special of { gid : int; origin : int; writes : int list }
+  | Normal of { gid : int; writes : int list; origin_commit : float; epoch : int }
+  | Special of { gid : int; origin : int; writes : int list; epoch : int }
 
 type direct_msg =
   | Exec_request of { gid : int; origin : int; writes : int list }
@@ -44,10 +44,12 @@ type participant = {
 
 type t = {
   c : Cluster.t;
-  tr : Tree.t;
+  mutable tr : Tree.t;
+  retree : unit -> Tree.t; (* rebuild the tree for the current placement *)
   tree_net : chain_msg Network.t;
   direct_net : direct_msg Network.t;
-  in_subtree : bool array array; (* site -> item -> replica within subtree(site) *)
+  mutable in_subtree : bool array array;
+      (* site -> item -> replica within subtree(site) *)
   pending_by_attempt : (int, pending) Hashtbl.t array; (* per site *)
   pending_by_gid : (int, pending) Hashtbl.t;
   participants : (int, participant) Hashtbl.t array; (* per site, by gid *)
@@ -85,7 +87,8 @@ let forward_normal t site (gid, writes, origin_commit) =
   List.iter
     (fun child ->
       Cluster.inc_outstanding t.c;
-      Network.send t.tree_net ~src:site ~dst:child (Normal { gid; writes; origin_commit }))
+      Network.send t.tree_net ~src:site ~dst:child
+        (Normal { gid; writes; origin_commit; epoch = t.c.config_epoch }))
     children;
   List.length children
 
@@ -193,15 +196,20 @@ let run_participant t ~gid ~origin ~site items =
 
 let forward_special t ~src (gid, origin, writes) =
   Cluster.inc_outstanding t.c;
-  Network.send t.tree_net ~src ~dst:(next_hop t src origin) (Special { gid; origin; writes })
+  Network.send t.tree_net ~src ~dst:(next_hop t src origin)
+    (Special { gid; origin; writes; epoch = t.c.config_epoch })
 
 (* --- tree applier -------------------------------------------------------- *)
 
 let process_tree_msg t site msg =
   let c = t.c in
+  (* Epoch fence: the coordinator drains all in-flight propagation before it
+     switches routing, so tree messages never cross an epoch boundary. *)
+  (match msg with
+  | Normal { epoch; _ } | Special { epoch; _ } -> assert (epoch = c.config_epoch));
   Cluster.use_cpu c site c.params.cpu_msg;
   match msg with
-  | Normal { gid; writes; origin_commit } ->
+  | Normal { gid; writes; origin_commit; epoch = _ } ->
       let items = Routing.local_replicas c.placement site writes in
       let sent = ref 0 in
       apply_secondary t ~gid ~site items ~finally:(fun () ->
@@ -210,7 +218,7 @@ let process_tree_msg t site msg =
           sent := forward_normal t site (gid, writes, origin_commit);
           Cluster.dec_outstanding c);
       if !sent > 0 then Cluster.use_cpu c site (float_of_int !sent *. c.params.cpu_msg)
-  | Special { gid; origin; writes } ->
+  | Special { gid; origin; writes; epoch = _ } ->
       if site = origin then begin
         (* All earlier secondaries have committed here: wake the primary. *)
         (match Hashtbl.find_opt t.pending_by_gid gid with
@@ -314,7 +322,7 @@ let validate_tree g tr =
     (fun (u, v) -> Tree.is_ancestor tr u v || Tree.is_ancestor tr v u)
     (Digraph.edges g)
 
-let create_with_tree (c : Cluster.t) tr =
+let make_with_tree (c : Cluster.t) ~retree tr =
   let g = Placement.copy_graph c.placement in
   if not (validate_tree g tr) then
     invalid_arg "Backedge_proto: tree leaves a copy-graph edge between incomparable sites";
@@ -323,6 +331,7 @@ let create_with_tree (c : Cluster.t) tr =
     {
       c;
       tr;
+      retree;
       tree_net =
         Cluster.make_net c ~describe:(function
           | Normal { writes; _ } -> ("normal", 24 + (8 * List.length writes))
@@ -340,15 +349,27 @@ let create_with_tree (c : Cluster.t) tr =
       aborted_gids = Array.init m (fun _ -> Hashtbl.create 32);
     }
   in
+  (* Under a reconfiguration plan a root site may acquire a tree parent at an
+     epoch switch, so every site needs a (possibly idle) applier; without a
+     plan, spawn exactly as before — spawn counts feed the event tie-break
+     order, and static runs must stay byte-identical. *)
   for site = 0 to m - 1 do
-    if Tree.parent tr site <> -1 then Sim.spawn c.sim (fun () -> tree_applier t site);
+    if Cluster.reconfig_planned c || Tree.parent tr site <> -1 then
+      Sim.spawn c.sim (fun () -> tree_applier t site);
     Sim.spawn c.sim (fun () -> direct_server t site)
   done;
   t
 
-(* The paper's evaluated variant: the chain over the total site order. *)
+(* Callers that hand-build a tree keep it across epoch switches (it is
+   re-validated against the new copy graph at each switch). *)
+let create_with_tree (c : Cluster.t) tr = make_with_tree c ~retree:(fun () -> tr) tr
+
+(* The paper's evaluated variant: the chain over the total site order. The
+   chain makes every pair of sites tree-comparable, so it survives any
+   reconfiguration unchanged. *)
 let create (c : Cluster.t) =
-  create_with_tree c (Tree.chain_of_order (Array.init c.params.n_sites Fun.id))
+  let tr = Tree.chain_of_order (Array.init c.params.n_sites Fun.id) in
+  make_with_tree c ~retree:(fun () -> tr) tr
 
 let create_with_order (c : Cluster.t) order =
   let m = c.params.n_sites in
@@ -359,12 +380,13 @@ let create_with_order (c : Cluster.t) order =
       if s < 0 || s >= m || seen.(s) then invalid_arg "Backedge_proto: order is not a permutation";
       seen.(s) <- true)
     order;
-  create_with_tree c (Tree.chain_of_order order)
+  let tr = Tree.chain_of_order order in
+  make_with_tree c ~retree:(fun () -> tr) tr
 
 (* The general variant: delete a minimal DFS backedge set, then chain every
    weakly-connected component of the *full* copy graph in a topological order
    of the residual DAG (so unrelated components never exchange messages). *)
-let create_general (c : Cluster.t) =
+let general_tree (c : Cluster.t) =
   let g = Placement.copy_graph c.placement in
   let gdag = Digraph.remove_edges g (Backedge.minimal_set g) in
   let order =
@@ -386,7 +408,25 @@ let create_general (c : Cluster.t) =
       in
       link sorted)
     (Digraph.weak_components g);
-  create_with_tree c (Tree.of_parents parents)
+  Tree.of_parents parents
+
+let create_general (c : Cluster.t) =
+  make_with_tree c ~retree:(fun () -> general_tree c) (general_tree c)
+
+(* Epoch switch (cluster drained, placement already swapped): rebuild the
+   tree for the new copy graph and re-derive the routing map. Backedge
+   targets are computed per transaction from the live placement, so nothing
+   else is cached. *)
+let reconfigure =
+  Some
+    (fun t ->
+      let tr = t.retree () in
+      let g = Placement.copy_graph t.c.placement in
+      if not (validate_tree g tr) then
+        invalid_arg
+          "Backedge_proto: reconfiguration left a copy-graph edge between incomparable sites";
+      t.tr <- tr;
+      t.in_subtree <- Routing.subtree_replicas t.c.placement tr)
 
 (* --- primary transactions -------------------------------------------------- *)
 

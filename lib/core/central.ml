@@ -175,3 +175,6 @@ let submit t (spec : Txn.spec) =
         Exec.abort_local c ~attempt ~site;
         Txn.Aborted Txn.Remote_denied
       end
+
+(* Placement is read afresh on every access; nothing cached to rebuild. *)
+let reconfigure = Some ignore

@@ -6,6 +6,7 @@ module Store = Repdb_store.Store
 module Wal = Repdb_store.Wal
 module Lock_mgr = Repdb_lock.Lock_mgr
 module Fault = Repdb_fault.Fault
+module Reconfig = Repdb_reconfig.Reconfig
 module History = Repdb_txn.History
 module Params = Repdb_workload.Params
 module Placement = Repdb_workload.Placement
@@ -16,7 +17,7 @@ module Stats = Repdb_obs.Stats
 type t = {
   sim : Sim.t;
   params : Params.t;
-  placement : Placement.t;
+  mutable placement : Placement.t;
   lat_fn : int -> int -> float;
   stores : Store.t array;
   locks : Lock_mgr.t array;
@@ -39,6 +40,17 @@ type t = {
   site_up : bool array;
   up_cv : Condvar.t array; (* broadcast when the site restarts *)
   mutable crashes : int;
+  (* Online reconfiguration (all idle unless [params.reconfig] is non-empty) *)
+  mutable config_epoch : int;
+  mutable reconfiguring : bool;
+  mutable active_txns : int;
+  drained : Condvar.t; (* broadcast when active_txns = outstanding = 0 *)
+  resume : Condvar.t; (* broadcast when the epoch switch completes *)
+  mutable reconfigs : int;
+  mutable state_transfers : int;
+  mutable stall_total : float;
+  switch_hist : Stats.histogram option;
+  stall_hist : Stats.histogram option;
 }
 
 let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) placement =
@@ -103,6 +115,22 @@ let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) pl
     site_up = Array.make m true;
     up_cv = Array.init m (fun _ -> Condvar.create ());
     crashes = 0;
+    config_epoch = 0;
+    reconfiguring = false;
+    active_txns = 0;
+    drained = Condvar.create ();
+    resume = Condvar.create ();
+    reconfigs = 0;
+    state_transfers = 0;
+    stall_total = 0.0;
+    (* Registered only when a plan exists: [Stats.pp_table] prints every
+       registered histogram, so static-topology runs must not see these. *)
+    switch_hist =
+      (if Reconfig.is_empty params.reconfig then None
+       else Some (Stats.histogram stats "reconfig.switch"));
+    stall_hist =
+      (if Reconfig.is_empty params.reconfig then None
+       else Some (Stats.histogram stats "reconfig.stall"));
   }
 
 let create ?trace ?trace_capacity (params : Params.t) =
@@ -164,12 +192,16 @@ let record_propagation t ~gid ~site ~delay =
 let maybe_wake t =
   if t.clients_running = 0 && t.outstanding = 0 then Condvar.broadcast t.quiesced
 
+let drained_now t = t.active_txns = 0 && t.outstanding = 0
+let maybe_drained t = if t.reconfiguring && drained_now t then Condvar.broadcast t.drained
+
 let inc_outstanding t = t.outstanding <- t.outstanding + 1
 
 let dec_outstanding t =
   t.outstanding <- t.outstanding - 1;
   assert (t.outstanding >= 0);
-  maybe_wake t
+  maybe_wake t;
+  maybe_drained t
 
 let client_started t = t.clients_running <- t.clients_running + 1
 
@@ -216,6 +248,48 @@ let recover_site t ~site ~downtime =
   t.site_up.(site) <- true;
   if Trace.on t.trace then Trace.record t.trace (Event.Site_recover { site; downtime });
   Condvar.broadcast t.up_cv.(site)
+
+(* --- online reconfiguration ----------------------------------------------- *)
+
+let reconfig_planned t = not (Reconfig.is_empty t.params.reconfig)
+
+let txn_started t = t.active_txns <- t.active_txns + 1
+
+let txn_finished t =
+  t.active_txns <- t.active_txns - 1;
+  assert (t.active_txns >= 0);
+  maybe_drained t
+
+let await_drained t =
+  while not (drained_now t) do
+    Condvar.await t.drained
+  done
+
+(* Clients call this before generating each transaction; while an epoch
+   switch is in progress they stall here, and the stall is charged to the
+   originating site so the mid-run throughput dip is measurable. *)
+let reconfig_barrier t ~site =
+  if t.reconfiguring then begin
+    let t0 = Sim.now t.sim in
+    while t.reconfiguring do
+      Condvar.await t.resume
+    done;
+    let stall = Sim.now t.sim -. t0 in
+    t.stall_total <- t.stall_total +. stall;
+    match t.stall_hist with Some h -> Stats.observe h ~site stall | None -> ()
+  end
+
+let trace_reconfig_begin t ~epoch =
+  if Trace.on t.trace then Trace.record t.trace (Event.Reconfig_begin { epoch })
+
+let trace_reconfig_switch t ~epoch ~duration =
+  if Trace.on t.trace then Trace.record t.trace (Event.Reconfig_switch { epoch; duration })
+
+let trace_reconfig_done t ~epoch ~duration =
+  if Trace.on t.trace then Trace.record t.trace (Event.Reconfig_done { epoch; duration })
+
+let trace_state_transfer t ~item ~src ~dst =
+  if Trace.on t.trace then Trace.record t.trace (Event.State_transfer { item; src; dst })
 
 let schedule_faults t =
   match t.injector with

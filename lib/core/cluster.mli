@@ -14,6 +14,7 @@ module Store = Repdb_store.Store
 module Wal = Repdb_store.Wal
 module Lock_mgr = Repdb_lock.Lock_mgr
 module Fault = Repdb_fault.Fault
+module Reconfig = Repdb_reconfig.Reconfig
 module History = Repdb_txn.History
 module Params = Repdb_workload.Params
 module Placement = Repdb_workload.Placement
@@ -23,7 +24,9 @@ module Stats = Repdb_obs.Stats
 type t = {
   sim : Sim.t;
   params : Params.t;
-  placement : Placement.t;
+  mutable placement : Placement.t;
+      (** Current data placement; replaced wholesale at an epoch switch
+          (while the cluster is drained), never mutated in place. *)
   lat_fn : int -> int -> float;  (** One-way latency per ordered site pair. *)
   stores : Store.t array;
   locks : Lock_mgr.t array;
@@ -51,6 +54,24 @@ type t = {
   site_up : bool array;
   up_cv : Condvar.t array;  (** Per-site; broadcast when the site restarts. *)
   mutable crashes : int;  (** Crash events executed so far. *)
+  mutable config_epoch : int;
+      (** Configuration epoch; bumped once per executed reconfiguration
+          step. Propagation messages carry the epoch they were routed under
+          and assert it on arrival (drain makes violations impossible). *)
+  mutable reconfiguring : bool;  (** An epoch switch is in progress. *)
+  mutable active_txns : int;  (** Transaction attempts currently executing. *)
+  drained : Condvar.t;
+      (** Broadcast (while reconfiguring) when [active_txns] and
+          [outstanding] both reach 0. *)
+  resume : Condvar.t;  (** Broadcast when the epoch switch completes. *)
+  mutable reconfigs : int;  (** Reconfiguration steps executed so far. *)
+  mutable state_transfers : int;  (** Item values bulk-copied to new replicas. *)
+  mutable stall_total : float;  (** Total client stall at the barrier, ms. *)
+  switch_hist : Stats.histogram option;
+      (** Drain + transfer + switch latency per step (["reconfig.switch"]);
+          registered only when a reconfiguration plan exists, so
+          static-topology stats tables are unchanged. *)
+  stall_hist : Stats.histogram option;  (** Per-site client stall times. *)
 }
 
 (** [create params] — build the cluster; the placement is drawn from a
@@ -149,3 +170,38 @@ val schedule_faults : t -> unit
 
 (** Crash events executed so far. *)
 val crash_count : t -> int
+
+(** {1 Online reconfiguration}
+
+    The coordinator ({!Reconfig_exec}) executes each step of
+    [params.reconfig] live: it sets [reconfiguring], waits for the cluster to
+    drain (no executing transaction attempts, nothing outstanding — clients
+    stall at {!reconfig_barrier} meanwhile), bulk-transfers values to newly
+    added replicas, swaps [placement], bumps [config_epoch] and broadcasts
+    [resume]. These are the accounting hooks that protocol-independent drain
+    and stall measurement need. *)
+
+(** Is a reconfiguration plan scheduled (i.e. [params.reconfig] non-empty)? *)
+val reconfig_planned : t -> bool
+
+(** Bracket every transaction execution attempt (including retries); the
+    drain condition counts attempts, not clients, because clients survive
+    epoch switches. *)
+val txn_started : t -> unit
+
+val txn_finished : t -> unit
+
+(** Block until no attempt is executing and nothing is outstanding. Only the
+    coordinator calls this, after setting [reconfiguring] (the broadcasts
+    fire only in that state). *)
+val await_drained : t -> unit
+
+(** Stall while an epoch switch is in progress; no-op otherwise. Records the
+    stall in [stall_hist] and [stall_total], charged to [site]. Clients call
+    this before generating each transaction. *)
+val reconfig_barrier : t -> site:int -> unit
+
+val trace_reconfig_begin : t -> epoch:int -> unit
+val trace_reconfig_switch : t -> epoch:int -> duration:float -> unit
+val trace_reconfig_done : t -> epoch:int -> duration:float -> unit
+val trace_state_transfer : t -> item:int -> src:int -> dst:int -> unit

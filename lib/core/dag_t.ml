@@ -318,3 +318,9 @@ let submit t (spec : Txn.spec) =
       if relevant <> [] then
         Cluster.use_cpu c site (float_of_int (List.length relevant) *. c.params.cpu_msg);
       Txn.Committed
+
+(* Online reconfiguration is unsupported: the per-copy-graph-parent queues,
+   timestamp site ranks and epoch machinery are tied to one topology for the
+   lifetime of the run (the paper introduces epochs for progress, not
+   membership). The driver refuses non-empty plans for DAG(T). *)
+let reconfigure = None

@@ -8,13 +8,14 @@ module Txn = Repdb_txn.Txn
 let name = "dag-wt"
 let updates_replicas = true
 
-type msg = { gid : int; writes : int list; origin_commit : float }
+type msg = { gid : int; writes : int list; origin_commit : float; epoch : int }
 
 type t = {
   c : Cluster.t;
-  tr : Tree.t;
+  mutable tr : Tree.t;
   net : msg Network.t;
-  in_subtree : bool array array; (* site -> item -> some replica lives in subtree(site) *)
+  mutable in_subtree : bool array array;
+      (* site -> item -> some replica lives in subtree(site) *)
 }
 
 let tree t = t.tr
@@ -38,6 +39,10 @@ let forward t site (msg : msg) =
 (* One secondary subtransaction, received from the tree parent. *)
 let process_secondary t site (msg : msg) =
   let c = t.c in
+  (* Epoch fence: the coordinator drains all in-flight propagation before it
+     switches routing, so a message can never arrive under a later epoch than
+     the one it was forwarded in. *)
+  assert (msg.epoch = c.config_epoch);
   Cluster.use_cpu c site c.params.cpu_msg;
   let items = Routing.local_replicas c.placement site msg.writes in
   let sent = ref 0 in
@@ -64,15 +69,23 @@ let applier t site =
 
 let describe_msg (msg : msg) = ("secondary", 24 + (8 * List.length msg.writes))
 
-let create_with_tree (c : Cluster.t) tr =
+let check_tree (c : Cluster.t) tr =
   let g = Placement.copy_graph c.placement in
   if not (Repdb_graph.Digraph.is_dag g) then
     invalid_arg "Dag_wt: copy graph has a cycle (use the BackEdge protocol)";
-  if not (Tree.satisfies g tr) then invalid_arg "Dag_wt: tree lacks the ancestor property";
+  if not (Tree.satisfies g tr) then invalid_arg "Dag_wt: tree lacks the ancestor property"
+
+let create_with_tree (c : Cluster.t) tr =
+  check_tree c tr;
   let net = Cluster.make_net ~describe:describe_msg c in
   let t = { c; tr; net; in_subtree = Routing.subtree_replicas c.placement tr } in
+  (* A reconfiguration can give any site a tree parent later, so under a plan
+     every site gets an applier (idle at roots); without one, spawn exactly as
+     before — spawn counts feed the event tie-break order, and static runs
+     must stay byte-identical. *)
   for site = 0 to c.params.n_sites - 1 do
-    if Tree.parent tr site <> -1 then Sim.spawn c.sim (fun () -> applier t site)
+    if Cluster.reconfig_planned c || Tree.parent tr site <> -1 then
+      Sim.spawn c.sim (fun () -> applier t site)
   done;
   t
 
@@ -81,6 +94,18 @@ let create (c : Cluster.t) =
   if not (Repdb_graph.Digraph.is_dag g) then
     invalid_arg "Dag_wt: copy graph has a cycle (use the BackEdge protocol)";
   create_with_tree c (Tree.of_dag g)
+
+(* Epoch switch (cluster drained, placement already swapped): rebuild the
+   tree and the subtree-replica routing map for the new copy graph. *)
+let reconfigure =
+  Some
+    (fun t ->
+      let g = Placement.copy_graph t.c.placement in
+      if not (Repdb_graph.Digraph.is_dag g) then
+        invalid_arg "Dag_wt: reconfiguration made the copy graph cyclic";
+      let tr = Tree.of_dag g in
+      t.tr <- tr;
+      t.in_subtree <- Routing.subtree_replicas t.c.placement tr)
 
 let submit t (spec : Txn.spec) =
   let c = t.c in
@@ -100,7 +125,7 @@ let submit t (spec : Txn.spec) =
       Exec.apply_writes c ~gid ~site writes;
       Cluster.trace_txn_commit c ~gid ~site;
       Exec.release c ~attempt ~site;
-      let msg = { gid; writes; origin_commit = Sim.now c.sim } in
+      let msg = { gid; writes; origin_commit = Sim.now c.sim; epoch = c.config_epoch } in
       let sent = if writes = [] then 0 else forward t site msg in
       if sent > 0 then Cluster.use_cpu c site (float_of_int sent *. c.params.cpu_msg);
       Txn.Committed

@@ -26,6 +26,9 @@ type report = {
   site_stats : Stats.t;
   crashes : int;
   msg_drops : int;
+  reconfigs : int;
+  state_transfers : int;
+  reconfig_stall : float;
 }
 
 let client (c : Cluster.t) submit gen rng ~site =
@@ -37,10 +40,25 @@ let client (c : Cluster.t) submit gen rng ~site =
     (* A crashed site accepts no new transactions; its clients pause until
        the restart broadcast. *)
     if Cluster.faulty c then Cluster.await_site_up c site;
-    let spec = Generator.gen_with gen rng ~site in
+    (* An in-progress epoch switch stalls the client here (the mid-run
+       throughput dip the reconfig experiment measures). *)
+    Cluster.reconfig_barrier c ~site;
+    let spec = ref (Generator.gen_with gen rng ~site) in
+    let spec_epoch = ref c.config_epoch in
     let start = Sim.now c.sim in
     let rec attempt () =
-      match submit spec with
+      Cluster.reconfig_barrier c ~site;
+      (* A retry that crossed an epoch switch redraws its transaction: the
+         old spec may read replicas the new placement dropped from this
+         site, whose local copies no longer receive updates. *)
+      if c.config_epoch <> !spec_epoch then begin
+        spec := Generator.gen_with gen rng ~site;
+        spec_epoch := c.config_epoch
+      end;
+      Cluster.txn_started c;
+      let outcome = submit !spec in
+      Cluster.txn_finished c;
+      match outcome with
       | Txn.Committed ->
           let response = Sim.now c.sim -. start in
           Metrics.commit c.metrics ~site ~response;
@@ -60,6 +78,16 @@ let client (c : Cluster.t) submit gen rng ~site =
 
 let run_on (c : Cluster.t) (module P : Protocol.S) =
   let p = c.params in
+  (* Refuse unsupported combinations up front, before any simulation runs. *)
+  let reconfig_hook : P.t -> unit =
+    if Repdb_reconfig.Reconfig.is_empty p.reconfig then fun _ -> ()
+    else
+      match P.reconfigure with
+      | Some f -> f
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Driver: protocol %s does not support online reconfiguration" P.name)
+  in
   let proto = P.create c in
   let gen = Generator.create c.rng p c.placement in
   for site = 0 to p.n_sites - 1 do
@@ -70,12 +98,14 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
     done
   done;
   Cluster.schedule_faults c;
+  Reconfig_exec.schedule c ~reconfigure:(fun () -> reconfig_hook proto) ~gen;
   Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
   let total_txns = p.n_sites * p.threads_per_site * p.txns_per_thread in
   let horizon =
     120_000.0
     +. (2_000.0 *. float_of_int total_txns /. float_of_int p.n_sites)
     +. Repdb_fault.Fault.last_event p.faults
+    +. Repdb_reconfig.Reconfig.last_event p.reconfig
   in
   Sim.run_until c.sim horizon;
   if not (Cluster.quiescent c) then
@@ -115,6 +145,9 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
     crashes = Cluster.crash_count c;
     msg_drops =
       (if Cluster.faulty c then Stats.counter_total (Stats.counter c.stats "msg.drop") else 0);
+    reconfigs = c.reconfigs;
+    state_transfers = c.state_transfers;
+    reconfig_stall = c.stall_total;
   }
 
 let run ?placement ?trace ?trace_capacity params protocol =
@@ -126,7 +159,7 @@ let run ?placement ?trace ?trace_capacity params protocol =
   run_on c protocol
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>[%s] %a@ %a@ %a@ copy-graph edges=%d backedges=%d replicas=%d@ locks: %d acquires, %d waits, %d timeouts, %d deadlock aborts@ %a%a%a@]"
+  Fmt.pf ppf "@[<v>[%s] %a@ %a@ %a@ copy-graph edges=%d backedges=%d replicas=%d@ locks: %d acquires, %d waits, %d timeouts, %d deadlock aborts@ %a%a%a%a@]"
     r.protocol Params.pp r.params Metrics.pp_summary r.summary Metrics.pp_per_site r.summary
     r.copy_graph_edges r.n_backedges
     r.n_replicas r.lock_stats.acquires r.lock_stats.waits r.lock_stats.timeouts
@@ -134,6 +167,11 @@ let pp_report ppf r =
     (fun ppf r ->
       if not (Repdb_fault.Fault.is_empty r.params.faults) then
         Fmt.pf ppf "faults: %d crashes survived, %d dropped transmissions@ " r.crashes r.msg_drops)
+    r
+    (fun ppf r ->
+      if not (Repdb_reconfig.Reconfig.is_empty r.params.reconfig) then
+        Fmt.pf ppf "reconfig: %d epoch switches, %d state transfers, %.1f ms client stall@ "
+          r.reconfigs r.state_transfers r.reconfig_stall)
     r
     (Fmt.option (fun ppf v -> Fmt.pf ppf "serializability: %a@ " Serializability.pp_verdict v))
     r.serializability

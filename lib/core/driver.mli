@@ -29,6 +29,11 @@ type report = {
   msg_drops : int;
       (** Dropped transmission attempts across all networks; 0 without
           faults. *)
+  reconfigs : int;  (** Epoch switches executed; 0 without a reconfig plan. *)
+  state_transfers : int;  (** Item values bulk-copied to newly added replicas. *)
+  reconfig_stall : float;
+      (** Total simulated ms clients spent stalled at the epoch barrier —
+          the run's aggregate mid-run throughput dip. *)
 }
 
 (** [run ?placement params protocol] — build a cluster (with the given or a

@@ -158,3 +158,6 @@ let submit t (spec : Txn.spec) =
       Exec.release c ~attempt ~site;
       finish_remote true (Sim.now c.sim);
       Txn.Committed
+
+(* Placement is read afresh on every access; nothing cached to rebuild. *)
+let reconfigure = Some ignore

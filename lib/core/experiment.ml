@@ -197,6 +197,30 @@ let sweep_faults ?pool ?(base = Params.default) () =
       })
     ()
 
+let sweep_reconfig ?pool ?(base = Params.default) () =
+  (* b = 0 keeps the copy graph a DAG so DAG(WT) stays applicable alongside
+     the hybrid and PSL (and so synthetic add/drop/rebalance steps cannot
+     make it cyclic). The x axis is the number of reconfiguration steps
+     executed mid-run; each point draws its plan from [Reconfig.synthetic]
+     on the run seed, so the whole figure is deterministic in [base]. The
+     mid-run throughput dip shows up in the reconfig_stall_ms column (and
+     through it in throughput_per_site). *)
+  let base = { base with Params.backedge_prob = 0.0 } in
+  let protocols : Protocol.t list =
+    [ (module Backedge_proto : Protocol.S); (module Dag_wt : Protocol.S); (module Psl : Protocol.S) ]
+  in
+  sweep ?pool ~id:"reconfig" ~title:"Throughput and switch cost vs online reconfigurations"
+    ~xlabel:"reconfiguration steps executed" ~protocols
+    ~values:[ 0.0; 1.0; 2.0; 4.0; 8.0 ]
+    ~params_of:(fun k ->
+      {
+        base with
+        reconfig =
+          Repdb_reconfig.Reconfig.synthetic ~n_sites:base.n_sites ~n_items:base.n_items
+            ~seed:base.seed ~n_steps:(int_of_float k) ();
+      })
+    ()
+
 let ordered_backedge name order : Protocol.t =
   (module struct
     type t = Backedge_proto.t
@@ -205,6 +229,7 @@ let ordered_backedge name order : Protocol.t =
     let updates_replicas = true
     let create c = Backedge_proto.create_with_order c order
     let submit = Backedge_proto.submit
+    let reconfigure = Backedge_proto.reconfigure
   end : Protocol.S)
 
 let ablation_site_order ?pool ?(base = Params.default) () =
@@ -223,7 +248,7 @@ let ablation_site_order ?pool ?(base = Params.default) () =
       primary.(n_reference + (s * n_local) + k) <- s
     done
   done;
-  let placement = { Repdb_workload.Placement.n_sites = m; n_items; primary; replicas } in
+  let placement = Repdb_workload.Placement.make ~n_sites:m ~n_items ~primary ~replicas in
   let params = { base with Params.n_items } in
   (* FAS-derived order: peel the copy graph with the weighted greedy
      heuristic; here it simply puts the hub before its spokes. *)
@@ -329,15 +354,60 @@ let render_ascii fig =
 let to_csv fig =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages\n";
+    "figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages,reconfigs,state_transfers,reconfig_stall_ms\n";
   List.iter
     (fun pt ->
       List.iter
         (fun (name, (r : Driver.report)) ->
           Buffer.add_string buf
-            (Printf.sprintf "%s,%g,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%d\n" fig.id pt.x name
+            (Printf.sprintf "%s,%g,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%d,%d,%d,%.2f\n" fig.id pt.x name
                r.summary.throughput_per_site r.summary.abort_rate r.summary.avg_response
-               r.summary.p99_response r.summary.avg_propagation r.summary.messages))
+               r.summary.p99_response r.summary.avg_propagation r.summary.messages r.reconfigs
+               r.state_transfers r.reconfig_stall))
         pt.reports)
     fig.points;
   Buffer.contents buf
+
+(* --- registry --------------------------------------------------------------
+   The CLI's `experiment` subcommand derives both its help text and its
+   dispatch from this list, so the two cannot drift (test_reconfig checks
+   they agree with [ids]). Runners that have no [?steps] knob ignore it. *)
+
+type outcome = Figure of figure | Reports of (string * Driver.report) list
+
+type entry = {
+  exp_id : string;
+  doc : string;
+  run : pool:Pool.t option -> base:Params.t -> steps:int -> outcome;
+}
+
+let registry =
+  let fig f = fun ~pool ~base ~steps:_ -> Figure (f ?pool ?base:(Some base) ()) in
+  let fig_steps f =
+    fun ~pool ~base ~steps -> Figure (f ?pool ?base:(Some base) ?steps:(Some steps) ())
+  in
+  let reports f = fun ~pool ~base ~steps:_ -> Reports (f ?pool ?base:(Some base) ()) in
+  [
+    { exp_id = "fig2a"; doc = "throughput vs backedge probability (Figure 2a)"; run = fig_steps fig2a };
+    { exp_id = "fig2b"; doc = "throughput vs replication probability (Figure 2b)"; run = fig_steps fig2b };
+    { exp_id = "fig3a"; doc = "throughput vs read-op probability, b=0 (Figure 3a)"; run = fig_steps fig3a };
+    { exp_id = "fig3b"; doc = "throughput vs read-op probability, b=1 (Figure 3b)"; run = fig_steps fig3b };
+    { exp_id = "resp"; doc = "response times and propagation delay at the defaults"; run = reports response_times };
+    { exp_id = "sites"; doc = "throughput vs number of sites"; run = fig sweep_sites };
+    { exp_id = "threads"; doc = "throughput vs threads per site"; run = fig sweep_threads };
+    { exp_id = "latency"; doc = "throughput vs network latency"; run = fig sweep_latency };
+    { exp_id = "readtxn"; doc = "throughput vs read-transaction probability"; run = fig_steps sweep_read_txn };
+    { exp_id = "ablation"; doc = "all protocols at the defaults (b=0)"; run = reports ablation_protocols };
+    { exp_id = "eager-scaling"; doc = "eager/central/lazy-master vs lazy as sites grow"; run = fig ablation_eager_scaling };
+    { exp_id = "tree-routing"; doc = "BackEdge chain tree vs general per-component tree"; run = fig_steps ablation_tree_routing };
+    { exp_id = "deadlock-policy"; doc = "timeout vs waits-for-graph deadlock handling"; run = reports ablation_deadlock_policy };
+    { exp_id = "dummy-period"; doc = "DAG(T) propagation delay vs dummy idle threshold"; run = fig ablation_dummy_period };
+    { exp_id = "hotspot"; doc = "throughput vs hot-access probability"; run = fig ablation_hotspot };
+    { exp_id = "straggler"; doc = "throughput vs CPU slowdown of machine 0"; run = fig ablation_straggler };
+    { exp_id = "site-order"; doc = "BackEdge identity order vs FAS-derived order"; run = reports ablation_site_order };
+    { exp_id = "faults"; doc = "throughput and propagation lag vs injected crashes"; run = fig sweep_faults };
+    { exp_id = "reconfig"; doc = "throughput and switch cost vs online reconfigurations"; run = fig sweep_reconfig };
+  ]
+
+let ids = List.map (fun e -> e.exp_id) registry
+let find id = List.find_opt (fun e -> e.exp_id = id) registry

@@ -104,13 +104,41 @@ val ablation_site_order : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> (s
     [record_history]) stays serializable. *)
 val sweep_faults : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
 
+(** Online-reconfiguration sweep: BackEdge, DAG(WT) and PSL ([b = 0]) under
+    0 / 1 / 2 / 4 / 8 synthetic add/drop/rebalance steps drawn by
+    [Reconfig.synthetic] from the run seed and executed live mid-run. The
+    reconfig_stall_ms CSV column is the aggregate mid-run throughput dip;
+    every run still converges and (with [record_history]) multi-epoch
+    histories stay serializable. *)
+val sweep_reconfig : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
+
+(** {1 Registry} *)
+
+(** What an experiment produces: a swept figure, or a flat list of labelled
+    reports. *)
+type outcome = Figure of figure | Reports of (string * Driver.report) list
+
+type entry = {
+  exp_id : string;  (** The CLI name, e.g. "fig2a". *)
+  doc : string;  (** One-line description for help text. *)
+  run : pool:Repdb_par.Pool.t option -> base:Params.t -> steps:int -> outcome;
+      (** Runners without a step-count knob ignore [steps]. *)
+}
+
+(** Every experiment, in presentation order. The CLI derives both its help
+    text and its dispatch from this list so the two cannot drift. *)
+val registry : entry list
+
+val ids : string list
+val find : string -> entry option
+
 (** {1 Rendering} *)
 
 val pp_figure : Format.formatter -> figure -> unit
 val pp_reports : Format.formatter -> (string * Driver.report) list -> unit
 
 (** CSV text (one line per point and protocol:
-    [figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages]). *)
+    [figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages,reconfigs,state_transfers,reconfig_stall_ms]). *)
 val to_csv : figure -> string
 
 (** ASCII plot of per-site throughput against the swept parameter, one glyph

@@ -148,3 +148,6 @@ let submit t (spec : Txn.spec) =
       Exec.release c ~attempt ~site;
       cleanup_remote ();
       Txn.Committed
+
+(* Placement is read afresh on every access; nothing cached to rebuild. *)
+let reconfigure = Some ignore

@@ -61,3 +61,6 @@ let submit t (spec : Txn.spec) =
       if Hashtbl.length dests > 0 then
         Cluster.use_cpu c site (float_of_int (Hashtbl.length dests) *. c.params.cpu_msg);
       Txn.Committed
+
+(* Placement is read afresh on every access; nothing cached to rebuild. *)
+let reconfigure = Some ignore

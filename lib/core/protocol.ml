@@ -5,6 +5,7 @@ module type S = sig
   val updates_replicas : bool
   val create : Cluster.t -> t
   val submit : t -> Repdb_txn.Txn.spec -> Repdb_txn.Txn.outcome
+  val reconfigure : (t -> unit) option
 end
 
 type t = (module S)

@@ -20,6 +20,17 @@ module type S = sig
       access history is recorded internally; commit/abort metrics are the
       driver's responsibility (it knows about retries and response times). *)
   val submit : t -> Repdb_txn.Txn.spec -> Repdb_txn.Txn.outcome
+
+  (** Called by the reconfiguration coordinator at each epoch switch, after
+      the cluster has drained and [Cluster.t.placement] has been swapped:
+      rebuild whatever the protocol derived from the old placement (tree,
+      routing maps, backedge sets). [None] marks the protocol as not
+      supporting online reconfiguration (DAG(T): its per-copy-graph-parent
+      queues and timestamp ranks are tied to one topology for the lifetime of
+      the run); the driver refuses to run such a protocol under a non-empty
+      plan. Protocols that read the placement afresh on every access (PSL,
+      lazy-master, central, eager, naive) use [Some ignore]. *)
+  val reconfigure : (t -> unit) option
 end
 
 type t = (module S)

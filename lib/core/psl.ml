@@ -133,3 +133,6 @@ let submit t (spec : Txn.spec) =
       if Hashtbl.length remote_sites > 0 then
         Cluster.use_cpu c site (float_of_int (Hashtbl.length remote_sites) *. c.params.cpu_msg);
       Txn.Committed
+
+(* Placement is read afresh on every access; nothing cached to rebuild. *)
+let reconfigure = Some ignore

@@ -1,0 +1,31 @@
+(** Epoch-based reconfiguration coordinator.
+
+    Executes the cluster's reconfiguration plan ([params.reconfig]) live, one
+    step at a time. At each step's trigger time the coordinator:
+
+    + marks the cluster [reconfiguring], which stalls every client at
+      {!Cluster.reconfig_barrier} before its next transaction;
+    + waits for the cluster to drain — no transaction attempt executing,
+      no propagation outstanding — so the old epoch is fully applied;
+    + computes the new placement with {!Placement.apply_step} and
+      bulk-transfers current primary values to newly added replicas over a
+      typed state-transfer network (counted outstanding, so a second drain
+      wait covers the last install; crashed destinations receive theirs
+      after restart via the acked links);
+    + atomically swaps the placement, invokes the protocol's [reconfigure]
+      hook (rebuild tree/routing/backedges), refreshes the workload
+      generator's item pools, and bumps [config_epoch];
+    + clears the flag and broadcasts [resume].
+
+    Everything runs inside the simulation, so repeats are byte-identical;
+    the sequence is traced as [Reconfig_begin] / [State_transfer]* /
+    [Reconfig_switch] / [Reconfig_done] and the switch latency and client
+    stall times land in the cluster's reconfig histograms. *)
+
+(** [schedule c ~reconfigure ~gen] spawns the per-site state-transfer
+    servers and the coordinator process; no-op when the plan is empty.
+    [reconfigure] is the protocol's rebuild hook, closed over its state; the
+    driver calls this before starting clients (like
+    {!Cluster.schedule_faults}). *)
+val schedule :
+  Cluster.t -> reconfigure:(unit -> unit) -> gen:Repdb_workload.Generator.t -> unit

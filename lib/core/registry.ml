@@ -28,6 +28,7 @@ let dag_t_pipelined : Protocol.t =
     let updates_replicas = true
     let create = Dag_t.create_pipelined
     let submit = Dag_t.submit
+    let reconfigure = Dag_t.reconfigure
   end : Protocol.S)
 
 let backedge_general : Protocol.t =
@@ -38,6 +39,7 @@ let backedge_general : Protocol.t =
     let updates_replicas = true
     let create = Backedge_proto.create_general
     let submit = Backedge_proto.submit
+    let reconfigure = Backedge_proto.reconfigure
   end : Protocol.S)
 
 let variants = [ backedge_general; dag_t_pipelined ]

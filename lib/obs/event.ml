@@ -23,6 +23,10 @@ type kind =
   | Queue_depth of { site : int; queue : string; depth : int }
   | Backedge_stage of { gid : int; site : int }
   | Backedge_decide of { gid : int; site : int; commit : bool }
+  | Reconfig_begin of { epoch : int }
+  | Reconfig_switch of { epoch : int; duration : float }
+  | Reconfig_done of { epoch : int; duration : float }
+  | State_transfer of { item : int; src : int; dst : int }
 
 type t = { time : float; kind : kind }
 
@@ -49,6 +53,10 @@ let label = function
   | Queue_depth _ -> "queue_depth"
   | Backedge_stage _ -> "backedge_stage"
   | Backedge_decide _ -> "backedge_decide"
+  | Reconfig_begin _ -> "reconfig_begin"
+  | Reconfig_switch _ -> "reconfig_switch"
+  | Reconfig_done _ -> "reconfig_done"
+  | State_transfer _ -> "state_transfer"
 
 let site = function
   | Txn_begin { site; _ }
@@ -71,6 +79,9 @@ let site = function
   | Backedge_decide { site; _ } -> site
   | Msg_send { src; _ } -> src
   | Msg_recv { dst; _ } | Msg_drop { dst; _ } | Dummy_emit { dst; _ } -> dst
+  (* The coordinator is cluster-wide; its events ride on site 0's track. *)
+  | Reconfig_begin _ | Reconfig_switch _ | Reconfig_done _ -> 0
+  | State_transfer { dst; _ } -> dst
 
 let string_of_mode = function Shared -> "S" | Exclusive -> "X"
 
@@ -96,6 +107,11 @@ let args = function
   | Queue_depth { queue; depth; _ } -> [ ("queue", `String queue); ("depth", `Int depth) ]
   | Backedge_stage { gid; _ } -> [ ("gid", `Int gid) ]
   | Backedge_decide { gid; commit; _ } -> [ ("gid", `Int gid); ("commit", `Bool commit) ]
+  | Reconfig_begin { epoch } -> [ ("epoch", `Int epoch) ]
+  | Reconfig_switch { epoch; duration } | Reconfig_done { epoch; duration } ->
+      [ ("epoch", `Int epoch); ("duration", `Float duration) ]
+  | State_transfer { item; src; dst } ->
+      [ ("item", `Int item); ("src", `Int src); ("dst", `Int dst) ]
 
 let pp ppf e =
   Fmt.pf ppf "@[%.3f %s@%d%a@]" e.time (label e.kind) (site e.kind)

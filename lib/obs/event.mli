@@ -46,6 +46,16 @@ type kind =
       (** A backedge subtransaction staged its writes and holds its locks. *)
   | Backedge_decide of { gid : int; site : int; commit : bool }
       (** The origin's decision reached the participant. *)
+  | Reconfig_begin of { epoch : int }
+      (** The coordinator started draining epoch [epoch] for the next step. *)
+  | Reconfig_switch of { epoch : int; duration : float }
+      (** Routing switched to epoch [epoch] after [duration] ms of
+          drain + state transfer. *)
+  | Reconfig_done of { epoch : int; duration : float }
+      (** Clients resumed under epoch [epoch]; the step took [duration] ms
+          end to end. *)
+  | State_transfer of { item : int; src : int; dst : int }
+      (** A primary value was bulk-installed at a newly added replica. *)
 
 type t = { time : float;  (** Simulated ms. *) kind : kind }
 

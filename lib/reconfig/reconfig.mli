@@ -1,0 +1,52 @@
+(** Deterministic online-reconfiguration plans.
+
+    A plan is a list of copy-graph changes, each stamped with a simulated
+    trigger time: add a replica of an item at a site, drop one, or move every
+    movable replica off one site onto another. The coordinator in [lib/core]
+    executes each step live under an epoch-based quiesce/transfer/switch
+    protocol; this module only describes schedules (parse, print, validate,
+    generate) so it can sit below the workload layer, mirroring [lib/fault]. *)
+
+type step =
+  | Add_replica of { item : int; site : int }
+  | Drop_replica of { item : int; site : int }
+  | Rebalance_site of { from_site : int; to_site : int }
+      (** Move every replica held at [from_site] (never primaries) to
+          [to_site]. *)
+
+type timed = { at : float  (** trigger, simulated ms *); step : step }
+
+type plan = { steps : timed list  (** sorted by trigger time *) }
+
+val empty : plan
+val is_empty : plan -> bool
+val n_steps : plan -> int
+
+val last_event : plan -> float
+(** Latest trigger time in the plan, 0 when empty. Used to extend the
+    driver's simulation horizon. *)
+
+val validate : n_sites:int -> n_items:int -> plan -> unit
+(** Raises [Invalid_argument] on out-of-range sites/items, negative or
+    non-finite trigger times, or a rebalance from a site to itself. *)
+
+val of_string : string -> (plan, string) result
+(** Parse a [--reconfig] spec: [;]-separated clauses
+    [add@T:item=I,site=S], [drop@T:item=I,site=S],
+    [rebalance@T:from=A,to=B]. Steps are sorted by trigger time. *)
+
+val to_string : plan -> string
+(** Canonical spec string; [of_string (to_string p)] = [Ok p]. *)
+
+val pp : plan Fmt.t
+(** [to_string], or ["(none)"] for the empty plan. *)
+
+val synthetic :
+  n_sites:int -> n_items:int -> seed:int -> n_steps:int -> ?window:float * float -> unit -> plan
+(** Seeded random plan of [n_steps] steps (~50% add / 30% drop / 20%
+    rebalance) with trigger times uniform in [window] (default 200–4000 ms).
+    Assumes the round-robin primary layout of [Placement.generate]: adds and
+    drops target sites strictly after the item's primary in the site order
+    and rebalances always move forward, so applying the plan keeps an
+    acyclic copy graph acyclic. The RNG stream is derived from [seed] but
+    isolated from the workload streams. Returns [empty] when [n_sites < 2]. *)

@@ -34,6 +34,10 @@ let set t item v =
   Hash_index.set t.table item v;
   t.hook (Installed { item; value = v })
 
+let install t item v =
+  Hash_index.set t.table item v;
+  t.hook (Installed { item; value = v })
+
 let set_write_hook t f = t.hook <- f
 
 let contents t =

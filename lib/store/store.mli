@@ -31,6 +31,11 @@ val apply : t -> item -> writer:int -> ?payload:string -> unit -> unit
     value to a replica wholesale). *)
 val set : t -> item -> Value.t -> unit
 
+(** [install t item v] installs [v] wholesale, creating the copy if absent —
+    state transfer of an item newly replicated here. Hooked like {!set}, so
+    an attached redo log records the install. *)
+val install : t -> item -> Value.t -> unit
+
 (** {1 Durability hooks (used by {!Wal})} *)
 
 (** A committed mutation, as observed by the write hook. *)

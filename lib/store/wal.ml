@@ -29,6 +29,9 @@ let recover t ~site =
   List.iter
     (function
       | Apply { item; writer; payload } -> Store.apply store item ~writer ?payload ()
-      | Ship { item; value } -> Store.set store item value)
+      (* Restore, not set: a Ship record may be the state-transfer install of
+         an item this site first received after the checkpoint, so the copy
+         may not exist yet. *)
+      | Ship { item; value } -> Store.restore store item value)
     (records t);
   store

@@ -4,18 +4,27 @@ module Txn = Repdb_txn.Txn
 type t = {
   rng : Rng.t;
   params : Params.t;
-  readable : int array array;
-  writable : int array array;
+  mutable readable : int array array;
+  mutable writable : int array array;
 }
 
-let create rng (params : Params.t) placement =
+let pools (params : Params.t) placement =
   let readable =
     Array.init params.n_sites (fun site -> Array.of_list (Placement.placed_at placement site))
   in
   let writable =
     Array.init params.n_sites (fun site -> Array.of_list (Placement.primaries_at placement site))
   in
+  (readable, writable)
+
+let create rng (params : Params.t) placement =
+  let readable, writable = pools params placement in
   { rng; params; readable; writable }
+
+let refresh t placement =
+  let readable, writable = pools t.params placement in
+  t.readable <- readable;
+  t.writable <- writable
 
 let gen_with t rng ~site =
   let p = t.params in

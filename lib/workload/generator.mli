@@ -12,6 +12,13 @@ type t
 (** [create rng params placement] precomputes per-site item pools. *)
 val create : Repdb_sim.Rng.t -> Params.t -> Placement.t -> t
 
+(** [refresh t placement] rebuilds the per-site pools against a reconfigured
+    placement. Pool contents change but no RNG draw is consumed, so the
+    transaction stream stays aligned across protocols; called by the
+    reconfiguration coordinator while clients are stalled at the epoch
+    barrier. *)
+val refresh : t -> Placement.t -> unit
+
 (** [gen t ~site] draws the next transaction originating at [site].
     If the site has no items to read the transaction is empty; write ops fall
     back to reads when the site has no local primaries. *)

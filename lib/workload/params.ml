@@ -26,6 +26,7 @@ type t = {
   epoch_period : float;
   dummy_idle : float;
   faults : Repdb_fault.Fault.schedule;
+  reconfig : Repdb_reconfig.Reconfig.plan;
 }
 
 let default =
@@ -57,6 +58,7 @@ let default =
     epoch_period = 100.0;
     dummy_idle = 50.0;
     faults = Repdb_fault.Fault.empty;
+    reconfig = Repdb_reconfig.Reconfig.empty;
   }
 
 let table1 t =
@@ -78,11 +80,12 @@ let table1 t =
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>m=%d n=%d r=%g s=%g b=%g ops=%d threads=%d txns=%d read_op=%g read_txn=%g@ \
-     latency=%gms timeout=%gms machines=%d cpu(op=%g commit=%g msg=%g) seed=%d faults=%a@]"
+     latency=%gms timeout=%gms machines=%d cpu(op=%g commit=%g msg=%g) seed=%d faults=%a@ \
+     reconfig=%a@]"
     t.n_sites t.n_items t.replication_prob t.site_prob t.backedge_prob t.ops_per_txn
     t.threads_per_site t.txns_per_thread t.read_op_prob t.read_txn_prob t.latency
     t.lock_timeout t.n_machines t.cpu_op t.cpu_commit t.cpu_msg t.seed
-    Repdb_fault.Fault.pp t.faults
+    Repdb_fault.Fault.pp t.faults Repdb_reconfig.Reconfig.pp t.reconfig
 
 let validate t =
   let prob name v =
@@ -119,4 +122,5 @@ let validate t =
   positive_f "cpu_msg" t.cpu_msg;
   if t.epoch_period <= 0.0 then invalid_arg "Params: epoch_period must be > 0";
   if t.dummy_idle <= 0.0 then invalid_arg "Params: dummy_idle must be > 0";
-  Repdb_fault.Fault.validate ~n_sites:t.n_sites t.faults
+  Repdb_fault.Fault.validate ~n_sites:t.n_sites t.faults;
+  Repdb_reconfig.Reconfig.validate ~n_sites:t.n_sites ~n_items:t.n_items t.reconfig

@@ -54,6 +54,11 @@ type t = {
       (** Site crash/restart and link drop/delay schedule the run must
           survive; {!Repdb_fault.Fault.empty} (the default) disables
           injection entirely. *)
+  (* Online reconfiguration *)
+  reconfig : Repdb_reconfig.Reconfig.plan;
+      (** Copy-graph reconfiguration steps executed live by the epoch-based
+          coordinator; {!Repdb_reconfig.Reconfig.empty} (the default) keeps
+          the topology static. *)
 }
 
 val default : t

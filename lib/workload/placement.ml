@@ -1,12 +1,23 @@
 module Rng = Repdb_sim.Rng
 module Digraph = Repdb_graph.Digraph
+module Reconfig = Repdb_reconfig.Reconfig
 
 type t = {
   n_sites : int;
   n_items : int;
   primary : int array;
   replicas : int list array;
+  graph : Digraph.t;
+  backedge_list : (int * int) list;
 }
+
+let make ~n_sites ~n_items ~primary ~replicas =
+  let graph = Digraph.create n_sites in
+  Array.iteri
+    (fun item si -> List.iter (fun sj -> Digraph.add_edge graph si sj) replicas.(item))
+    primary;
+  let backedge_list = List.filter (fun (u, v) -> v < u) (Digraph.edges graph) in
+  { n_sites; n_items; primary; replicas; graph; backedge_list }
 
 let generate rng (p : Params.t) =
   Params.validate p;
@@ -28,7 +39,7 @@ let generate rng (p : Params.t) =
       replicas.(item) <- !chosen
     end
   done;
-  { n_sites = m; n_items = n; primary; replicas }
+  make ~n_sites:m ~n_items:n ~primary ~replicas
 
 let primaries_at t site =
   let acc = ref [] in
@@ -46,16 +57,37 @@ let placed_at t site =
 
 let has_copy t ~site item = t.primary.(item) = site || List.mem site t.replicas.(item)
 let is_primary t ~site item = t.primary.(item) = site
+let copy_graph t = t.graph
+let backedges t = t.backedge_list
 
-let copy_graph t =
-  let g = Digraph.create t.n_sites in
-  Array.iteri
-    (fun item si -> List.iter (fun sj -> Digraph.add_edge g si sj) t.replicas.(item))
-    t.primary;
-  g
+let insert_sorted site l =
+  let rec go = function
+    | [] -> [ site ]
+    | x :: _ as l when site < x -> site :: l
+    | x :: rest -> x :: go rest
+  in
+  go l
 
-let backedges t =
-  List.filter (fun (u, v) -> v < u) (Digraph.edges (copy_graph t))
+let apply_step t (step : Reconfig.step) =
+  let replicas = Array.copy t.replicas in
+  (* Redundant operations (adding an existing copy, dropping an absent one)
+     are no-ops, so synthetic plans need not inspect replica sets. *)
+  let add item site =
+    if t.primary.(item) <> site && not (List.mem site replicas.(item)) then
+      replicas.(item) <- insert_sorted site replicas.(item)
+  in
+  let drop item site = replicas.(item) <- List.filter (fun s -> s <> site) replicas.(item) in
+  (match step with
+  | Reconfig.Add_replica { item; site } -> add item site
+  | Reconfig.Drop_replica { item; site } -> drop item site
+  | Reconfig.Rebalance_site { from_site; to_site } ->
+      for item = 0 to t.n_items - 1 do
+        if List.mem from_site replicas.(item) then begin
+          drop item from_site;
+          add item to_site
+        end
+      done);
+  make ~n_sites:t.n_sites ~n_items:t.n_items ~primary:t.primary ~replicas
 
 let n_replicas t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.replicas
 

@@ -9,15 +9,29 @@
     used by the evaluated BackEdge variant, an edge [si -> sj] of the copy
     graph with [j < i] is a backedge. *)
 
-type t = {
+type t = private {
   n_sites : int;
   n_items : int;
   primary : int array;  (** item -> primary site. *)
   replicas : int list array;  (** item -> secondary sites, ascending. *)
+  graph : Repdb_graph.Digraph.t;  (** memoized copy graph; treat as read-only. *)
+  backedge_list : (int * int) list;  (** memoized backedges. *)
 }
+
+(** [make ~n_sites ~n_items ~primary ~replicas] builds a placement and
+    eagerly computes the copy-graph and backedge memos (so a value can be
+    shared read-only across domains with no lazy initialization race). *)
+val make : n_sites:int -> n_items:int -> primary:int array -> replicas:int list array -> t
 
 (** [generate rng params] draws a placement. *)
 val generate : Repdb_sim.Rng.t -> Params.t -> t
+
+(** [apply_step t step] — a fresh placement with one reconfiguration step
+    applied (memos recomputed). Primaries never move. Redundant operations
+    (adding an existing copy, dropping an absent one, rebalancing onto the
+    primary) are no-ops; a rebalance moves every replica held at [from_site]
+    to [to_site]. *)
+val apply_step : t -> Repdb_reconfig.Reconfig.step -> t
 
 (** Items whose primary copy is at [site], ascending. *)
 val primaries_at : t -> int -> int list
@@ -31,12 +45,12 @@ val has_copy : t -> site:int -> int -> bool
 (** [is_primary t ~site item]. *)
 val is_primary : t -> site:int -> int -> bool
 
-(** The copy graph: edge [si -> sj] iff some item has its primary at [si] and
-    a replica at [sj]. *)
+(** The memoized copy graph: edge [si -> sj] iff some item has its primary at
+    [si] and a replica at [sj]. O(1); do not mutate the result. *)
 val copy_graph : t -> Repdb_graph.Digraph.t
 
-(** Backedges of the copy graph under the identity site order (the order used
-    by the chain tree): edges [si -> sj] with [j < i]. *)
+(** Memoized backedges of the copy graph under the identity site order (the
+    order used by the chain tree): edges [si -> sj] with [j < i]. O(1). *)
 val backedges : t -> (int * int) list
 
 (** Number of replicas in the system (secondary copies, excluding

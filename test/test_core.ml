@@ -133,7 +133,7 @@ let test_metrics_per_site () =
 (* --- convergence --------------------------------------------------------- *)
 
 let placement =
-  { Placement.n_sites = 2; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 1 ]; [] |] }
+  Placement.make ~n_sites:2 ~n_items:2 ~primary:[| 0; 1 |] ~replicas:[| [ 1 ]; [] |]
 
 let small_params = { Params.default with n_sites = 2; n_items = 2 }
 
@@ -201,7 +201,7 @@ let test_exec_apply_secondary_retries () =
 let test_routing_subtree_maps () =
   (* Chain 0 -> 1 -> 2; item 0 replicated at 2 only. *)
   let placement =
-    { Placement.n_sites = 3; n_items = 1; primary = [| 0 |]; replicas = [| [ 2 ] |] }
+    Placement.make ~n_sites:3 ~n_items:1 ~primary:[| 0 |] ~replicas:[| [ 2 ] |]
   in
   let tr = Tree.chain_of_order [| 0; 1; 2 |] in
   let maps = Repdb.Routing.subtree_replicas placement tr in

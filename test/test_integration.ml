@@ -104,6 +104,7 @@ let test_backedge_equals_dag_wt_on_dags () =
       let updates_replicas = true
       let create c = Repdb.Dag_wt.create_with_tree c chain
       let submit = Repdb.Dag_wt.submit
+      let reconfigure = Repdb.Dag_wt.reconfigure
     end in
     Driver.run_on c (module Chain_wt)
   in

@@ -30,7 +30,7 @@ let base_params =
 (* Example 1.1 data placement: item 0 = a (primary s1=0, replicas s2=1, s3=2),
    item 1 = b (primary s2=1, replica s3=2). *)
 let example_1_1_placement =
-  { Placement.n_sites = 3; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 1; 2 ]; [ 2 ] |] }
+  Placement.make ~n_sites:3 ~n_items:2 ~primary:[| 0; 1 |] ~replicas:[| [ 1; 2 ]; [ 2 ] |]
 
 (* The slow link s1 -> s3 that lets T1's direct update arrive late. *)
 let slow_direct_link src dst = if src = 0 && dst = 2 then 200.0 else 1.0
@@ -87,7 +87,7 @@ let test_example_1_1_backedge_serializes () =
 
 (* Example 4.1: two sites, mutual replication. *)
 let example_4_1_placement =
-  { Placement.n_sites = 2; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 1 ]; [ 0 ] |] }
+  Placement.make ~n_sites:2 ~n_items:2 ~primary:[| 0; 1 |] ~replicas:[| [ 1 ]; [ 0 ] |]
 
 let test_example_4_1_backedge () =
   let params = { base_params with Params.n_sites = 2 } in
@@ -190,7 +190,7 @@ let test_backedge_with_order () =
      both copy-graph edges are backedges; ordering the hub first removes
      them, so the same write commits without any eager work. *)
   let placement =
-    { Placement.n_sites = 3; n_items = 1; primary = [| 2 |]; replicas = [| [ 0; 1 ] |] }
+    Placement.make ~n_sites:3 ~n_items:1 ~primary:[| 2 |] ~replicas:[| [ 0; 1 ] |]
   in
   let params = { base_params with Params.n_items = 1 } in
   let run order =
@@ -291,7 +291,7 @@ let test_dag_t_progress_with_incomparable_parents () =
      bigger-epoch message (here: a dummy subtransaction) shows up on the
      other queue — without epochs it would wait forever. *)
   let placement =
-    { Placement.n_sites = 3; n_items = 2; primary = [| 0; 1 |]; replicas = [| [ 2 ]; [ 2 ] |] }
+    Placement.make ~n_sites:3 ~n_items:2 ~primary:[| 0; 1 |] ~replicas:[| [ 2 ]; [ 2 ] |]
   in
   let c = Cluster.create_with base_params placement in
   let p = Repdb.Dag_t.create c in
