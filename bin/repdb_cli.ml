@@ -32,8 +32,8 @@ let params_term =
     Arg.(value & opt float default & info names ~docs ~doc)
   in
   let d = Params.default in
-  let make sites items r s b ops threads txns read_op read_txn latency timeout seed retry check
-      faults reconfig =
+  let make sites items r s b ops threads txns read_op read_txn latency timeout seed retry deadline
+      stale check faults reconfig =
     {
       d with
       n_sites = sites;
@@ -49,7 +49,9 @@ let params_term =
       latency;
       lock_timeout = timeout;
       seed;
-      retry_aborted = retry;
+      retry = (if retry then Params.default_backoff else Params.No_retry);
+      txn_deadline = deadline;
+      stale_reads = stale;
       record_history = check;
       faults;
       reconfig;
@@ -69,7 +71,23 @@ let params_term =
   $ float_flag "latency" ~doc:"One-way network latency (ms)." d.latency
   $ float_flag "timeout" ~doc:"Deadlock timeout interval (ms)." d.lock_timeout
   $ int_flag "seed" ~doc:"RNG seed (runs are deterministic in it)." d.seed
-  $ Arg.(value & flag & info [ "retry" ] ~docs ~doc:"Retry aborted transactions until they commit.")
+  $ Arg.(
+      value & flag
+      & info [ "retry" ] ~docs
+          ~doc:
+            "Retry aborted transactions with capped exponential backoff (base 1 ms, x2 per \
+             failure, 64 ms cap, deterministic jitter from a per-client seeded stream).")
+  $ float_flag "deadline"
+      ~doc:
+        "Per-transaction deadline (ms); an attempt that exceeds it aborts with \
+         $(i,deadline-exceeded). 0 disables deadlines."
+      d.txn_deadline
+  $ float_flag "stale-reads"
+      ~doc:
+        "Bounded-staleness read fallback (ms): when an item's primary is unreachable (network \
+         partition), serve the read from the local replica if it was written within the bound. \
+         0 disables the fallback. PSL only."
+      d.stale_reads
   $ Arg.(
       value & flag
       & info [ "check" ] ~docs
@@ -84,9 +102,11 @@ let params_term =
              $(b,crash@T:site=S,down=D) (site $(i,S) crashes at $(i,T) ms, restarts after \
              $(i,D), default 500), $(b,drop@T1-T2:p=P,src=A,dst=B) (drop transmission attempts \
              with probability $(i,P) in the window; src/dst optional), \
-             $(b,delay@T1-T2:add=MS,src=A,dst=B) (delivery surcharge) and $(b,rto=MS) \
-             (retransmit timeout, default 5). Example: \
-             $(b,\"crash@300:site=1,down=400;drop@0-200:p=0.2\").")
+             $(b,delay@T1-T2:add=MS,src=A,dst=B) (delivery surcharge), \
+             $(b,partition@T1-T2:groups=G1|G2[|..]) (full bidirectional split between the \
+             $(b,.)-separated site groups for the window, e.g. \
+             $(b,groups=0.1.2|3.4.5)) and $(b,rto=MS) (retransmit timeout, default 5). \
+             Example: $(b,\"crash@300:site=1,down=400;partition@500-1500:groups=0.1|2.3\").")
   $ Arg.(
       value
       & opt reconfig_conv Reconfig.empty

@@ -13,11 +13,15 @@ module Txn = Repdb_txn.Txn
 let name = "backedge"
 let updates_replicas = true
 
-(* How long a primary waits for its special message before giving up, and how
-   many lock-wait rounds a backedge subtransaction retries before notifying
-   its origin. Both are safety nets on top of victimisation. *)
-let origin_wait_factor = 40.0
-let max_participant_retries = 50
+(* Safety nets on top of victimisation, derived from the params (see the .mli
+   for the derivation): how long a primary waits per round for its special
+   message before giving up, and how many lock-wait rounds a backedge
+   subtransaction retries before notifying its origin. *)
+let origin_wait (p : Repdb_workload.Params.t) =
+  2.0 *. float_of_int (max 1 (p.n_sites - 1)) *. (p.lock_timeout +. p.latency)
+
+let participant_retry_cap (p : Repdb_workload.Params.t) =
+  int_of_float (ceil (origin_wait p /. p.lock_timeout)) + 1
 
 type chain_msg =
   | Normal of { gid : int; writes : int list; origin_commit : float; epoch : int }
@@ -55,6 +59,8 @@ type t = {
   participants : (int, participant) Hashtbl.t array; (* per site, by gid *)
   participants_by_attempt : (int, participant) Hashtbl.t array;
   aborted_gids : (int, unit) Hashtbl.t array;
+  ow : float; (* origin wait per round, ms; derived from params *)
+  retry_cap : int; (* participant lock-wait rounds before Exec_failed *)
 }
 
 let tree t = t.tr
@@ -157,7 +163,7 @@ let run_participant t ~gid ~origin ~site items =
   let c = t.c in
   let rec attempt_loop tries =
     if Hashtbl.mem t.aborted_gids.(site) gid then None
-    else if tries > max_participant_retries then begin
+    else if tries > t.retry_cap then begin
       Cluster.inc_outstanding c;
       Network.send t.direct_net ~src:site ~dst:origin (Exec_failed { gid });
       None
@@ -347,6 +353,8 @@ let make_with_tree (c : Cluster.t) ~retree tr =
       participants = Array.init m (fun _ -> Hashtbl.create 8);
       participants_by_attempt = Array.init m (fun _ -> Hashtbl.create 8);
       aborted_gids = Array.init m (fun _ -> Hashtbl.create 32);
+      ow = origin_wait c.params;
+      retry_cap = participant_retry_cap c.params;
     }
   in
   (* Under a reconfiguration plan a root site may acquire a tree parent at an
@@ -468,6 +476,7 @@ let commit_primary t ~site ~attempt ~gid ~writes ~targets =
 let submit t (spec : Txn.spec) =
   let c = t.c in
   let site = spec.origin in
+  let deadline_at = Cluster.deadline_at c in
   let gid = Cluster.fresh_gid c in
   let attempt = Cluster.fresh_attempt c in
   Cluster.trace_txn_begin c ~gid ~site;
@@ -480,6 +489,16 @@ let submit t (spec : Txn.spec) =
       let writes = List.sort_uniq compare (Txn.writes spec) in
       match backedge_targets t site writes with
       | [] -> commit_primary t ~site ~attempt ~gid ~writes ~targets:[]
+      | _ :: _ as targets
+        when List.exists (fun dst -> not (Network.reachable t.direct_net ~src:site ~dst)) targets
+        ->
+          (* Graceful degradation: a backedge target is on the other side of a
+             partition; the eager phase cannot complete until heal, so fail
+             fast instead of burning the full origin wait. Nothing has been
+             staged remotely, so no Decide is owed. *)
+          Exec.abort_local c ~attempt ~site;
+          Cluster.trace_txn_abort c ~gid ~site Txn.Partitioned;
+          Txn.Aborted Txn.Partitioned
       | farthest :: _ as targets ->
           let p = { p_gid = gid; p_state = `Waiting; p_cv = Condvar.create () } in
           Hashtbl.replace t.pending_by_gid gid p;
@@ -487,17 +506,32 @@ let submit t (spec : Txn.spec) =
           Cluster.inc_outstanding c;
           Network.send t.direct_net ~src:site ~dst:farthest (Exec_request { gid; origin = site; writes });
           Cluster.use_cpu c site c.params.cpu_msg;
-          let deadline = origin_wait_factor *. c.params.lock_timeout in
           let rec wait () =
             match p.p_state with
             | `Special_arrived -> commit_primary t ~site ~attempt ~gid ~writes ~targets
             | `Failed reason -> abort_primary t ~site ~attempt ~gid ~targets reason
             | `Waiting ->
-                let woken = Condvar.await_timeout c.sim p.p_cv deadline in
-                (match p.p_state with
-                | `Waiting when not woken ->
-                    p.p_state <- `Failed Txn.Propagation_timeout;
-                    abort_primary t ~site ~attempt ~gid ~targets Txn.Propagation_timeout
-                | _ -> wait ())
+                (* Wait the derived origin wait per round, clamped to the
+                   transaction deadline; the tighter bound names the abort. *)
+                let remaining = deadline_at -. Sim.now c.sim in
+                let timeout, on_expire =
+                  if remaining <= t.ow then (remaining, Txn.Deadline_exceeded)
+                  else (t.ow, Txn.Propagation_timeout)
+                in
+                if timeout <= 0.0 then begin
+                  p.p_state <- `Failed Txn.Deadline_exceeded;
+                  Cluster.trace_txn_deadline c ~gid ~site;
+                  abort_primary t ~site ~attempt ~gid ~targets Txn.Deadline_exceeded
+                end
+                else begin
+                  let woken = Condvar.await_timeout c.sim p.p_cv timeout in
+                  match p.p_state with
+                  | `Waiting when not woken ->
+                      p.p_state <- `Failed on_expire;
+                      if on_expire = Txn.Deadline_exceeded then
+                        Cluster.trace_txn_deadline c ~gid ~site;
+                      abort_primary t ~site ~attempt ~gid ~targets on_expire
+                  | _ -> wait ()
+                end
           in
           wait ())

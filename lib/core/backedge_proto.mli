@@ -32,7 +32,33 @@
     [si -> sj] with [j < i] is a backedge. {!create_general} instead deletes
     a minimal DFS backedge set and chains each weakly-connected component of
     the residual DAG separately — the "general implementation" the paper
-    expects to outperform the evaluated one. *)
+    expects to outperform the evaluated one.
+
+    {b Timeout derivation.} Two safety nets sit on top of victimisation, both
+    derived from the parameters rather than hard-coded:
+
+    - {e origin wait} — how long a parked primary waits per round for its
+      special message: [2 * max 1 (n_sites - 1) * (lock_timeout + latency)].
+      The special traverses at most [n_sites - 1] tree hops, and each hop can
+      burn one lock-timeout round (the participant's wait before
+      victimisation frees it) plus one link latency; the factor 2 covers the
+      direct [Exec_request] hop and queueing behind normal secondaries. At
+      the defaults (9 sites, 50 ms lock timeout, 0.15 ms latency) this is
+      ~802 ms — the same order as the old hard-coded [40 * lock_timeout] but
+      it now scales with cluster size. When a transaction deadline is armed
+      ({!Repdb_workload.Params.t.txn_deadline}) the wait is clamped to the
+      time remaining and the abort reason becomes
+      {!Repdb_txn.Txn.abort_reason.Deadline_exceeded}.
+    - {e participant retry cap} — how many lock-wait rounds a backedge
+      subtransaction retries before sending [Exec_failed] to its origin:
+      [ceil (origin_wait / lock_timeout) + 1], i.e. a participant never
+      outlives its origin's patience — by then the origin has aborted and the
+      retries are wasted work.
+
+    If a backedge target is unreachable (a scheduled network partition
+    separates it from the origin), [submit] fails fast with
+    {!Repdb_txn.Txn.abort_reason.Partitioned} before sending anything,
+    instead of burning the full origin wait. *)
 
 include Protocol.S
 

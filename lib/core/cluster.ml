@@ -40,6 +40,15 @@ type t = {
   site_up : bool array;
   up_cv : Condvar.t array; (* broadcast when the site restarts *)
   mutable crashes : int;
+  mutable partitions : int; (* partition windows that have activated *)
+  (* Per-transaction deadline handoff: the client arms it immediately before
+     [submit] and the protocol reads it at entry — no blocking point in
+     between, so the field never mixes transactions. Infinity = no deadline. *)
+  mutable deadline_at : float;
+  (* [site][item] -> simulated time of the last locally applied write; feeds
+     the staleness of partition-time local reads. *)
+  apply_mtime : float array array;
+  stale_ctr : Stats.counter option; (* registered only when stale reads are on *)
   (* Online reconfiguration (all idle unless [params.reconfig] is non-empty) *)
   mutable config_epoch : int;
   mutable reconfiguring : bool;
@@ -115,6 +124,11 @@ let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) pl
     site_up = Array.make m true;
     up_cv = Array.init m (fun _ -> Condvar.create ());
     crashes = 0;
+    partitions = 0;
+    deadline_at = infinity;
+    apply_mtime = Array.init m (fun _ -> Array.make params.n_items 0.0);
+    stale_ctr =
+      (if params.stale_reads > 0.0 then Some (Stats.counter stats "read.stale") else None);
     config_epoch = 0;
     reconfiguring = false;
     active_txns = 0;
@@ -181,6 +195,28 @@ let trace_secondary_commit t ~gid ~site =
 
 let trace_queue_depth t ~site ~queue ~depth =
   if Trace.on t.trace then Trace.record t.trace (Event.Queue_depth { site; queue; depth })
+
+let trace_txn_deadline t ~gid ~site =
+  if Trace.on t.trace then Trace.record t.trace (Event.Txn_deadline { gid; site })
+
+(* --- per-transaction deadlines -------------------------------------------- *)
+
+let arm_deadline t =
+  t.deadline_at <-
+    (if t.params.txn_deadline > 0.0 then Sim.now t.sim +. t.params.txn_deadline else infinity)
+
+let deadline_at t = t.deadline_at
+
+(* --- bounded-staleness reads ---------------------------------------------- *)
+
+let note_apply t ~site ~item = t.apply_mtime.(site).(item) <- Sim.now t.sim
+
+let staleness t ~site ~item = Sim.now t.sim -. t.apply_mtime.(site).(item)
+
+let record_stale_read t ~site ~item ~staleness =
+  Metrics.stale_read t.metrics ~staleness;
+  (match t.stale_ctr with Some c -> Stats.incr c ~site | None -> ());
+  if Trace.on t.trace then Trace.record t.trace (Event.Stale_read { site; item; staleness })
 
 (* Record a replica update everywhere it is accounted: the aggregate metric,
    the per-site registry, and (when on) the trace. *)
@@ -300,6 +336,19 @@ let schedule_faults t =
           Sim.at t.sim c.at (fun () -> crash_site t ~site:c.site);
           Sim.at t.sim (c.at +. c.down_for) (fun () ->
               recover_site t ~site:c.site ~downtime:c.down_for))
-        (Fault.schedule inj).crashes
+        (Fault.schedule inj).crashes;
+      (* Partitions need no link-level action here — the injector's transmit
+         plans already park cross-cut messages — but the begin/heal instants
+         are counted and traced. *)
+      List.iter
+        (fun (p : Fault.partition) ->
+          let groups = Fault.string_of_groups p.groups in
+          Sim.at t.sim p.from_t (fun () ->
+              t.partitions <- t.partitions + 1;
+              if Trace.on t.trace then Trace.record t.trace (Event.Partition_begin { groups }));
+          Sim.at t.sim p.until_t (fun () ->
+              if Trace.on t.trace then Trace.record t.trace (Event.Partition_heal { groups })))
+        (Fault.schedule inj).partitions
 
 let crash_count t = t.crashes
+let partition_count t = t.partitions

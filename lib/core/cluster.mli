@@ -54,6 +54,18 @@ type t = {
   site_up : bool array;
   up_cv : Condvar.t array;  (** Per-site; broadcast when the site restarts. *)
   mutable crashes : int;  (** Crash events executed so far. *)
+  mutable partitions : int;  (** Partition windows activated so far. *)
+  mutable deadline_at : float;
+      (** Absolute deadline of the submit being started, armed by the client
+          immediately before [submit]; protocols capture it at entry (there
+          is no blocking point in between, so the handoff never mixes
+          transactions). [infinity] when deadlines are off. *)
+  apply_mtime : float array array;
+      (** [site][item] — simulated time of the last write applied locally;
+          the staleness clock for partition-time local reads. *)
+  stale_ctr : Stats.counter option;
+      (** ["read.stale"]; registered only when [params.stale_reads > 0], so
+          stats tables without the feature are unchanged. *)
   mutable config_epoch : int;
       (** Configuration epoch; bumped once per executed reconfiguration
           step. Propagation messages carry the epoch they were routed under
@@ -116,6 +128,30 @@ val trace_txn_abort : t -> gid:int -> site:int -> Repdb_txn.Txn.abort_reason -> 
 val trace_secondary_recv : t -> gid:int -> site:int -> unit
 val trace_secondary_commit : t -> gid:int -> site:int -> unit
 val trace_queue_depth : t -> site:int -> queue:string -> depth:int -> unit
+val trace_txn_deadline : t -> gid:int -> site:int -> unit
+
+(** {1 Per-transaction deadlines} *)
+
+(** Arm {!field:deadline_at} for the submit about to start: now +
+    [params.txn_deadline], or [infinity] when deadlines are disabled. Called
+    by the driver's client immediately before each attempt. *)
+val arm_deadline : t -> unit
+
+(** The currently armed absolute deadline (ms of simulated time). *)
+val deadline_at : t -> float
+
+(** {1 Bounded-staleness reads} *)
+
+(** Stamp [item]'s local copy at [site] as written now. Called on every
+    applied write (primary and replica). *)
+val note_apply : t -> site:int -> item:int -> unit
+
+(** ms since [item] was last written at [site] (time itself if never). *)
+val staleness : t -> site:int -> item:int -> float
+
+(** Account a partition-time local read: metrics, the ["read.stale"] counter
+    and a [Stale_read] trace event. *)
+val record_stale_read : t -> site:int -> item:int -> staleness:float -> unit
 
 (** Record a replica update in the aggregate metrics, the per-site
     propagation-delay histogram and (when enabled) the trace. *)
@@ -163,13 +199,16 @@ val crash_site : t -> site:int -> unit
     @raise Failure if the recovered contents diverge from the live store. *)
 val recover_site : t -> site:int -> downtime:float -> unit
 
-(** Schedule every crash/restart in the fault schedule as simulation events;
-    no-op without an injector. The driver calls this before starting
-    clients. *)
+(** Schedule every crash/restart in the fault schedule as simulation events,
+    plus counting/trace marks for each partition begin and heal; no-op
+    without an injector. The driver calls this before starting clients. *)
 val schedule_faults : t -> unit
 
 (** Crash events executed so far. *)
 val crash_count : t -> int
+
+(** Partition windows activated so far. *)
+val partition_count : t -> int
 
 (** {1 Online reconfiguration}
 

@@ -26,12 +26,13 @@ type report = {
   site_stats : Stats.t;
   crashes : int;
   msg_drops : int;
+  partitions : int;
   reconfigs : int;
   state_transfers : int;
   reconfig_stall : float;
 }
 
-let client (c : Cluster.t) submit gen rng ~site =
+let client (c : Cluster.t) submit gen rng retry_rng ~site =
   let p = c.params in
   let commit_ctr = Stats.counter c.stats "txn.commit"
   and abort_ctr = Stats.counter c.stats "txn.abort"
@@ -46,7 +47,9 @@ let client (c : Cluster.t) submit gen rng ~site =
     let spec = ref (Generator.gen_with gen rng ~site) in
     let spec_epoch = ref c.config_epoch in
     let start = Sim.now c.sim in
-    let rec attempt () =
+    (* [n_failed] counts this transaction's failed attempts; each retry gets
+       a fresh deadline (the deadline is per attempt, not per transaction). *)
+    let rec attempt n_failed =
       Cluster.reconfig_barrier c ~site;
       (* A retry that crossed an epoch switch redraws its transaction: the
          old spec may read replicas the new placement dropped from this
@@ -56,23 +59,34 @@ let client (c : Cluster.t) submit gen rng ~site =
         spec_epoch := c.config_epoch
       end;
       Cluster.txn_started c;
+      Cluster.arm_deadline c;
       let outcome = submit !spec in
       Cluster.txn_finished c;
       match outcome with
       | Txn.Committed ->
           let response = Sim.now c.sim -. start in
           Metrics.commit c.metrics ~site ~response;
+          Metrics.timeline_commit c.metrics ~at:(Sim.now c.sim);
           Stats.incr commit_ctr ~site;
           Stats.observe response_hist ~site response
-      | Txn.Aborted reason ->
+      | Txn.Aborted reason -> (
           Metrics.abort c.metrics ~site reason;
+          Metrics.timeline_abort c.metrics ~at:(Sim.now c.sim);
           Stats.incr abort_ctr ~site;
-          if p.retry_aborted then begin
-            Sim.delay (Rng.float_range rng 1.0 10.0);
-            attempt ()
-          end
+          match p.retry with
+          | Params.No_retry -> ()
+          | Params.Backoff { base; multiplier; cap; max_retries } ->
+              if n_failed < max_retries then begin
+                let backoff =
+                  Float.min cap (base *. (multiplier ** float_of_int n_failed))
+                in
+                (* Jitter in [0.5, 1.0), drawn from the dedicated per-client
+                   stream so retries never perturb the workload draws. *)
+                Sim.delay (backoff *. (0.5 +. (0.5 *. Rng.float retry_rng)));
+                attempt (n_failed + 1)
+              end)
     in
-    attempt ()
+    attempt 0
   done;
   Cluster.client_finished c
 
@@ -94,7 +108,10 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
     for thread = 0 to p.threads_per_site - 1 do
       Cluster.client_started c;
       let rng = Rng.create ((p.seed * 1_000_003) + (site * 131) + thread) in
-      Sim.spawn c.sim (fun () -> client c (P.submit proto) gen rng ~site)
+      (* Separate stream for backoff jitter: enabling retries must not shift
+         the workload stream, and vice versa. *)
+      let retry_rng = Rng.create ((p.seed * 48271) + (site * 131) + thread) in
+      Sim.spawn c.sim (fun () -> client c (P.submit proto) gen rng retry_rng ~site)
     done
   done;
   Cluster.schedule_faults c;
@@ -145,6 +162,7 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
     crashes = Cluster.crash_count c;
     msg_drops =
       (if Cluster.faulty c then Stats.counter_total (Stats.counter c.stats "msg.drop") else 0);
+    partitions = Cluster.partition_count c;
     reconfigs = c.reconfigs;
     state_transfers = c.state_transfers;
     reconfig_stall = c.stall_total;
@@ -166,7 +184,8 @@ let pp_report ppf r =
     r.lock_stats.deadlock_aborts
     (fun ppf r ->
       if not (Repdb_fault.Fault.is_empty r.params.faults) then
-        Fmt.pf ppf "faults: %d crashes survived, %d dropped transmissions@ " r.crashes r.msg_drops)
+        Fmt.pf ppf "faults: %d crashes survived, %d dropped transmissions, %d partitions@ "
+          r.crashes r.msg_drops r.partitions)
     r
     (fun ppf r ->
       if not (Repdb_reconfig.Reconfig.is_empty r.params.reconfig) then

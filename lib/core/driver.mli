@@ -5,7 +5,11 @@
     closed-loop clients), plus a quiescence watcher that lets the propagation
     machinery drain and then stops the periodic processes. Each client thread
     draws from its own RNG stream derived from the seed, so every protocol
-    faces the identical workload. *)
+    faces the identical workload; retry backoff jitter comes from a second,
+    independent per-thread stream, so enabling
+    {!Repdb_workload.Params.retry_policy} retries does not shift the
+    workload draws. When [txn_deadline > 0] the client arms a fresh deadline
+    ({!Cluster.arm_deadline}) immediately before every submit attempt. *)
 
 type report = {
   protocol : string;
@@ -28,6 +32,9 @@ type report = {
   crashes : int;  (** Crash events injected and survived; 0 without faults. *)
   msg_drops : int;
       (** Dropped transmission attempts across all networks; 0 without
+          faults. *)
+  partitions : int;
+      (** Partition windows that activated during the run; 0 without
           faults. *)
   reconfigs : int;  (** Epoch switches executed; 0 without a reconfig plan. *)
   state_transfers : int;  (** Item values bulk-copied to newly added replicas. *)

@@ -36,7 +36,11 @@ let acquire_writes c ~gid ~attempt ~site items =
   run_ops c ~gid ~attempt ~site (List.map (fun item -> Txn.Write item) items)
 
 let apply_writes (c : Cluster.t) ~gid ~site items =
-  List.iter (fun item -> Store.apply c.stores.(site) item ~writer:gid ()) items
+  List.iter
+    (fun item ->
+      Store.apply c.stores.(site) item ~writer:gid ();
+      Cluster.note_apply c ~site ~item)
+    items
 
 let commit_cost (c : Cluster.t) ~site = Cluster.use_cpu c site c.params.cpu_commit
 

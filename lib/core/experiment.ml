@@ -221,6 +221,44 @@ let sweep_reconfig ?pool ?(base = Params.default) () =
       })
     ()
 
+let sweep_partition ?pool ?(base = Params.default) () =
+  (* Availability under a clean two-way network split: deadlines keep parked
+     eager work bounded, backoff retry lets clients ride the partition out,
+     and PSL's bounded-staleness fallback serves reads locally meanwhile. The
+     x axis is the partition duration; 0 means no partition (the baseline).
+     b = 0 keeps DAG(WT) applicable alongside the hybrid and PSL. Everything
+     is derived from [base], so the whole figure is deterministic. *)
+  let base =
+    {
+      base with
+      Params.backedge_prob = 0.0;
+      txn_deadline = 250.0;
+      retry = Params.default_backoff;
+      stale_reads = 60_000.0;
+    }
+  in
+  let m = base.Params.n_sites in
+  let near = List.init (m / 2) Fun.id in
+  let far = List.init (m - (m / 2)) (fun i -> (m / 2) + i) in
+  let protocols : Protocol.t list =
+    [ (module Backedge_proto : Protocol.S); (module Dag_wt : Protocol.S); (module Psl : Protocol.S) ]
+  in
+  sweep ?pool ~id:"partition" ~title:"Availability under a network partition vs its duration"
+    ~xlabel:"partition duration (ms)" ~protocols
+    ~values:[ 0.0; 250.0; 500.0; 1000.0; 2000.0 ]
+    ~params_of:(fun d ->
+      if d <= 0.0 then base
+      else
+        {
+          base with
+          faults =
+            {
+              Repdb_fault.Fault.empty with
+              partitions = [ { from_t = 100.0; until_t = 100.0 +. d; groups = [ near; far ] } ];
+            };
+        })
+    ()
+
 let ordered_backedge name order : Protocol.t =
   (module struct
     type t = Backedge_proto.t
@@ -351,19 +389,25 @@ let render_ascii fig =
       Buffer.add_char buf '\n';
       Buffer.contents buf
 
+let reason_count (r : Driver.report) reason =
+  match List.assoc_opt reason r.summary.aborts_by_reason with Some n -> n | None -> 0
+
 let to_csv fig =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages,reconfigs,state_transfers,reconfig_stall_ms\n";
+    "figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages,reconfigs,state_transfers,reconfig_stall_ms,aborts_deadline,aborts_partitioned,stale_reads,max_staleness_ms,unavail_ms\n";
   List.iter
     (fun pt ->
       List.iter
         (fun (name, (r : Driver.report)) ->
           Buffer.add_string buf
-            (Printf.sprintf "%s,%g,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%d,%d,%d,%.2f\n" fig.id pt.x name
-               r.summary.throughput_per_site r.summary.abort_rate r.summary.avg_response
-               r.summary.p99_response r.summary.avg_propagation r.summary.messages r.reconfigs
-               r.state_transfers r.reconfig_stall))
+            (Printf.sprintf "%s,%g,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%d,%d,%d,%.2f,%d,%d,%d,%.2f,%.2f\n"
+               fig.id pt.x name r.summary.throughput_per_site r.summary.abort_rate
+               r.summary.avg_response r.summary.p99_response r.summary.avg_propagation
+               r.summary.messages r.reconfigs r.state_transfers r.reconfig_stall
+               (reason_count r Repdb_txn.Txn.Deadline_exceeded)
+               (reason_count r Repdb_txn.Txn.Partitioned)
+               r.summary.stale_reads r.summary.max_staleness r.summary.unavail_ms))
         pt.reports)
     fig.points;
   Buffer.contents buf
@@ -407,6 +451,7 @@ let registry =
     { exp_id = "site-order"; doc = "BackEdge identity order vs FAS-derived order"; run = reports ablation_site_order };
     { exp_id = "faults"; doc = "throughput and propagation lag vs injected crashes"; run = fig sweep_faults };
     { exp_id = "reconfig"; doc = "throughput and switch cost vs online reconfigurations"; run = fig sweep_reconfig };
+    { exp_id = "partition"; doc = "availability, deadline aborts and stale reads vs partition duration"; run = fig sweep_partition };
   ]
 
 let ids = List.map (fun e -> e.exp_id) registry

@@ -112,6 +112,16 @@ val sweep_faults : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
     histories stay serializable. *)
 val sweep_reconfig : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
 
+(** Partition sweep: BackEdge, DAG(WT) and PSL ([b = 0]) under a clean
+    two-way split of the sites (first half vs second half) lasting
+    0 / 250 / 500 / 1000 / 2000 ms from t = 100 ms. All runs arm a 250 ms
+    transaction deadline, the default backoff retry policy and a 60 s
+    bounded-staleness read fallback, so the figure shows graceful
+    degradation: deadline/partitioned aborts and unavailability grow with
+    the split's duration while PSL serves bounded-stale local reads; every
+    run converges after heal. *)
+val sweep_partition : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
+
 (** {1 Registry} *)
 
 (** What an experiment produces: a swept figure, or a flat list of labelled
@@ -138,7 +148,7 @@ val pp_figure : Format.formatter -> figure -> unit
 val pp_reports : Format.formatter -> (string * Driver.report) list -> unit
 
 (** CSV text (one line per point and protocol:
-    [figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages,reconfigs,state_transfers,reconfig_stall_ms]). *)
+    [figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages,reconfigs,state_transfers,reconfig_stall_ms,aborts_deadline,aborts_partitioned,stale_reads,max_staleness_ms,unavail_ms]). *)
 val to_csv : figure -> string
 
 (** ASCII plot of per-site throughput against the swept parameter, one glyph

@@ -13,7 +13,17 @@ type t = {
   mutable prop_sum : float;
   mutable prop_n : int;
   mutable last_client_done : float;
+  (* Availability timeline: commits / aborts per [bucket_ms] of simulated
+     time, grown on demand. Only fed when callers pass [~at]. *)
+  mutable tl_commits : int array;
+  mutable tl_aborts : int array;
+  mutable tl_len : int;
+  mutable stale_reads : int;
+  mutable stale_max : float;
+  mutable stale_sum : float;
 }
+
+let bucket_ms = 100.0
 
 let create ?(n_sites = 1) () =
   if n_sites < 1 then invalid_arg "Metrics.create: need at least one site";
@@ -30,7 +40,37 @@ let create ?(n_sites = 1) () =
     prop_sum = 0.0;
     prop_n = 0;
     last_client_done = 0.0;
+    tl_commits = [||];
+    tl_aborts = [||];
+    tl_len = 0;
+    stale_reads = 0;
+    stale_max = 0.0;
+    stale_sum = 0.0;
   }
+
+let bucket_of t at =
+  let b = int_of_float (at /. bucket_ms) in
+  let b = max 0 b in
+  if b >= Array.length t.tl_commits then begin
+    let ncap = max 64 (max (b + 1) (2 * Array.length t.tl_commits)) in
+    let grow a =
+      let g = Array.make ncap 0 in
+      Array.blit a 0 g 0 (Array.length a);
+      g
+    in
+    t.tl_commits <- grow t.tl_commits;
+    t.tl_aborts <- grow t.tl_aborts
+  end;
+  if b + 1 > t.tl_len then t.tl_len <- b + 1;
+  b
+
+let timeline_commit t ~at =
+  let b = bucket_of t at in
+  t.tl_commits.(b) <- t.tl_commits.(b) + 1
+
+let timeline_abort t ~at =
+  let b = bucket_of t at in
+  t.tl_aborts.(b) <- t.tl_aborts.(b) + 1
 
 let commit t ~site ~response =
   if t.commits = Array.length t.responses then begin
@@ -59,6 +99,11 @@ let propagation t ~delay =
 
 let client_done t ~time = if time > t.last_client_done then t.last_client_done <- time
 
+let stale_read t ~staleness =
+  t.stale_reads <- t.stale_reads + 1;
+  t.stale_sum <- t.stale_sum +. staleness;
+  if staleness > t.stale_max then t.stale_max <- staleness
+
 type site_summary = { site : int; s_commits : int; s_aborts : int; s_avg_response : float }
 
 type summary = {
@@ -77,7 +122,28 @@ type summary = {
   n_propagations : int;
   messages : int;
   per_site : site_summary list;
+  timeline : (float * int * int) list;
+  unavail_ms : float;
+  unavail_windows : int;
+  stale_reads : int;
+  max_staleness : float;
+  avg_staleness : float;
 }
+
+(* Buckets that saw aborts but no commits are "unavailable"; consecutive ones
+   merge into windows. Leading/trailing empty buckets don't count — silence
+   is idleness, not unavailability. *)
+let unavailability t =
+  let ms = ref 0.0 and windows = ref 0 and in_window = ref false in
+  for b = 0 to t.tl_len - 1 do
+    if t.tl_aborts.(b) > 0 && t.tl_commits.(b) = 0 then begin
+      ms := !ms +. bucket_ms;
+      if not !in_window then incr windows;
+      in_window := true
+    end
+    else if t.tl_commits.(b) > 0 then in_window := false
+  done;
+  (!ms, !windows)
 
 (* Nearest-rank: the smallest element with at least [q] of the sample at or
    below it, i.e. rank ceil(q*n) (1-based). Truncating q*n instead would skew
@@ -111,6 +177,15 @@ let summarize (t : t) ~n_sites ~messages =
     avg_propagation = (if t.prop_n = 0 then 0.0 else t.prop_sum /. float_of_int t.prop_n);
     n_propagations = t.prop_n;
     messages;
+    timeline =
+      List.init t.tl_len (fun b ->
+          (float_of_int b *. bucket_ms, t.tl_commits.(b), t.tl_aborts.(b)));
+    unavail_ms = fst (unavailability t);
+    unavail_windows = snd (unavailability t);
+    stale_reads = t.stale_reads;
+    max_staleness = t.stale_max;
+    avg_staleness =
+      (if t.stale_reads = 0 then 0.0 else t.stale_sum /. float_of_int t.stale_reads);
     per_site =
       List.init t.n_sites (fun site ->
           let c = t.commits_by_site.(site) in
@@ -127,11 +202,18 @@ let pp_summary ppf s =
   Fmt.pf ppf
     "@[<v>abort reasons: %a@ commits=%d aborts=%d (%.2f%%) duration=%.0fms@ \
      throughput=%.2f txn/s (%.2f per site)@ \
-     response avg=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms@ avg propagation=%.1fms (%d) messages=%d@]"
+     response avg=%.1fms p50=%.1fms p95=%.1fms p99=%.1fms@ avg propagation=%.1fms (%d) messages=%d"
     (Fmt.list ~sep:Fmt.sp (fun ppf (r, n) -> Fmt.pf ppf "%s=%d" (Txn.string_of_abort r) n))
     s.aborts_by_reason s.commits s.aborts s.abort_rate s.duration s.throughput
     s.throughput_per_site s.avg_response s.p50_response s.p95_response s.p99_response
-    s.avg_propagation s.n_propagations s.messages
+    s.avg_propagation s.n_propagations s.messages;
+  if s.unavail_windows > 0 then
+    Fmt.pf ppf "@ unavailability: %.0fms over %d window%s" s.unavail_ms s.unavail_windows
+      (if s.unavail_windows = 1 then "" else "s");
+  if s.stale_reads > 0 then
+    Fmt.pf ppf "@ stale reads=%d staleness avg=%.1fms max=%.1fms" s.stale_reads s.avg_staleness
+      s.max_staleness;
+  Fmt.pf ppf "@]"
 
 let pp_per_site ppf s =
   Fmt.pf ppf "@[<v>%a@]"

@@ -19,11 +19,25 @@ val create : ?n_sites:int -> unit -> t
 val commit : t -> site:int -> response:float -> unit
 val abort : t -> site:int -> Repdb_txn.Txn.abort_reason -> unit
 
+(** Land an outcome at simulated ms [at] in the availability timeline
+    ({!val:bucket_ms} buckets). Separate from {!commit}/{!abort} so callers
+    without a clock (unit tests) keep their totals timeline-free. *)
+val timeline_commit : t -> at:float -> unit
+
+val timeline_abort : t -> at:float -> unit
+
 (** A replica applied updates [delay] ms after the primary committed. *)
 val propagation : t -> delay:float -> unit
 
 (** A client thread finished all its transactions at [time]. *)
 val client_done : t -> time:float -> unit
+
+(** A PSL read served from the local replica during a partition; [staleness]
+    is ms since that copy was last written. *)
+val stale_read : t -> staleness:float -> unit
+
+(** Availability-timeline bucket width, ms (100). *)
+val bucket_ms : float
 
 (** {1 Summary} *)
 
@@ -50,6 +64,17 @@ type summary = {
   n_propagations : int;
   messages : int;  (** Total network messages (all kinds). *)
   per_site : site_summary list;  (** One row per origin site. *)
+  timeline : (float * int * int) list;
+      (** Goodput / abort-rate timeline: [(bucket_start_ms, commits, aborts)]
+          per {!val:bucket_ms} bucket; empty unless outcomes were recorded
+          with [~at]. *)
+  unavail_ms : float;
+      (** Total ms in buckets with aborts but no commits — time the system
+          was reachable-but-refusing. Idle buckets do not count. *)
+  unavail_windows : int;  (** Maximal runs of unavailable buckets. *)
+  stale_reads : int;
+  max_staleness : float;  (** ms; 0 when no stale reads. *)
+  avg_staleness : float;  (** ms; 0 when no stale reads. *)
 }
 
 (** [percentile sorted q] — nearest-rank percentile of an ascending-sorted

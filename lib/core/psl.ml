@@ -69,18 +69,27 @@ let create (c : Cluster.t) =
   t
 
 (* Blocking remote read: ask the primary for the shared lock and the current
-   value. Returns whether the lock was granted. *)
-let remote_read t ~site ~primary ~item ~owner =
+   value. Honours the armed transaction deadline: a timer resumes the waiter
+   with [`Deadline] (resumption is one-shot, so a late grant or denial is
+   ignored — the Release sent at abort releases any lock the primary granted
+   meanwhile, and [release_all] also cancels a still-pending wait there). *)
+let remote_read t ~site ~primary ~item ~owner ~deadline_at =
   let c = t.c in
   t.remote <- t.remote + 1;
   Cluster.use_cpu c site c.params.cpu_msg;
-  Sim.suspend (fun resume ->
-      Cluster.inc_outstanding c;
-      Network.send t.net ~src:site ~dst:primary (Read_request { item; owner; reply = resume }))
+  if Sim.now c.sim >= deadline_at then `Deadline
+  else
+    Sim.suspend (fun resume ->
+        Cluster.inc_outstanding c;
+        if deadline_at < infinity then Sim.at c.sim deadline_at (fun () -> resume `Deadline);
+        Network.send t.net ~src:site ~dst:primary
+          (Read_request
+             { item; owner; reply = (fun granted -> resume (if granted then `Granted else `Denied)) }))
 
 let submit t (spec : Txn.spec) =
   let c = t.c in
   let site = spec.origin in
+  let deadline_at = Cluster.deadline_at c in
   (* PSL locks span sites, so the gid doubles as the attempt/lock-owner id;
      remote primaries record history under it directly. *)
   let gid = Cluster.fresh_gid c in
@@ -109,12 +118,33 @@ let submit t (spec : Txn.spec) =
               | Ok () -> run rest
               | Error reason -> Error reason)
             else begin
-              Hashtbl.replace remote_sites primary ();
-              if remote_read t ~site ~primary ~item ~owner:attempt then begin
-                Cluster.use_cpu c site c.params.cpu_msg;
-                run rest
-              end
-              else Error Txn.Remote_denied
+              let stale =
+                if
+                  c.params.stale_reads > 0.0
+                  && not (Network.reachable t.net ~src:site ~dst:primary)
+                then Some (Cluster.staleness c ~site ~item)
+                else None
+              in
+              match stale with
+              | Some staleness when staleness <= c.params.stale_reads ->
+                  (* Graceful degradation: the primary is on the other side of
+                     a partition and the local copy is within the staleness
+                     bound — serve the read locally, outside the 1SR guarantee
+                     (no lock, no history record). *)
+                  Cluster.use_cpu c site c.params.cpu_op;
+                  ignore (Store.read c.stores.(site) item);
+                  Cluster.record_stale_read c ~site ~item ~staleness;
+                  run rest
+              | _ -> (
+                  Hashtbl.replace remote_sites primary ();
+                  match remote_read t ~site ~primary ~item ~owner:attempt ~deadline_at with
+                  | `Granted ->
+                      Cluster.use_cpu c site c.params.cpu_msg;
+                      run rest
+                  | `Denied -> Error Txn.Remote_denied
+                  | `Deadline ->
+                      Cluster.trace_txn_deadline c ~gid ~site;
+                      Error Txn.Deadline_exceeded)
             end)
   in
   match run spec.ops with

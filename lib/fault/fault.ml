@@ -11,20 +11,35 @@ type window = {
   extra_delay : float;
 }
 
-type schedule = { crashes : crash list; windows : window list; rto : float }
+type partition = { from_t : float; until_t : float; groups : int list list }
+
+type schedule = {
+  crashes : crash list;
+  windows : window list;
+  partitions : partition list;
+  rto : float;
+}
 
 let default_rto = 5.0
 let default_down = 500.0
 let max_attempts = 10_000
 
-let empty = { crashes = []; windows = []; rto = default_rto }
-let is_empty s = s.crashes = [] && s.windows = []
+let empty = { crashes = []; windows = []; partitions = []; rto = default_rto }
+let is_empty s = s.crashes = [] && s.windows = [] && s.partitions = []
+
+let string_of_groups groups =
+  String.concat "|" (List.map (fun g -> String.concat "." (List.map string_of_int g)) groups)
 
 let last_event s =
   let m = List.fold_left (fun acc c -> Float.max acc (c.at +. c.down_for)) 0.0 s.crashes in
-  List.fold_left
-    (fun acc w -> if Float.is_finite w.until_t then Float.max acc w.until_t else acc)
-    m s.windows
+  let m =
+    List.fold_left
+      (fun acc (w : window) -> if Float.is_finite w.until_t then Float.max acc w.until_t else acc)
+      m s.windows
+  in
+  (* Heals count as events: messages parked behind a partition only depart
+     after [until_t], so run horizons must extend past it. *)
+  List.fold_left (fun acc p -> Float.max acc p.until_t) m s.partitions
 
 let validate ~n_sites s =
   let fail fmt = Printf.ksprintf invalid_arg fmt in
@@ -68,7 +83,26 @@ let validate ~n_sites s =
         fail "Fault: drop probability %g not in [0,1]" w.drop_prob;
       if w.extra_delay < 0.0 || not (Float.is_finite w.extra_delay) then
         fail "Fault: extra delay %g must be >= 0" w.extra_delay)
-    s.windows
+    s.windows;
+  List.iter
+    (fun p ->
+      if p.from_t < 0.0 || not (Float.is_finite p.until_t) || p.until_t <= p.from_t then
+        fail "Fault: bad partition window %g-%g" p.from_t p.until_t;
+      if List.length p.groups < 2 then
+        fail "Fault: partition %g-%g needs at least two groups" p.from_t p.until_t;
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun g ->
+          if g = [] then fail "Fault: partition %g-%g has an empty group" p.from_t p.until_t;
+          List.iter
+            (fun site ->
+              site_ok ~any:false "partition site" site;
+              if Hashtbl.mem seen site then
+                fail "Fault: partition %g-%g lists site %d twice" p.from_t p.until_t site;
+              Hashtbl.replace seen site ())
+            g)
+        p.groups)
+    s.partitions
 
 (* --- spec parsing --------------------------------------------------------- *)
 
@@ -115,6 +149,27 @@ let parse_span s =
       Ok (a, b)
   | None -> Error (Printf.sprintf "faults: expected T1-T2, got %S" s)
 
+(* "0.1.2|3.4.5" -> [[0;1;2];[3;4;5]] *)
+let parse_groups _name v =
+  let group g =
+    String.split_on_char '.' g
+    |> List.fold_left
+         (fun acc site ->
+           let* acc = acc in
+           let* site = parse_int "partition site" site in
+           Ok (site :: acc))
+         (Ok [])
+    |> Result.map List.rev
+  in
+  String.split_on_char '|' v
+  |> List.fold_left
+       (fun acc g ->
+         let* acc = acc in
+         let* g = group g in
+         Ok (g :: acc))
+       (Ok [])
+  |> Result.map List.rev
+
 let parse_clause acc clause =
   let head, opts_s =
     match String.index_opt clause ':' with
@@ -152,6 +207,10 @@ let parse_clause acc clause =
               acc with
               windows = { src; dst; from_t; until_t; drop_prob = 0.0; extra_delay } :: acc.windows;
             }
+      | "partition" ->
+          let* from_t, until_t = parse_span arg in
+          let* groups = req_field opts "groups" parse_groups in
+          Ok { acc with partitions = { from_t; until_t; groups } :: acc.partitions }
       | other -> Error (Printf.sprintf "faults: unknown clause %S" other))
   | None -> (
       match String.index_opt head '=' with
@@ -170,6 +229,7 @@ let of_string spec =
       s with
       crashes = List.sort (fun a b -> compare (a.at, a.site) (b.at, b.site)) (List.rev s.crashes);
       windows = List.rev s.windows;
+      partitions = List.rev s.partitions;
     }
 
 let to_string s =
@@ -179,6 +239,9 @@ let to_string s =
     Printf.ksprintf (Buffer.add_string buf) fmt
   in
   List.iter (fun c -> clause "crash@%g:site=%d,down=%g" c.at c.site c.down_for) s.crashes;
+  List.iter
+    (fun p -> clause "partition@%g-%g:groups=%s" p.from_t p.until_t (string_of_groups p.groups))
+    s.partitions;
   List.iter
     (fun w ->
       let pair () =
@@ -230,6 +293,8 @@ type injector = {
   sched : schedule;
   rng : Rng.t;
   down_iv : (float * float) list array; (* per site, disjoint, sorted by start *)
+  part_iv : (float * float * int array) list;
+      (* per partition: (from, until, site -> group id; -1 = in no group) *)
 }
 
 let injector ~n_sites ~seed sched =
@@ -239,7 +304,15 @@ let injector ~n_sites ~seed sched =
     (fun c -> down_iv.(c.site) <- (c.at, c.at +. c.down_for) :: down_iv.(c.site))
     sched.crashes;
   Array.iteri (fun i ivs -> down_iv.(i) <- List.sort compare ivs) down_iv;
-  { sched; rng = Rng.create ((seed * 2654435761) + 99); down_iv }
+  let part_iv =
+    List.map
+      (fun p ->
+        let gmap = Array.make n_sites (-1) in
+        List.iteri (fun gi g -> List.iter (fun site -> gmap.(site) <- gi) g) p.groups;
+        (p.from_t, p.until_t, gmap))
+      sched.partitions
+  in
+  { sched; rng = Rng.create ((seed * 2654435761) + 99); down_iv; part_iv }
 
 let schedule inj = inj.sched
 
@@ -251,6 +324,27 @@ let next_up inj site at =
   match List.find_opt (fun (s, e) -> at >= s && at < e) inj.down_iv.(site) with
   | Some (_, e) -> e
   | None -> at
+
+(* Does some active partition put [src] and [dst] in different groups? Sites
+   listed in no group keep full connectivity. This deliberately ignores crash
+   downtime: "unreachable" means separated by the topology, so the oracle's
+   answer matches the [Partitioned] abort reason. *)
+let separated inj ~src ~dst ~at =
+  List.exists
+    (fun (s, e, gmap) ->
+      at >= s && at < e && gmap.(src) >= 0 && gmap.(dst) >= 0 && gmap.(src) <> gmap.(dst))
+    inj.part_iv
+
+let reachable inj ~src ~dst ~at = not (separated inj ~src ~dst ~at)
+
+(* Latest heal time over the partitions separating (src, dst) at [at]. *)
+let sep_until inj ~src ~dst ~at =
+  List.fold_left
+    (fun acc (s, e, gmap) ->
+      if at >= s && at < e && gmap.(src) >= 0 && gmap.(dst) >= 0 && gmap.(src) <> gmap.(dst)
+      then Float.max acc e
+      else acc)
+    at inj.part_iv
 
 let matches w ~src ~dst ~at =
   (w.src < 0 || w.src = src) && (w.dst < 0 || w.dst = dst) && at >= w.from_t && at < w.until_t
@@ -281,10 +375,13 @@ let transmit inj ~src ~dst ~now =
            "Fault.transmit: message %d->%d sent at %.0f ms never got through after %d attempts \
             (unbounded drop window?)"
            src dst now max_attempts);
-    if down inj ~site:src ~at:!t || down inj ~site:dst ~at:!t then begin
-      (* One timed-out attempt, then probe again once both ends can be up. *)
+    if down inj ~site:src ~at:!t || down inj ~site:dst ~at:!t || separated inj ~src ~dst ~at:!t
+    then begin
+      (* One timed-out attempt, then probe again once both ends can be up and
+         no partition separates them. *)
       dropped := !t :: !dropped;
       let up = Float.max (next_up inj src !t) (next_up inj dst !t) in
+      let up = Float.max up (sep_until inj ~src ~dst ~at:!t) in
       t := Float.max up (!t +. rto)
     end
     else begin

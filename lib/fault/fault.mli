@@ -25,7 +25,16 @@
     the site before the crash (queued subtransactions, held locks) completes
     rather than being killed — the crash is modelled at the storage and
     transport boundaries, which is where the paper's durability story
-    (DataBlitz redo recovery) lives. *)
+    (DataBlitz redo recovery) lives.
+
+    {b Partition model.} A partition splits the listed sites into groups that
+    are fully, bidirectionally unreachable from each other for the window;
+    sites in no group keep their connectivity to everyone. Because links stay
+    acked, messages sent across the cut are not lost — they are parked and
+    depart once the partition heals (retransmission-as-resync). What changes
+    for protocols is the {!reachable} oracle: senders can ask whether a
+    destination is currently separated and degrade gracefully (fail fast,
+    serve a bounded-staleness local read) instead of stalling. *)
 
 (** One site failure: down for [[at, at +. down_for)]. *)
 type crash = { site : int; at : float; down_for : float }
@@ -43,9 +52,15 @@ type window = {
   extra_delay : float;
 }
 
+(** A network partition over [[from_t, until_t)]: the groups are mutually
+    unreachable; sites listed in no group are unaffected. Groups must be
+    disjoint, non-empty and at least two ({!validate}). *)
+type partition = { from_t : float; until_t : float; groups : int list list }
+
 type schedule = {
   crashes : crash list;  (** Sorted by [at] after {!validate}. *)
   windows : window list;
+  partitions : partition list;
   rto : float;  (** Retransmit timeout, ms, for dropped attempts. *)
 }
 
@@ -54,14 +69,21 @@ val empty : schedule
 
 val is_empty : schedule -> bool
 
-(** Latest instant at which the schedule can still act (last restart or
-    window close); 0 when empty. Used to extend run horizons. *)
+(** Latest instant at which the schedule can still act (last restart, window
+    close or partition heal); 0 when empty. Used to extend run horizons —
+    messages parked behind a partition only depart after the heal. *)
 val last_event : schedule -> float
 
 (** Range/overlap checks: sites within [n_sites], positive durations, probs
-    in [0,1], finite windows, per-site crash intervals disjoint.
+    in [0,1], finite windows, per-site crash intervals disjoint, partition
+    groups disjoint / non-empty / in range.
     @raise Invalid_argument when violated. *)
 val validate : n_sites:int -> schedule -> unit
+
+(** ["0.1.2|3.4.5"] — the spec form of a partition's groups; used by the
+    parser, [to_string] and the [Partition_begin]/[Partition_heal] trace
+    events. *)
+val string_of_groups : int list list -> string
 
 (** {1 Spec syntax}
 
@@ -71,10 +93,13 @@ val validate : n_sites:int -> schedule -> unit
 crash@T:site=S[,down=D]       crash site S at T ms, restart after D (default 500)
 drop@T1-T2:p=P[,src=A][,dst=B]    drop attempts with prob P in the window
 delay@T1-T2:add=MS[,src=A][,dst=B]  add MS ms to deliveries in the window
+partition@T1-T2:groups=G1|G2[|..]  separate site groups (sites joined by '.')
 rto=MS                        retransmit timeout (default 5)
     v}
 
-    e.g. ["crash@2000:site=1,down=500;drop@0-1000:p=0.05,src=0;rto=2"]. *)
+    e.g. ["crash@2000:site=1,down=500;drop@0-1000:p=0.05,src=0;rto=2"], or
+    ["partition@500-1500:groups=0.1.2|3.4.5"] to cut sites 0–2 off from
+    3–5 for a second. All clause kinds compose freely. *)
 
 val of_string : string -> (schedule, string) result
 
@@ -110,6 +135,13 @@ val schedule : injector -> schedule
 
 (** Is [site] crashed at simulated time [at]? *)
 val down : injector -> site:int -> at:float -> bool
+
+(** [reachable inj ~src ~dst ~at] — false iff some partition active at [at]
+    puts [src] and [dst] in different groups. Crash downtime is deliberately
+    {e not} reflected here: a crashed site is down, not partitioned, and its
+    messages resume within the crash model's own horizon. Senders use this
+    oracle to degrade gracefully instead of stalling behind the cut. *)
+val reachable : injector -> src:int -> dst:int -> at:float -> bool
 
 (** The transmission plan for one message handed to the link at [now]:
     [dropped] are the failed attempt instants (drop-window losses and

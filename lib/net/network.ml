@@ -63,6 +63,13 @@ let check t v = if v < 0 || v >= t.n then invalid_arg "Network: site out of rang
 
 let describe_msg t msg = match t.describe with Some d -> d msg | None -> ("msg", 0)
 
+let reachable t ~src ~dst =
+  check t src;
+  check t dst;
+  match t.injector with
+  | None -> true
+  | Some inj -> Fault.reachable inj ~src ~dst ~at:(Sim.now t.sim)
+
 let send t ~src ~dst msg =
   check t src;
   check t dst;

@@ -49,6 +49,14 @@ val n_sites : 'a t -> int
     @raise Invalid_argument on out-of-range sites or [src = dst]. *)
 val send : 'a t -> src:int -> dst:int -> 'a -> unit
 
+(** [reachable t ~src ~dst] — the injector's partition oracle at the current
+    simulated time: false iff an active partition separates the pair. Always
+    true without an injector (and under crashes or drop windows alone — those
+    stall the link, they do not cut the topology). Senders consult this to
+    fail fast / degrade instead of parking a message behind the cut.
+    @raise Invalid_argument on out-of-range sites. *)
+val reachable : 'a t -> src:int -> dst:int -> bool
+
 (** The default delivery target for [dst]: messages arrive as [(src, msg)]. *)
 val inbox : 'a t -> int -> (int * 'a) Repdb_sim.Mailbox.t
 

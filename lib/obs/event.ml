@@ -27,6 +27,10 @@ type kind =
   | Reconfig_switch of { epoch : int; duration : float }
   | Reconfig_done of { epoch : int; duration : float }
   | State_transfer of { item : int; src : int; dst : int }
+  | Partition_begin of { groups : string }
+  | Partition_heal of { groups : string }
+  | Txn_deadline of { gid : int; site : int }
+  | Stale_read of { site : int; item : int; staleness : float }
 
 type t = { time : float; kind : kind }
 
@@ -57,6 +61,10 @@ let label = function
   | Reconfig_switch _ -> "reconfig_switch"
   | Reconfig_done _ -> "reconfig_done"
   | State_transfer _ -> "state_transfer"
+  | Partition_begin _ -> "partition_begin"
+  | Partition_heal _ -> "partition_heal"
+  | Txn_deadline _ -> "txn_deadline"
+  | Stale_read _ -> "stale_read"
 
 let site = function
   | Txn_begin { site; _ }
@@ -76,11 +84,14 @@ let site = function
   | Epoch_advance { site; _ }
   | Queue_depth { site; _ }
   | Backedge_stage { site; _ }
-  | Backedge_decide { site; _ } -> site
+  | Backedge_decide { site; _ }
+  | Txn_deadline { site; _ }
+  | Stale_read { site; _ } -> site
   | Msg_send { src; _ } -> src
   | Msg_recv { dst; _ } | Msg_drop { dst; _ } | Dummy_emit { dst; _ } -> dst
-  (* The coordinator is cluster-wide; its events ride on site 0's track. *)
-  | Reconfig_begin _ | Reconfig_switch _ | Reconfig_done _ -> 0
+  (* Coordinator / injector events are cluster-wide; they ride site 0's track. *)
+  | Reconfig_begin _ | Reconfig_switch _ | Reconfig_done _
+  | Partition_begin _ | Partition_heal _ -> 0
   | State_transfer { dst; _ } -> dst
 
 let string_of_mode = function Shared -> "S" | Exclusive -> "X"
@@ -112,6 +123,10 @@ let args = function
       [ ("epoch", `Int epoch); ("duration", `Float duration) ]
   | State_transfer { item; src; dst } ->
       [ ("item", `Int item); ("src", `Int src); ("dst", `Int dst) ]
+  | Partition_begin { groups } | Partition_heal { groups } -> [ ("groups", `String groups) ]
+  | Txn_deadline { gid; _ } -> [ ("gid", `Int gid) ]
+  | Stale_read { item; staleness; _ } ->
+      [ ("item", `Int item); ("staleness", `Float staleness) ]
 
 let pp ppf e =
   Fmt.pf ppf "@[%.3f %s@%d%a@]" e.time (label e.kind) (site e.kind)

@@ -56,6 +56,17 @@ type kind =
           end to end. *)
   | State_transfer of { item : int; src : int; dst : int }
       (** A primary value was bulk-installed at a newly added replica. *)
+  | Partition_begin of { groups : string }
+      (** A network partition activated; [groups] in spec form
+          (["0.1.2|3.4.5"]). Rides site 0's track like reconfig events. *)
+  | Partition_heal of { groups : string }  (** The partition window closed. *)
+  | Txn_deadline of { gid : int; site : int }
+      (** A transaction's per-attempt deadline expired; it aborts with
+          [Deadline_exceeded]. *)
+  | Stale_read of { site : int; item : int; staleness : float }
+      (** A PSL read was served from the local replica while the primary was
+          unreachable; [staleness] is ms since the local copy was last
+          written. *)
 
 type t = { time : float;  (** Simulated ms. *) kind : kind }
 

@@ -2,7 +2,13 @@ type item = int
 type op = Read of item | Write of item
 type spec = { origin : int; ops : op list }
 
-type abort_reason = Lock_timeout | Deadlock | Remote_denied | Propagation_timeout
+type abort_reason =
+  | Lock_timeout
+  | Deadlock
+  | Remote_denied
+  | Propagation_timeout
+  | Deadline_exceeded
+  | Partitioned
 type outcome = Committed | Aborted of abort_reason
 
 let reads spec = List.filter_map (function Read i -> Some i | Write _ -> None) spec.ops
@@ -21,6 +27,8 @@ let string_of_abort = function
   | Deadlock -> "deadlock"
   | Remote_denied -> "remote-denied"
   | Propagation_timeout -> "propagation-timeout"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Partitioned -> "partitioned"
 
 let pp_outcome ppf = function
   | Committed -> Fmt.string ppf "committed"

@@ -20,6 +20,10 @@ type abort_reason =
   | Deadlock  (** Chosen as deadlock victim (detection policy or BackEdge). *)
   | Remote_denied  (** A remote operation (PSL read / eager write) was refused. *)
   | Propagation_timeout  (** BackEdge primary gave up waiting for its special message. *)
+  | Deadline_exceeded  (** The client's per-transaction deadline expired mid-flight. *)
+  | Partitioned
+      (** A required remote site is unreachable behind an active network
+          partition; the protocol failed fast instead of stalling. *)
 
 type outcome = Committed | Aborted of abort_reason
 

@@ -1,3 +1,15 @@
+type retry_policy =
+  | No_retry
+  | Backoff of { base : float; multiplier : float; cap : float; max_retries : int }
+
+let default_backoff =
+  Backoff { base = 1.0; multiplier = 2.0; cap = 64.0; max_retries = 1_000 }
+
+let string_of_retry = function
+  | No_retry -> "off"
+  | Backoff { base; multiplier; cap; max_retries } ->
+      Printf.sprintf "backoff(base=%g,x%g,cap=%g,max=%d)" base multiplier cap max_retries
+
 type t = {
   n_sites : int;
   n_items : int;
@@ -21,7 +33,9 @@ type t = {
   cpu_commit : float;
   cpu_msg : float;
   seed : int;
-  retry_aborted : bool;
+  retry : retry_policy;
+  txn_deadline : float;
+  stale_reads : float;
   record_history : bool;
   epoch_period : float;
   dummy_idle : float;
@@ -53,7 +67,9 @@ let default =
     cpu_commit = 0.1;
     cpu_msg = 0.5;
     seed = 42;
-    retry_aborted = false;
+    retry = No_retry;
+    txn_deadline = 0.0;
+    stale_reads = 0.0;
     record_history = false;
     epoch_period = 100.0;
     dummy_idle = 50.0;
@@ -80,12 +96,13 @@ let table1 t =
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>m=%d n=%d r=%g s=%g b=%g ops=%d threads=%d txns=%d read_op=%g read_txn=%g@ \
-     latency=%gms timeout=%gms machines=%d cpu(op=%g commit=%g msg=%g) seed=%d faults=%a@ \
-     reconfig=%a@]"
+     latency=%gms timeout=%gms machines=%d cpu(op=%g commit=%g msg=%g) seed=%d retry=%s@ \
+     deadline=%gms stale_reads=%gms faults=%a@ reconfig=%a@]"
     t.n_sites t.n_items t.replication_prob t.site_prob t.backedge_prob t.ops_per_txn
     t.threads_per_site t.txns_per_thread t.read_op_prob t.read_txn_prob t.latency
     t.lock_timeout t.n_machines t.cpu_op t.cpu_commit t.cpu_msg t.seed
-    Repdb_fault.Fault.pp t.faults Repdb_reconfig.Reconfig.pp t.reconfig
+    (string_of_retry t.retry) t.txn_deadline t.stale_reads Repdb_fault.Fault.pp t.faults
+    Repdb_reconfig.Reconfig.pp t.reconfig
 
 let validate t =
   let prob name v =
@@ -120,6 +137,17 @@ let validate t =
   positive_f "cpu_op" t.cpu_op;
   positive_f "cpu_commit" t.cpu_commit;
   positive_f "cpu_msg" t.cpu_msg;
+  positive_f "txn_deadline" t.txn_deadline;
+  if not (Float.is_finite t.txn_deadline) then invalid_arg "Params: txn_deadline must be finite";
+  positive_f "stale_reads" t.stale_reads;
+  (match t.retry with
+  | No_retry -> ()
+  | Backoff { base; multiplier; cap; max_retries } ->
+      if base <= 0.0 || not (Float.is_finite base) then
+        invalid_arg "Params: backoff base must be > 0";
+      if multiplier < 1.0 then invalid_arg "Params: backoff multiplier must be >= 1";
+      if cap < base then invalid_arg "Params: backoff cap must be >= base";
+      if max_retries < 0 then invalid_arg "Params: backoff max_retries must be >= 0");
   if t.epoch_period <= 0.0 then invalid_arg "Params: epoch_period must be > 0";
   if t.dummy_idle <= 0.0 then invalid_arg "Params: dummy_idle must be > 0";
   Repdb_fault.Fault.validate ~n_sites:t.n_sites t.faults;

@@ -7,6 +7,23 @@
     probability 0.7, read-transaction probability 0.5, ~0.15 ms network
     latency, 50 ms deadlock timeout. *)
 
+(** What a client does with an aborted transaction. [Backoff] re-submits
+    after a capped exponential delay: retry [k] (0-based) waits
+    [min cap (base * multiplier^k)] ms, scaled by a jitter factor in
+    [0.5, 1.0) drawn from a dedicated per-client seeded RNG stream — so
+    retries never perturb the workload streams and runs stay byte-identical
+    across repeats and [-j] levels. After [max_retries] failures the
+    transaction is abandoned (counted as its final abort). *)
+type retry_policy =
+  | No_retry
+  | Backoff of { base : float; multiplier : float; cap : float; max_retries : int }
+
+(** 1 ms base, doubling, 64 ms cap, 1000 retries — effectively
+    "retry until it commits" for any realistic run. *)
+val default_backoff : retry_policy
+
+val string_of_retry : retry_policy -> string
+
 type t = {
   (* Table 1 *)
   n_sites : int;  (** [m]; default 9, range 3–15. *)
@@ -44,7 +61,19 @@ type t = {
   cpu_msg : float;  (** CPU to send or receive one message, ms. *)
   (* Harness *)
   seed : int;  (** RNG seed; every run is deterministic in it. *)
-  retry_aborted : bool;  (** Re-run aborted transactions (off, as in the paper). *)
+  retry : retry_policy;  (** Default {!No_retry}, as in the paper. *)
+  txn_deadline : float;
+      (** Per-transaction deadline, ms of simulated time per execution
+          attempt, covering the eager distributed phase (BackEdge's special
+          wait, PSL remote reads). 0 (default) disables; an expired deadline
+          aborts with {!Repdb_txn.Txn.Deadline_exceeded}. *)
+  stale_reads : float;
+      (** PSL only: when > 0, a remote read whose primary is unreachable
+          behind a partition falls back to the local replica provided its
+          staleness (ms since the item was last applied locally) is within
+          this bound. Such reads sit outside the 1SR guarantee and are
+          excluded from the checked history; count and max staleness are
+          reported in metrics. 0 (default) disables the fallback. *)
   record_history : bool;  (** Record accesses for the serializability checker. *)
   (* DAG(T) progress machinery *)
   epoch_period : float;  (** Sources bump their epoch every this many ms. *)

@@ -83,6 +83,57 @@ let test_spec_errors () =
   invalid "rto=0" 3;
   Fault.validate ~n_sites:3 (parse "crash@100:site=0,down=50;crash@200:site=0")
 
+let test_partition_spec () =
+  let s = parse "crash@100:site=0,down=50;partition@500-1500:groups=0.1.2|3.4" in
+  checki "one partition" 1 (List.length s.partitions);
+  (match s.partitions with
+  | [ p ] ->
+      checkf "from" 500.0 p.from_t;
+      checkf "until" 1500.0 p.until_t;
+      checks "groups" "0.1.2|3.4" (Fault.string_of_groups p.groups)
+  | _ -> assert false);
+  (* Regression: last_event must account for partition windows, or run
+     horizons stop short of the heal. *)
+  checkf "last event is the heal" 1500.0 (Fault.last_event s);
+  checkb "round-trips" true (s = parse (Fault.to_string s));
+  Fault.validate ~n_sites:5 s;
+  let bad spec =
+    match Fault.of_string spec with
+    | Ok _ -> Alcotest.failf "spec %S should not parse" spec
+    | Error _ -> ()
+  in
+  bad "partition@500:groups=0|1";
+  (* not a span *)
+  bad "partition@0-100";
+  (* missing groups *)
+  bad "partition@0-100:groups=a|b";
+  let invalid spec n_sites =
+    match Fault.validate ~n_sites (parse spec) with
+    | () -> Alcotest.failf "%S should not validate for %d sites" spec n_sites
+    | exception Invalid_argument _ -> ()
+  in
+  invalid "partition@0-100:groups=0.1|2" 2 (* site out of range *);
+  invalid "partition@0-100:groups=0.1|1.2" 4 (* overlapping groups *);
+  invalid "partition@0-100:groups=0.1" 4 (* a split needs two groups *);
+  invalid "partition@100-50:groups=0|1" 4 (* empty window *)
+
+let test_partition_reachability () =
+  let inj = Fault.injector ~n_sites:5 ~seed:1 (parse "partition@100-200:groups=0.1|2.3") in
+  checkb "reachable before" true (Fault.reachable inj ~src:0 ~dst:2 ~at:99.0);
+  checkb "separated inside" false (Fault.reachable inj ~src:0 ~dst:2 ~at:100.0);
+  checkb "symmetric" false (Fault.reachable inj ~src:2 ~dst:0 ~at:150.0);
+  checkb "same group reachable" true (Fault.reachable inj ~src:0 ~dst:1 ~at:150.0);
+  checkb "ungrouped site unaffected" true (Fault.reachable inj ~src:0 ~dst:4 ~at:150.0);
+  checkb "reachable after heal" true (Fault.reachable inj ~src:0 ~dst:2 ~at:200.0);
+  (* The link parks cross-partition messages until the heal. *)
+  let tm = Fault.transmit inj ~src:0 ~dst:3 ~now:150.0 in
+  checkb "attempts dropped during the split" true (tm.dropped <> []);
+  checkf "departs at the heal" 200.0 tm.depart;
+  (* Same-group traffic is untouched. *)
+  let tm = Fault.transmit inj ~src:0 ~dst:1 ~now:150.0 in
+  checkb "no drops in-group" true (tm.dropped = []);
+  checkf "departs now" 150.0 tm.depart
+
 let test_synthetic () =
   let s = Fault.synthetic ~n_sites:5 ~seed:42 ~n_crashes:4 () in
   checki "four crashes" 4 (List.length s.crashes);
@@ -242,6 +293,39 @@ let test_fault_sweep_deterministic_across_pools () =
   in
   checks "sequential = pooled" seq par
 
+let combined_params =
+  (* Partition + crash + drops, with deadlines and backoff retry: the full
+     robustness stack in one schedule. *)
+  {
+    fault_params with
+    Params.retry = Params.default_backoff;
+    txn_deadline = 150.0;
+    faults =
+      (match
+         Fault.of_string
+           "crash@50:site=1,down=150;partition@100-400:groups=0.1|2.3;drop@0-200:p=0.1"
+       with
+      | Ok s -> s
+      | Error m -> failwith m);
+  }
+
+let test_partition_crash_retry_deterministic () =
+  (* Byte-identical reports across repeats and on a domain pool: the backoff
+     jitter comes from per-client seeded streams and the injector from its
+     own, so neither wall-clock nor domain interleaving can leak in. *)
+  checkf "last event includes the heal" 400.0 (Fault.last_event combined_params.Params.faults);
+  let show () =
+    let r, _ = run_report ~params:combined_params (module Repdb.Backedge_proto : Repdb.Protocol.S) in
+    Fmt.str "%a" Repdb.Driver.pp_report r
+  in
+  let seq = show () in
+  checks "identical across repeats" seq (show ());
+  let par =
+    Repdb_par.Pool.with_pool ~domains:2 (fun pool ->
+        (Repdb_par.Pool.map pool [| (fun () -> show ()) |] ~f:(fun f -> f ())).(0))
+  in
+  checks "identical on a pool" seq par
+
 let test_no_faults_is_noop () =
   (* An empty schedule must leave the fault machinery entirely out of the
      path: no injector, no wals, and a report identical to the seed's
@@ -261,6 +345,8 @@ let () =
           Alcotest.test_case "spec parse" `Quick test_spec_parse;
           Alcotest.test_case "spec round-trip" `Quick test_spec_roundtrip;
           Alcotest.test_case "spec errors" `Quick test_spec_errors;
+          Alcotest.test_case "partition spec and last_event" `Quick test_partition_spec;
+          Alcotest.test_case "partition reachability" `Quick test_partition_reachability;
           Alcotest.test_case "synthetic" `Quick test_synthetic;
         ] );
       ( "injector",
@@ -277,6 +363,8 @@ let () =
           Alcotest.test_case "recovery drill ran" `Quick test_recovery_drill_ran;
           Alcotest.test_case "sweep deterministic across pools" `Quick
             test_fault_sweep_deterministic_across_pools;
+          Alcotest.test_case "partition+crash+retry deterministic" `Quick
+            test_partition_crash_retry_deterministic;
           Alcotest.test_case "no faults is a no-op" `Quick test_no_faults_is_noop;
         ] );
     ]

@@ -131,7 +131,7 @@ let test_seed_changes_run () =
 
 let test_retry_mode () =
   (* With retries on, every logical transaction eventually commits. *)
-  let params = { (small_params ~seed:4 ~b:0.5 ~r:0.5 ()) with Params.retry_aborted = true } in
+  let params = { (small_params ~seed:4 ~b:0.5 ~r:0.5 ()) with Params.retry = Params.default_backoff } in
   let r = Driver.run params (module Repdb.Backedge_proto) in
   let total = params.Params.n_sites * params.threads_per_site * params.txns_per_thread in
   checki "all logical txns commit" total r.summary.commits;

@@ -160,6 +160,42 @@ let test_deadlock_detection () =
     [ (1, Lock_mgr.Granted); (2, Lock_mgr.Deadlock_victim) ]
     sorted
 
+let test_detect_overlapping_cycles () =
+  (* Two waits-for cycles sharing the same start owner: 1 holds X on item 0;
+     2 and 3 hold item 1 shared and both wait for X on 0; 1 then requests X
+     on 1, closing 1->2->1 and 1->3->1 simultaneously. Victimising the
+     latest-arriving waiter (1, once) must break both cycles at once. *)
+  let results = ref [] in
+  let _, lm =
+    with_lm ~policy:(`Detect None) (fun sim lm ->
+        Sim.spawn sim (fun () ->
+            ignore (Lock_mgr.acquire lm ~owner:1 0 Exclusive);
+            Sim.delay 3.0;
+            let o = Lock_mgr.acquire lm ~owner:1 1 Exclusive in
+            results := (1, o) :: !results;
+            Lock_mgr.release_all lm ~owner:1);
+        Sim.spawn sim (fun () ->
+            Sim.delay 1.0;
+            ignore (Lock_mgr.acquire lm ~owner:2 1 Shared);
+            Sim.delay 0.5;
+            let o = Lock_mgr.acquire lm ~owner:2 0 Exclusive in
+            results := (2, o) :: !results;
+            Lock_mgr.release_all lm ~owner:2);
+        Sim.spawn sim (fun () ->
+            Sim.delay 2.0;
+            ignore (Lock_mgr.acquire lm ~owner:3 1 Shared);
+            Sim.delay 0.5;
+            let o = Lock_mgr.acquire lm ~owner:3 0 Exclusive in
+            results := (3, o) :: !results;
+            Lock_mgr.release_all lm ~owner:3))
+  in
+  Alcotest.(check (list (pair int outcome)))
+    "single victim breaks both cycles"
+    [ (1, Lock_mgr.Deadlock_victim); (2, Lock_mgr.Granted); (3, Lock_mgr.Granted) ]
+    (List.sort compare !results);
+  checki "exactly one deadlock abort" 1 (Lock_mgr.stats lm).Lock_mgr.deadlock_aborts;
+  checki "table drained" 0 (Lock_mgr.locks_held lm)
+
 let test_abort_waiter () =
   let log = ref [] in
   let _ =
@@ -174,6 +210,21 @@ let test_abort_waiter () =
   in
   Alcotest.(check (list (pair (float 1e-9) outcome)))
     "aborted early" [ (5.0, Lock_mgr.Deadlock_victim) ] !log
+
+let test_abort_waiter_holder_not_waiting () =
+  (* abort_waiter on an owner that holds locks but has no pending wait must
+     be a refusing no-op: false, with every lock intact. *)
+  let _, lm =
+    with_lm (fun sim lm ->
+        Sim.spawn sim (fun () ->
+            ignore (Lock_mgr.acquire lm ~owner:1 0 Exclusive);
+            ignore (Lock_mgr.acquire lm ~owner:1 1 Shared));
+        Sim.after sim 1.0 (fun () ->
+            checkb "holder with no pending wait" false (Lock_mgr.abort_waiter lm ~owner:1)))
+  in
+  checki "locks intact" 2 (Lock_mgr.locks_held lm);
+  checkb "still holds X" true (Lock_mgr.holds lm ~owner:1 0 = Some Exclusive);
+  checkb "still holds S" true (Lock_mgr.holds lm ~owner:1 1 = Some Shared)
 
 let test_waiting_for () =
   let _ =
@@ -264,7 +315,9 @@ let () =
           Alcotest.test_case "upgrade priority" `Quick test_upgrade_priority;
           Alcotest.test_case "timeout policy" `Quick test_timeout_policy;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "overlapping cycles one victim" `Quick test_detect_overlapping_cycles;
           Alcotest.test_case "abort waiter" `Quick test_abort_waiter;
+          Alcotest.test_case "abort waiter on holder" `Quick test_abort_waiter_holder_not_waiting;
           Alcotest.test_case "waiting_for" `Quick test_waiting_for;
           Alcotest.test_case "release_all" `Quick test_release_all_clears;
           Alcotest.test_case "stats" `Quick test_stats;
