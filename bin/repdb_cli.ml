@@ -145,7 +145,10 @@ let protocol_term =
    else writes Chrome trace_event JSON (load in chrome://tracing / Perfetto). *)
 let export_trace (report : Repdb.Driver.report) dest =
   let n_sites = report.params.n_sites in
-  if dest = "-" then Repdb_obs.Export.jsonl_to_channel report.trace stdout
+  let meta =
+    [ ("protocol", `String report.protocol); ("seed", `Int report.params.seed) ]
+  in
+  if dest = "-" then Repdb_obs.Export.jsonl_to_channel ~meta report.trace stdout
   else
     match open_out dest with
     | exception Sys_error msg ->
@@ -156,8 +159,8 @@ let export_trace (report : Repdb.Driver.report) dest =
           ~finally:(fun () -> close_out oc)
           (fun () ->
             if Filename.check_suffix dest ".jsonl" then
-              Repdb_obs.Export.jsonl_to_channel report.trace oc
-            else Repdb_obs.Export.chrome_to_channel ~n_sites report.trace oc);
+              Repdb_obs.Export.jsonl_to_channel ~meta report.trace oc
+            else Repdb_obs.Export.chrome_to_channel ~n_sites ~meta report.trace oc);
         Fmt.epr "trace: wrote %d events to %s%s@."
           (Repdb_obs.Trace.length report.trace)
           dest
@@ -185,6 +188,64 @@ let trace_flags =
   in
   Term.(const (fun f c -> (f, c)) $ trace_file $ capacity)
 
+(* --- telemetry flags ------------------------------------------------------ *)
+
+let obs_flags =
+  let docs = "TELEMETRY" in
+  let timeline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ] ~docs ~docv:"FILE"
+          ~doc:
+            "Sample cluster gauges (per-site replication lag, commit/abort rates, lock \
+             occupancy, in-flight messages) on a fixed simulated-time interval and write the \
+             timeline to $(docv) — CSV, or JSON if $(docv) ends in $(b,.json). Render with \
+             $(b,repdb report).")
+  in
+  let every =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeline-every" ] ~docs ~docv:"MS"
+          ~doc:"Timeline sampling interval in simulated ms (default 100).")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ] ~docs
+          ~doc:
+            "Enable the wall-clock self-profiler and print per-event-category execution time \
+             shares (client, net, lock, server, …) and GC deltas after the report. Never \
+             affects simulated results.")
+  in
+  Term.(const (fun t e p -> (t, e, p)) $ timeline $ every $ profile)
+
+(* Fold the telemetry flags into the params: sampling turns on as soon as a
+   destination or an explicit interval asks for it. *)
+let apply_obs params (timeline_file, every, profile) =
+  let timeline_every =
+    match (timeline_file, every) with
+    | None, None -> params.Params.timeline_every
+    | _, Some ms -> ms
+    | Some _, None -> 100.0
+  in
+  { params with Params.timeline_every; profile }
+
+let write_timeline (tl : Repdb_obs.Timeline.t) dest =
+  match open_out dest with
+  | exception Sys_error msg ->
+      Fmt.epr "error: cannot write timeline: %s@." msg;
+      exit 1
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          if Filename.check_suffix dest ".json" then
+            output_string oc (Repdb_obs.Timeline.to_json_string tl)
+          else Repdb_obs.Timeline.to_csv tl (output_string oc));
+      Fmt.epr "timeline: wrote %d samples to %s@." (Repdb_obs.Timeline.length tl) dest
+
 let run_with_trace params protocol (trace_file, trace_capacity) =
   (match trace_capacity with
   | Some n when n < 1 ->
@@ -199,33 +260,43 @@ let run_with_trace params protocol (trace_file, trace_capacity) =
       exit 1
 
 let run_cmd =
-  let run params protocol ((trace_file, _) as tf) =
+  let run params protocol ((trace_file, _) as tf) ((timeline_file, _, profile) as obs) =
+    let params = apply_obs params obs in
     let report = run_with_trace params protocol tf in
     (* With "--trace -" the event stream owns stdout. *)
     let report_ppf = if trace_file = Some "-" then Fmt.stderr else Fmt.stdout in
     Fmt.pf report_ppf "%a@." Repdb.Driver.pp_report report;
-    Option.iter (export_trace report) trace_file
+    if profile then Fmt.pf report_ppf "%a@." Repdb_obs.Profile.pp_table report.profile;
+    Option.iter (export_trace report) trace_file;
+    match (timeline_file, report.timeline) with
+    | Some dest, Some tl -> write_timeline tl dest
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one protocol on one parameter setting and print the report.")
-    Term.(const run $ params_term $ protocol_term $ trace_flags)
+    Term.(const run $ params_term $ protocol_term $ trace_flags $ obs_flags)
 
 (* --- stats ---------------------------------------------------------------- *)
 
 let stats_cmd =
-  let run params protocol ((trace_file, _) as tf) =
+  let run params protocol ((trace_file, _) as tf) ((timeline_file, _, profile) as obs) =
+    let params = apply_obs params obs in
     let report = run_with_trace params protocol tf in
     let ppf = if trace_file = Some "-" then Fmt.stderr else Fmt.stdout in
     Fmt.pf ppf "%s, %d sites@." report.protocol report.params.n_sites;
     Fmt.pf ppf "%a@." Repdb.Driver.pp_site_stats report;
-    Option.iter (export_trace report) trace_file
+    if profile then Fmt.pf ppf "%a@." Repdb_obs.Profile.pp_table report.profile;
+    Option.iter (export_trace report) trace_file;
+    match (timeline_file, report.timeline) with
+    | Some dest, Some tl -> write_timeline tl dest
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Run one protocol and print the per-site counter/histogram table (lock traffic, \
           message counts, response and propagation percentiles per site).")
-    Term.(const run $ params_term $ protocol_term $ trace_flags)
+    Term.(const run $ params_term $ protocol_term $ trace_flags $ obs_flags)
 
 (* --- experiment ------------------------------------------------------------ *)
 
@@ -261,8 +332,24 @@ let experiment_cmd =
     Arg.(value & opt int 10 & info [ "steps" ] ~doc:"Sweep resolution for probability axes.")
   in
   let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Print CSV only.") in
-  let run params exp_name steps csv jobs =
-    let base = params in
+  let timeline_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline-dir" ] ~docv:"DIR"
+          ~doc:
+            "Sample a telemetry timeline during every run of the sweep and write one CSV per \
+             (point, protocol) into $(docv) (created if missing). Render each with $(b,repdb \
+             report).")
+  in
+  let run params exp_name steps csv jobs timeline_dir ((_, every, _) as obs) =
+    (* [--timeline-dir] turns sampling on for every run of the sweep; a bare
+       [--timeline FILE] is meaningless here and ignored in favour of it. *)
+    let base =
+      let p = apply_obs params (None, every, false) in
+      let p = if timeline_dir <> None && p.Params.timeline_every = 0.0 then { p with Params.timeline_every = 100.0 } else p in
+      match obs with _, _, profile -> { p with Params.profile }
+    in
     match Repdb.Experiment.find exp_name with
     | None ->
         Fmt.epr "unknown experiment %S (try: %s)@." exp_name
@@ -270,11 +357,48 @@ let experiment_cmd =
         exit 1
     | Some entry ->
         with_jobs jobs (fun pool ->
-            match entry.run ~pool ~base ~steps with
+            let outcome = entry.run ~pool ~base ~steps in
+            (match outcome with
             | Repdb.Experiment.Figure fig ->
                 if csv then print_string (Repdb.Experiment.to_csv fig)
                 else Fmt.pr "%a@." Repdb.Experiment.pp_figure fig
-            | Repdb.Experiment.Reports rs -> Fmt.pr "%a@." Repdb.Experiment.pp_reports rs)
+            | Repdb.Experiment.Reports rs -> Fmt.pr "%a@." Repdb.Experiment.pp_reports rs);
+            (if base.Params.profile then
+               let profiles =
+                 match outcome with
+                 | Repdb.Experiment.Figure fig ->
+                     List.concat_map
+                       (fun (pt : Repdb.Experiment.point) ->
+                         List.map
+                           (fun (proto, (r : Repdb.Driver.report)) ->
+                             (Printf.sprintf "%s @ x=%g" proto pt.x, r.profile))
+                           pt.reports)
+                       fig.points
+                 | Repdb.Experiment.Reports rs ->
+                     List.map (fun (label, (r : Repdb.Driver.report)) -> (label, r.profile)) rs
+               in
+               List.iter
+                 (fun (label, prof) ->
+                   Fmt.pr "--- profile: %s ---@.%a@." label Repdb_obs.Profile.pp_table prof)
+                 profiles);
+            match timeline_dir with
+            | None -> ()
+            | Some dir ->
+                if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+                let files = Repdb.Experiment.timeline_files outcome in
+                List.iter
+                  (fun (name, tl) ->
+                    let dest = Filename.concat dir (name ^ ".csv") in
+                    match open_out dest with
+                    | exception Sys_error msg ->
+                        Fmt.epr "error: cannot write timeline: %s@." msg;
+                        exit 1
+                    | oc ->
+                        Fun.protect
+                          ~finally:(fun () -> close_out oc)
+                          (fun () -> Repdb_obs.Timeline.to_csv tl (output_string oc)))
+                  files;
+                Fmt.epr "timeline: wrote %d files to %s@." (List.length files) dir)
   in
   let exp_list =
     `Blocks
@@ -289,7 +413,55 @@ let experiment_cmd =
        ~doc:
          "Regenerate one of the paper's tables/figures or a sweep. Independent simulations run           on $(b,-j) domains."
        ~man:[ `S Manpage.s_description; exp_list ])
-    Term.(const run $ params_term $ exp_name $ steps $ csv $ jobs_term)
+    Term.(const run $ params_term $ exp_name $ steps $ csv $ jobs_term $ timeline_dir $ obs_flags)
+
+(* --- report ---------------------------------------------------------------- *)
+
+let report_cmd =
+  let src =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TIMELINE"
+          ~doc:"Timeline CSV produced by $(b,repdb run --timeline) or $(b,--timeline-dir).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Write the report to $(docv): a self-contained HTML page with inline SVG charts if \
+             $(docv) ends in $(b,.html), markdown otherwise. Default: markdown on stdout.")
+  in
+  let run src out =
+    let content = In_channel.with_open_bin src In_channel.input_all in
+    match Repdb_obs.Report.parse content with
+    | Error msg ->
+        Fmt.epr "error: %s: %s@." src msg;
+        exit 1
+    | Ok t -> (
+        match out with
+        | None -> print_string (Repdb_obs.Report.to_markdown t)
+        | Some dest ->
+            let body =
+              if Filename.check_suffix dest ".html" then Repdb_obs.Report.to_html t
+              else Repdb_obs.Report.to_markdown t
+            in
+            (match open_out dest with
+            | exception Sys_error msg ->
+                Fmt.epr "error: cannot write report: %s@." msg;
+                exit 1
+            | oc ->
+                Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc body));
+            Fmt.epr "report: wrote %s@." dest)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a timeline CSV as a report: per-site replication-lag sparklines, throughput \
+          and activity tables (markdown), or a single-file HTML page with inline SVG charts.")
+    Term.(const run $ src $ out)
 
 (* --- protocols / table1 ------------------------------------------------------ *)
 
@@ -317,4 +489,7 @@ let table1_cmd =
 let () =
   let doc = "update propagation protocols for replicated databases (SIGMOD 1999 reproduction)" in
   let info = Cmd.info "repdb" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; stats_cmd; experiment_cmd; protocols_cmd; table1_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; stats_cmd; experiment_cmd; report_cmd; protocols_cmd; table1_cmd ]))

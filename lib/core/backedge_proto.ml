@@ -361,10 +361,11 @@ let make_with_tree (c : Cluster.t) ~retree tr =
      epoch switch, so every site needs a (possibly idle) applier; without a
      plan, spawn exactly as before — spawn counts feed the event tie-break
      order, and static runs must stay byte-identical. *)
+  let cat = Cluster.profile_cat c "server" in
   for site = 0 to m - 1 do
     if Cluster.reconfig_planned c || Tree.parent tr site <> -1 then
-      Sim.spawn c.sim (fun () -> tree_applier t site);
-    Sim.spawn c.sim (fun () -> direct_server t site)
+      Sim.spawn ~cat c.sim (fun () -> tree_applier t site);
+    Sim.spawn ~cat c.sim (fun () -> direct_server t site)
   done;
   t
 
@@ -454,9 +455,10 @@ let abort_primary t ~site ~attempt ~gid ~targets reason =
 
 let commit_primary t ~site ~attempt ~gid ~writes ~targets =
   let c = t.c in
-  Exec.commit_cost c ~site;
+  Exec.commit_cost ~owner:attempt c ~site;
   (* Atomic commit section: apply, release, decide, lazy-forward. *)
   Exec.apply_writes c ~gid ~site writes;
+  Cluster.note_destined c ~items:writes;
   Cluster.trace_txn_commit c ~gid ~site;
   Exec.release c ~attempt ~site;
   Hashtbl.remove t.pending_by_gid gid;
@@ -480,6 +482,7 @@ let submit t (spec : Txn.spec) =
   let gid = Cluster.fresh_gid c in
   let attempt = Cluster.fresh_attempt c in
   Cluster.trace_txn_begin c ~gid ~site;
+  Cluster.span_link c ~owner:attempt ~gid;
   match Exec.run_ops c ~gid ~attempt ~site spec.ops with
   | Error reason ->
       Exec.abort_local c ~attempt ~site;
@@ -506,10 +509,21 @@ let submit t (spec : Txn.spec) =
           Cluster.inc_outstanding c;
           Network.send t.direct_net ~src:site ~dst:farthest (Exec_request { gid; origin = site; writes });
           Cluster.use_cpu c site c.params.cpu_msg;
+          (* The whole origin wait for the special subtransaction is the
+             BackEdge propagation phase, however it ends. *)
+          let wait_start = Sim.now c.sim in
+          let prop_done () =
+            Cluster.span_add c ~owner:attempt Repdb_obs.Span.Prop_wait
+              (Sim.now c.sim -. wait_start)
+          in
           let rec wait () =
             match p.p_state with
-            | `Special_arrived -> commit_primary t ~site ~attempt ~gid ~writes ~targets
-            | `Failed reason -> abort_primary t ~site ~attempt ~gid ~targets reason
+            | `Special_arrived ->
+                prop_done ();
+                commit_primary t ~site ~attempt ~gid ~writes ~targets
+            | `Failed reason ->
+                prop_done ();
+                abort_primary t ~site ~attempt ~gid ~targets reason
             | `Waiting ->
                 (* Wait the derived origin wait per round, clamped to the
                    transaction deadline; the tighter bound names the abort. *)
@@ -521,6 +535,7 @@ let submit t (spec : Txn.spec) =
                 if timeout <= 0.0 then begin
                   p.p_state <- `Failed Txn.Deadline_exceeded;
                   Cluster.trace_txn_deadline c ~gid ~site;
+                  prop_done ();
                   abort_primary t ~site ~attempt ~gid ~targets Txn.Deadline_exceeded
                 end
                 else begin
@@ -530,6 +545,7 @@ let submit t (spec : Txn.spec) =
                       p.p_state <- `Failed on_expire;
                       if on_expire = Txn.Deadline_exceeded then
                         Cluster.trace_txn_deadline c ~gid ~site;
+                      prop_done ();
                       abort_primary t ~site ~attempt ~gid ~targets on_expire
                   | _ -> wait ()
                 end

@@ -94,9 +94,10 @@ let create (c : Cluster.t) =
       n_rejected = 0;
     }
   in
+  let cat = Cluster.profile_cat c "server" in
   for site = 0 to c.params.n_sites - 1 do
-    Sim.spawn c.sim (fun () -> cert_server t site);
-    Sim.spawn c.sim (fun () -> update_applier t site)
+    Sim.spawn ~cat c.sim (fun () -> cert_server t site);
+    Sim.spawn ~cat c.sim (fun () -> update_applier t site)
   done;
   t
 

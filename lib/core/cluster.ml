@@ -13,6 +13,9 @@ module Placement = Repdb_workload.Placement
 module Trace = Repdb_obs.Trace
 module Event = Repdb_obs.Event
 module Stats = Repdb_obs.Stats
+module Span = Repdb_obs.Span
+module Timeline = Repdb_obs.Timeline
+module Profile = Repdb_obs.Profile
 
 type t = {
   sim : Sim.t;
@@ -60,25 +63,47 @@ type t = {
   mutable stall_total : float;
   switch_hist : Stats.histogram option;
   stall_hist : Stats.histogram option;
+  (* Observability: phase spans, self-profiler, and the sampled timeline. *)
+  spans : Span.t;
+  profile : Profile.t;
+  timeline : Timeline.t option;
+  commit_ctr : Stats.counter;
+  abort_ctr : Stats.counter;
+  tl_commits_prev : int array; (* counter snapshot at the previous sample *)
+  tl_aborts_prev : int array;
+  (* Replication-lag bookkeeping (maintained only when a timeline exists):
+     per site, how many propagated updates are destined but not yet applied,
+     and the origin-commit time of the newest update applied. *)
+  lag_pending : int array;
+  lag_applied : float array;
+  lag_seen : bool array; (* per-destination scratch, cleared after each use *)
+  mutable inflight_fns : (unit -> int) list; (* one per network created *)
 }
 
 let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) placement =
   Params.validate params;
   let lat_fn = match latency with Some f -> f | None -> fun _ _ -> params.latency in
-  let sim = Sim.create () in
+  let profile = if params.profile then Profile.create () else Profile.disabled in
+  let sim = Sim.create ~profile () in
   let m = params.n_sites in
   let tr =
     if trace then Trace.create ?capacity:trace_capacity ~clock:(Sim.clock sim) ()
     else Trace.disabled
   in
   let stats = Stats.create ~n_sites:m () in
+  let spans = Span.create ~stats ~trace:tr () in
   let stores = Array.init m (fun site -> Store.create ~site (Placement.placed_at placement site)) in
   let policy : Lock_mgr.policy =
     match params.deadlock_policy with
     | `Timeout -> `Timeout params.lock_timeout
     | `Detect -> `Detect (Some params.lock_timeout)
   in
-  let locks = Array.init m (fun site -> Lock_mgr.create ~sim ~policy ~site ~trace:tr ~stats ()) in
+  let locks =
+    Array.init m (fun site ->
+        Lock_mgr.create ~sim ~policy ~site ~trace:tr ~stats
+          ~on_wait:(fun ~owner ~dur -> Span.add spans ~owner Span.Lock_wait dur)
+          ())
+  in
   let n_machines = min params.n_machines m in
   let cpus = Array.init n_machines (fun _ -> Resource.create ~capacity:1 ()) in
   let faulty = not (Fault.is_empty params.faults) in
@@ -145,6 +170,22 @@ let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) pl
     stall_hist =
       (if Reconfig.is_empty params.reconfig then None
        else Some (Stats.histogram stats "reconfig.stall"));
+    spans;
+    profile;
+    timeline =
+      (if params.timeline_every > 0.0 then
+         Some (Timeline.create ~n_sites:m ~interval:params.timeline_every ())
+       else None);
+    (* Same names the driver resolves: [Stats.counter] finds-or-registers,
+       so these are the very counters the clients bump. *)
+    commit_ctr = Stats.counter stats "txn.commit";
+    abort_ctr = Stats.counter stats "txn.abort";
+    tl_commits_prev = Array.make m 0;
+    tl_aborts_prev = Array.make m 0;
+    lag_pending = Array.make m 0;
+    lag_applied = Array.make m 0.0;
+    lag_seen = Array.make m false;
+    inflight_fns = [];
   }
 
 let create ?trace ?trace_capacity (params : Params.t) =
@@ -171,21 +212,37 @@ let use_cpu t site d =
 let latency_fn t src dst = t.lat_fn src dst
 
 let make_net ?describe t =
-  Repdb_net.Network.create ~sim:t.sim ~n_sites:t.params.n_sites ~latency:(latency_fn t)
-    ~on_send:(fun () -> t.messages <- t.messages + 1)
-    ~trace:t.trace ?describe ~stats:t.stats ?injector:t.injector ()
+  let net =
+    Repdb_net.Network.create ~sim:t.sim ~n_sites:t.params.n_sites ~latency:(latency_fn t)
+      ~on_send:(fun () -> t.messages <- t.messages + 1)
+      ~trace:t.trace ?describe ~stats:t.stats ?injector:t.injector ()
+  in
+  t.inflight_fns <- (fun () -> Repdb_net.Network.in_flight net) :: t.inflight_fns;
+  net
 
 (* --- trace/metrics emission helpers (shared by the protocols) ------------- *)
 
+(* The txn begin/commit/abort helpers double as the span lifecycle hooks:
+   the four lazy protocols call each exactly once per client attempt. *)
 let trace_txn_begin t ~gid ~site =
+  Span.begin_ t.spans ~gid ~site ~now:(Sim.now t.sim);
   if Trace.on t.trace then Trace.record t.trace (Event.Txn_begin { gid; site })
 
 let trace_txn_commit t ~gid ~site =
+  Span.finish t.spans ~gid ~now:(Sim.now t.sim);
   if Trace.on t.trace then Trace.record t.trace (Event.Txn_commit { gid; site })
 
 let trace_txn_abort t ~gid ~site reason =
+  Span.finish t.spans ~gid ~now:(Sim.now t.sim);
   if Trace.on t.trace then
     Trace.record t.trace (Event.Txn_abort { gid; site; reason = Repdb_txn.Txn.string_of_abort reason })
+
+(* --- span attribution ------------------------------------------------------ *)
+
+let span_link t ~owner ~gid = Span.link t.spans ~owner ~gid
+let span_add t ~owner phase dur = Span.add t.spans ~owner phase dur
+let span_think t ~site dur = Span.think t.spans ~site dur
+let spans t = t.spans
 
 let trace_secondary_recv t ~gid ~site =
   if Trace.on t.trace then Trace.record t.trace (Event.Secondary_recv { gid; site })
@@ -218,12 +275,76 @@ let record_stale_read t ~site ~item ~staleness =
   (match t.stale_ctr with Some c -> Stats.incr c ~site | None -> ());
   if Trace.on t.trace then Trace.record t.trace (Event.Stale_read { site; item; staleness })
 
+(* --- replication-lag bookkeeping ------------------------------------------ *)
+
+(* Called by the lazy protocols at origin-commit time with the committed
+   write set: every site holding a replica of a written item will eventually
+   apply this transaction, so it gains one pending update. Counted once per
+   (transaction, site) via the scratch array. Maintained only when a
+   timeline is being sampled. *)
+let note_destined t ~items =
+  match t.timeline with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun item ->
+          List.iter
+            (fun site ->
+              if not t.lag_seen.(site) then begin
+                t.lag_seen.(site) <- true;
+                t.lag_pending.(site) <- t.lag_pending.(site) + 1
+              end)
+            t.placement.Placement.replicas.(item))
+        items;
+      Array.iteri (fun s seen -> if seen then t.lag_seen.(s) <- false) t.lag_seen
+
 (* Record a replica update everywhere it is accounted: the aggregate metric,
    the per-site registry, and (when on) the trace. *)
 let record_propagation t ~gid ~site ~delay =
   Metrics.propagation t.metrics ~delay;
   Stats.observe t.prop_hist ~site delay;
+  if t.timeline <> None then begin
+    if t.lag_pending.(site) > 0 then t.lag_pending.(site) <- t.lag_pending.(site) - 1;
+    let origin = Sim.now t.sim -. delay in
+    if origin > t.lag_applied.(site) then t.lag_applied.(site) <- origin
+  end;
   if Trace.on t.trace then Trace.record t.trace (Event.Prop_apply { gid; site; delay })
+
+(* Replication lag of [site] right now: with updates pending, the age of the
+   newest applied origin commit (growing in real time while the backlog
+   persists, e.g. across a partition); 0 once caught up. *)
+let lag_of t site =
+  if t.lag_pending.(site) > 0 then Float.max 0.0 (Sim.now t.sim -. t.lag_applied.(site))
+  else 0.0
+
+let timeline t = t.timeline
+
+let sample_timeline t =
+  match t.timeline with
+  | None -> ()
+  | Some tl ->
+      let m = t.params.n_sites in
+      let commits = Array.make m 0 and aborts = Array.make m 0 in
+      for s = 0 to m - 1 do
+        let c = Stats.counter_value t.commit_ctr ~site:s in
+        commits.(s) <- c - t.tl_commits_prev.(s);
+        t.tl_commits_prev.(s) <- c;
+        let a = Stats.counter_value t.abort_ctr ~site:s in
+        aborts.(s) <- a - t.tl_aborts_prev.(s);
+        t.tl_aborts_prev.(s) <- a
+      done;
+      Timeline.push tl
+        {
+          Timeline.r_time = Sim.now t.sim;
+          r_active = t.active_txns;
+          r_inflight = List.fold_left (fun acc f -> acc + f ()) 0 t.inflight_fns;
+          r_commits = commits;
+          r_aborts = aborts;
+          r_lag = Array.init m (fun s -> lag_of t s);
+          r_pending = Array.copy t.lag_pending;
+          r_locks = Array.init m (fun s -> Lock_mgr.locks_held t.locks.(s));
+          r_waiters = Array.init m (fun s -> Lock_mgr.lock_waiters t.locks.(s));
+        }
 
 let maybe_wake t =
   if t.clients_running = 0 && t.outstanding = 0 then Condvar.broadcast t.quiesced
@@ -352,3 +473,5 @@ let schedule_faults t =
 
 let crash_count t = t.crashes
 let partition_count t = t.partitions
+let profile t = t.profile
+let profile_cat t name = Profile.cat t.profile name

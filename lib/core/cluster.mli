@@ -20,6 +20,9 @@ module Params = Repdb_workload.Params
 module Placement = Repdb_workload.Placement
 module Trace = Repdb_obs.Trace
 module Stats = Repdb_obs.Stats
+module Span = Repdb_obs.Span
+module Timeline = Repdb_obs.Timeline
+module Profile = Repdb_obs.Profile
 
 type t = {
   sim : Sim.t;
@@ -84,6 +87,26 @@ type t = {
           registered only when a reconfiguration plan exists, so
           static-topology stats tables are unchanged. *)
   stall_hist : Stats.histogram option;  (** Per-site client stall times. *)
+  spans : Span.t;
+      (** Transaction phase attribution (always on; registers the five
+          [span.*] histograms in [stats]). *)
+  profile : Profile.t;
+      (** The kernel's self-profiler; enabled iff [params.profile]. *)
+  timeline : Timeline.t option;
+      (** Sampled time series, present iff [params.timeline_every > 0];
+          filled by the driver's ticker via {!sample_timeline}. *)
+  commit_ctr : Stats.counter;  (** ["txn.commit"] — shared with the driver. *)
+  abort_ctr : Stats.counter;  (** ["txn.abort"]. *)
+  tl_commits_prev : int array;  (** Counter snapshots at the last sample. *)
+  tl_aborts_prev : int array;
+  lag_pending : int array;
+      (** Per site: propagated updates destined but not yet applied
+          (maintained only while a timeline exists). *)
+  lag_applied : float array;
+      (** Per site: origin-commit time of the newest update applied. *)
+  lag_seen : bool array;  (** Scratch for {!note_destined} deduplication. *)
+  mutable inflight_fns : (unit -> int) list;
+      (** One in-flight-message getter per network built by {!make_net}. *)
 }
 
 (** [create params] — build the cluster; the placement is drawn from a
@@ -154,8 +177,52 @@ val staleness : t -> site:int -> item:int -> float
 val record_stale_read : t -> site:int -> item:int -> staleness:float -> unit
 
 (** Record a replica update in the aggregate metrics, the per-site
-    propagation-delay histogram and (when enabled) the trace. *)
+    propagation-delay histogram and (when enabled) the trace; also advances
+    the replication-lag bookkeeping when a timeline is being sampled. *)
 val record_propagation : t -> gid:int -> site:int -> delay:float -> unit
+
+(** {1 Replication-lag timeline}
+
+    All no-ops unless [params.timeline_every > 0]. *)
+
+(** [note_destined t ~items] — called by the lazy protocols at origin-commit
+    time with the committed write set: every site holding a replica of a
+    written item gains one pending update (once per transaction). *)
+val note_destined : t -> items:int list -> unit
+
+(** Replication lag of [site], ms: 0 when no update is pending, otherwise
+    the age of the newest applied origin commit (so it grows in real time
+    while propagation is stalled, e.g. across a partition). *)
+val lag_of : t -> int -> float
+
+val timeline : t -> Timeline.t option
+
+(** Append one sample row (gauges now, commit/abort deltas since the last
+    sample). The driver's ticker calls this every [params.timeline_every]
+    ms. *)
+val sample_timeline : t -> unit
+
+(** {1 Phase spans} *)
+
+(** [span_link t ~owner ~gid] — tie a lock-owner (attempt) id to its gid so
+    lock waits are attributed; protocols call it right after allocating the
+    client attempt id. *)
+val span_link : t -> owner:int -> gid:int -> unit
+
+(** Charge [dur] ms of a phase to the attempt linked as [owner]. *)
+val span_add : t -> owner:int -> Span.phase -> float -> unit
+
+(** Observe client think (retry backoff) time at [site]. *)
+val span_think : t -> site:int -> float -> unit
+
+val spans : t -> Span.t
+
+(** The kernel's self-profiler ({!Profile.disabled} unless
+    [params.profile]). *)
+val profile : t -> Profile.t
+
+(** Intern a profiler category name (cheap; "other" when disabled). *)
+val profile_cat : t -> string -> int
 
 (** {1 Quiescence accounting} *)
 

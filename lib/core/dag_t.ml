@@ -267,12 +267,13 @@ let create_internal ~pipelined (c : Cluster.t) =
               ~depth:(Queue.length q);
             Condvar.broadcast st.arrivals
         | None -> invalid_arg "Dag_t: message from a non-parent site");
+    let cat = Cluster.profile_cat c "server" in
     if Digraph.pred graph site <> [] then
-      Sim.spawn c.sim (fun () -> if t.pipelined then pipelined_applier t site else applier t site);
+      Sim.spawn ~cat c.sim (fun () -> if t.pipelined then pipelined_applier t site else applier t site);
     let children = Digraph.succ graph site in
     if children <> [] then begin
-      Sim.spawn c.sim (fun () -> dummy_timer t site children);
-      if Digraph.pred graph site = [] then Sim.spawn c.sim (fun () -> epoch_timer t site)
+      Sim.spawn ~cat c.sim (fun () -> dummy_timer t site children);
+      if Digraph.pred graph site = [] then Sim.spawn ~cat c.sim (fun () -> epoch_timer t site)
     end
   done;
   t
@@ -286,6 +287,7 @@ let submit t (spec : Txn.spec) =
   let gid = Cluster.fresh_gid c in
   let attempt = Cluster.fresh_attempt c in
   Cluster.trace_txn_begin c ~gid ~site;
+  Cluster.span_link c ~owner:attempt ~gid;
   match Exec.run_ops c ~gid ~attempt ~site spec.ops with
   | Error reason ->
       Exec.abort_local c ~attempt ~site;
@@ -293,7 +295,7 @@ let submit t (spec : Txn.spec) =
       Txn.Aborted reason
   | Ok () ->
       let writes = List.sort_uniq compare (Txn.writes spec) in
-      Exec.commit_cost c ~site;
+      Exec.commit_cost ~owner:attempt c ~site;
       (* Atomic commit section (the "critical section" of Section 3.2.2):
          bump the local counter, stamp the transaction, apply, release and
          schedule the secondaries at the relevant children. *)
@@ -302,6 +304,7 @@ let submit t (spec : Txn.spec) =
       st.ts <- Timestamp.bump_own st.ts t.rank.(site);
       let ts = st.ts in
       Exec.apply_writes c ~gid ~site writes;
+      Cluster.note_destined c ~items:writes;
       Cluster.trace_txn_commit c ~gid ~site;
       Exec.release c ~attempt ~site;
       let relevant =

@@ -83,9 +83,10 @@ let create_with_tree (c : Cluster.t) tr =
      every site gets an applier (idle at roots); without one, spawn exactly as
      before — spawn counts feed the event tie-break order, and static runs
      must stay byte-identical. *)
+  let cat = Cluster.profile_cat c "server" in
   for site = 0 to c.params.n_sites - 1 do
     if Cluster.reconfig_planned c || Tree.parent tr site <> -1 then
-      Sim.spawn c.sim (fun () -> applier t site)
+      Sim.spawn ~cat c.sim (fun () -> applier t site)
   done;
   t
 
@@ -113,6 +114,7 @@ let submit t (spec : Txn.spec) =
   let gid = Cluster.fresh_gid c in
   let attempt = Cluster.fresh_attempt c in
   Cluster.trace_txn_begin c ~gid ~site;
+  Cluster.span_link c ~owner:attempt ~gid;
   match Exec.run_ops c ~gid ~attempt ~site spec.ops with
   | Error reason ->
       Exec.abort_local c ~attempt ~site;
@@ -120,9 +122,10 @@ let submit t (spec : Txn.spec) =
       Txn.Aborted reason
   | Ok () ->
       let writes = List.sort_uniq compare (Txn.writes spec) in
-      Exec.commit_cost c ~site;
+      Exec.commit_cost ~owner:attempt c ~site;
       (* Atomic commit section: apply, release, forward. *)
       Exec.apply_writes c ~gid ~site writes;
+      Cluster.note_destined c ~items:writes;
       Cluster.trace_txn_commit c ~gid ~site;
       Exec.release c ~attempt ~site;
       let msg = { gid; writes; origin_commit = Sim.now c.sim; epoch = c.config_epoch } in

@@ -9,6 +9,8 @@ module Serializability = Repdb_txn.Serializability
 
 module Stats = Repdb_obs.Stats
 module Trace = Repdb_obs.Trace
+module Timeline = Repdb_obs.Timeline
+module Profile = Repdb_obs.Profile
 
 type report = {
   protocol : string;
@@ -30,6 +32,8 @@ type report = {
   reconfigs : int;
   state_transfers : int;
   reconfig_stall : float;
+  timeline : Timeline.t option;
+  profile : Profile.t;
 }
 
 let client (c : Cluster.t) submit gen rng retry_rng ~site =
@@ -82,7 +86,9 @@ let client (c : Cluster.t) submit gen rng retry_rng ~site =
                 in
                 (* Jitter in [0.5, 1.0), drawn from the dedicated per-client
                    stream so retries never perturb the workload draws. *)
-                Sim.delay (backoff *. (0.5 +. (0.5 *. Rng.float retry_rng)));
+                let think = backoff *. (0.5 +. (0.5 *. Rng.float retry_rng)) in
+                Sim.delay think;
+                Cluster.span_think c ~site think;
                 attempt (n_failed + 1)
               end)
     in
@@ -104,6 +110,7 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
   in
   let proto = P.create c in
   let gen = Generator.create c.rng p c.placement in
+  let cat_client = Cluster.profile_cat c "client" in
   for site = 0 to p.n_sites - 1 do
     for thread = 0 to p.threads_per_site - 1 do
       Cluster.client_started c;
@@ -111,11 +118,27 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
       (* Separate stream for backoff jitter: enabling retries must not shift
          the workload stream, and vice versa. *)
       let retry_rng = Rng.create ((p.seed * 48271) + (site * 131) + thread) in
-      Sim.spawn c.sim (fun () -> client c (P.submit proto) gen rng retry_rng ~site)
+      Sim.spawn ~cat:cat_client c.sim (fun () ->
+          client c (P.submit proto) gen rng retry_rng ~site)
     done
   done;
   Cluster.schedule_faults c;
   Reconfig_exec.schedule c ~reconfigure:(fun () -> reconfig_hook proto) ~gen;
+  (* The timeline ticker: samples every [timeline_every] ms of simulated
+     time and stops rescheduling once the run is quiescent, so it never
+     keeps the drain phase alive. *)
+  (match c.timeline with
+  | None -> ()
+  | Some tl ->
+      Timeline.set_meta tl [ ("protocol", P.name); ("seed", string_of_int p.seed) ];
+      let every = Timeline.interval tl in
+      let cat_tick = Cluster.profile_cat c "timeline" in
+      let rec tick at =
+        Sim.at ~cat:cat_tick c.sim at (fun () ->
+            Cluster.sample_timeline c;
+            if not c.stopped then tick (at +. every))
+      in
+      tick 0.0);
   Sim.spawn c.sim (fun () -> Cluster.await_quiescence c);
   let total_txns = p.n_sites * p.threads_per_site * p.txns_per_thread in
   let horizon =
@@ -166,6 +189,8 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
     reconfigs = c.reconfigs;
     state_transfers = c.state_transfers;
     reconfig_stall = c.stall_total;
+    timeline = c.timeline;
+    profile = c.profile;
   }
 
 let run ?placement ?trace ?trace_capacity params protocol =

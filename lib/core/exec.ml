@@ -42,7 +42,13 @@ let apply_writes (c : Cluster.t) ~gid ~site items =
       Cluster.note_apply c ~site ~item)
     items
 
-let commit_cost (c : Cluster.t) ~site = Cluster.use_cpu c site c.params.cpu_commit
+let commit_cost ?owner (c : Cluster.t) ~site =
+  match owner with
+  | None -> Cluster.use_cpu c site c.params.cpu_commit
+  | Some owner ->
+      let t0 = Repdb_sim.Sim.now c.sim in
+      Cluster.use_cpu c site c.params.cpu_commit;
+      Cluster.span_add c ~owner Repdb_obs.Span.Commit (Repdb_sim.Sim.now c.sim -. t0)
 
 let release (c : Cluster.t) ~attempt ~site = Lock_mgr.release_all c.locks.(site) ~owner:attempt
 

@@ -36,9 +36,11 @@ val acquire_writes :
     site store (no locking; caller holds the exclusive locks). *)
 val apply_writes : Cluster.t -> gid:int -> site:int -> int list -> unit
 
-(** [commit_cost c ~site] — charge [cpu_commit] (blocking). Call {e before}
-    the atomic commit section. *)
-val commit_cost : Cluster.t -> site:int -> unit
+(** [commit_cost ?owner c ~site] — charge [cpu_commit] (blocking). Call
+    {e before} the atomic commit section. When [owner] (a client attempt id
+    previously linked with {!Cluster.span_link}) is given, the charged time
+    is attributed to that transaction's commit phase span. *)
+val commit_cost : ?owner:int -> Cluster.t -> site:int -> unit
 
 (** [release c ~attempt ~site] — release every lock of [attempt]. *)
 val release : Cluster.t -> attempt:int -> site:int -> unit

@@ -456,3 +456,25 @@ let registry =
 
 let ids = List.map (fun e -> e.exp_id) registry
 let find id = List.find_opt (fun e -> e.exp_id = id) registry
+
+(* Per-run timelines collected by an outcome (present when the base params
+   had [timeline_every > 0]), each under a filesystem-safe basename. *)
+let timeline_files outcome =
+  let clean s =
+    String.map
+      (fun ch ->
+        match ch with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> ch | _ -> '_')
+      s
+  in
+  let of_reports prefix rs =
+    List.filter_map
+      (fun (label, (r : Driver.report)) ->
+        Option.map (fun tl -> (clean (prefix ^ label), tl)) r.timeline)
+      rs
+  in
+  match outcome with
+  | Reports rs -> of_reports "" rs
+  | Figure f ->
+      List.concat_map
+        (fun pt -> of_reports (Printf.sprintf "%s_x%g_" f.id pt.x) pt.reports)
+        f.points

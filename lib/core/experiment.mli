@@ -142,6 +142,13 @@ val registry : entry list
 val ids : string list
 val find : string -> entry option
 
+(** [timeline_files outcome] — every run timeline the outcome collected
+    (present when the base parameters had [timeline_every > 0]), paired with
+    a filesystem-safe basename ([<figure>_x<value>_<protocol>] for figures,
+    the report label for flat report lists). The CLI writes each as
+    [<basename>.csv] under [--timeline-dir]. *)
+val timeline_files : outcome -> (string * Repdb_obs.Timeline.t) list
+
 (** {1 Rendering} *)
 
 val pp_figure : Format.formatter -> figure -> unit

@@ -72,8 +72,9 @@ let server t site =
 
 let create (c : Cluster.t) =
   let t = { c; net = Cluster.make_net c; remote = 0 } in
+  let cat = Cluster.profile_cat c "server" in
   for site = 0 to c.params.n_sites - 1 do
-    Sim.spawn c.sim (fun () -> server t site)
+    Sim.spawn ~cat c.sim (fun () -> server t site)
   done;
   t
 

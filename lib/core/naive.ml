@@ -28,8 +28,9 @@ let applier t site =
 let create (c : Cluster.t) =
   let net = Cluster.make_net c in
   let t = { c; net } in
+  let cat = Cluster.profile_cat c "server" in
   for site = 0 to c.params.n_sites - 1 do
-    Sim.spawn c.sim (fun () -> applier t site)
+    Sim.spawn ~cat c.sim (fun () -> applier t site)
   done;
   t
 

@@ -63,8 +63,9 @@ let describe_msg = function
 let create (c : Cluster.t) =
   let net = Cluster.make_net ~describe:describe_msg c in
   let t = { c; net; remote = 0 } in
+  let cat = Cluster.profile_cat c "server" in
   for site = 0 to c.params.n_sites - 1 do
-    Sim.spawn c.sim (fun () -> server t site)
+    Sim.spawn ~cat c.sim (fun () -> server t site)
   done;
   t
 
@@ -95,6 +96,7 @@ let submit t (spec : Txn.spec) =
   let gid = Cluster.fresh_gid c in
   let attempt = gid in
   Cluster.trace_txn_begin c ~gid ~site;
+  Cluster.span_link c ~owner:attempt ~gid;
   let remote_sites = Hashtbl.create 4 in
   let cleanup_remote () =
     Hashtbl.iter
@@ -137,7 +139,13 @@ let submit t (spec : Txn.spec) =
                   run rest
               | _ -> (
                   Hashtbl.replace remote_sites primary ();
-                  match remote_read t ~site ~primary ~item ~owner:attempt ~deadline_at with
+                  (* The round-trip to the primary is the PSL propagation
+                     wait: lock-grant latency shows up at the reader. *)
+                  let t0 = Sim.now c.sim in
+                  let reply = remote_read t ~site ~primary ~item ~owner:attempt ~deadline_at in
+                  Cluster.span_add c ~owner:attempt Repdb_obs.Span.Prop_wait
+                    (Sim.now c.sim -. t0);
+                  match reply with
                   | `Granted ->
                       Cluster.use_cpu c site c.params.cpu_msg;
                       run rest
@@ -155,7 +163,7 @@ let submit t (spec : Txn.spec) =
       Txn.Aborted reason
   | Ok () ->
       let writes = List.sort_uniq compare (Txn.writes spec) in
-      Exec.commit_cost c ~site;
+      Exec.commit_cost ~owner:attempt c ~site;
       Exec.apply_writes c ~gid ~site writes;
       Cluster.trace_txn_commit c ~gid ~site;
       Exec.release c ~attempt ~site;

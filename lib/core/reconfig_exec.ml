@@ -79,10 +79,11 @@ let schedule (c : Cluster.t) ~reconfigure ~gen =
   let plan = c.params.reconfig in
   if not (Reconfig.is_empty plan) then begin
     let net = Cluster.make_net c ~describe:describe_xfer in
+    let cat = Cluster.profile_cat c "reconfig" in
     for site = 0 to c.params.n_sites - 1 do
-      Sim.spawn c.sim (fun () -> receive_server c net site)
+      Sim.spawn ~cat c.sim (fun () -> receive_server c net site)
     done;
-    Sim.spawn c.sim (fun () ->
+    Sim.spawn ~cat c.sim (fun () ->
         List.iter
           (fun (ts : Reconfig.timed) ->
             let now = Sim.now c.sim in

@@ -2,6 +2,7 @@ module Sim = Repdb_sim.Sim
 module Trace = Repdb_obs.Trace
 module Event = Repdb_obs.Event
 module Stats = Repdb_obs.Stats
+module Profile = Repdb_obs.Profile
 
 type item = int
 type owner = int
@@ -38,6 +39,8 @@ type t = {
   mutable n_timeouts : int;
   mutable n_deadlock_aborts : int;
   site : int; (* tag on emitted events; 0 for stand-alone managers *)
+  cat : int; (* profiler category for timeout timers *)
+  on_wait : owner:owner -> dur:float -> unit;
   trace : Trace.t;
   s_acquires : Stats.counter option;
   s_waits : Stats.counter option;
@@ -45,7 +48,8 @@ type t = {
   s_deadlocks : Stats.counter option;
 }
 
-let create ~sim ~policy ?(site = 0) ?(trace = Trace.disabled) ?stats () =
+let create ~sim ~policy ?(site = 0) ?(trace = Trace.disabled) ?stats
+    ?(on_wait = fun ~owner:_ ~dur:_ -> ()) () =
   {
     sim;
     policy;
@@ -58,6 +62,8 @@ let create ~sim ~policy ?(site = 0) ?(trace = Trace.disabled) ?stats () =
     n_timeouts = 0;
     n_deadlock_aborts = 0;
     site;
+    cat = Profile.cat (Sim.profile sim) "lock";
+    on_wait;
     trace;
     s_acquires = Option.map (fun s -> Stats.counter s "lock.acq") stats;
     s_waits = Option.map (fun s -> Stats.counter s "lock.wait") stats;
@@ -280,15 +286,20 @@ and wait t req =
       (Event.Lock_wait
          { site = t.site; owner = req.req_owner; item = req.req_item; mode = obs_mode req.req_mode });
   Hashtbl.replace t.waiting req.req_owner req;
-  Sim.suspend (fun resume ->
-      req.resume <- resume;
-      (match t.policy with
-      | `Timeout d -> Sim.after t.sim d (fun () -> fail_request t req Timed_out)
-      | `Detect fallback ->
-          (match fallback with
-          | Some d -> Sim.after t.sim d (fun () -> fail_request t req Timed_out)
-          | None -> ());
-          resolve_deadlocks t req.req_owner))
+  let t0 = Sim.now t.sim in
+  let outcome =
+    Sim.suspend (fun resume ->
+        req.resume <- resume;
+        (match t.policy with
+        | `Timeout d -> Sim.after ~cat:t.cat t.sim d (fun () -> fail_request t req Timed_out)
+        | `Detect fallback ->
+            (match fallback with
+            | Some d -> Sim.after ~cat:t.cat t.sim d (fun () -> fail_request t req Timed_out)
+            | None -> ());
+            resolve_deadlocks t req.req_owner))
+  in
+  t.on_wait ~owner:req.req_owner ~dur:(Sim.now t.sim -. t0);
+  outcome
 
 let release_all t ~owner =
   (* A pending wait by this owner is aborted first so its process wakes. *)
@@ -328,3 +339,4 @@ let stats t =
   }
 
 let locks_held t = Hashtbl.fold (fun _ e acc -> acc + List.length e.holding) t.entries 0
+let lock_waiters t = Hashtbl.length t.waiting

@@ -50,13 +50,16 @@ type t
     timeout, deadlock victimisation and release is recorded as a typed event
     tagged with [site] (default [0]); when [stats] is given, per-site
     ["lock.acq"] / ["lock.wait"] / ["lock.tmo"] / ["lock.ddl"] counters are
-    registered and bumped. *)
+    registered and bumped. [on_wait ~owner ~dur] fires after every blocked
+    request resolves (granted or failed) with the simulated ms it waited —
+    the span layer's lock-wait attribution hook. *)
 val create :
   sim:Repdb_sim.Sim.t ->
   policy:policy ->
   ?site:int ->
   ?trace:Repdb_obs.Trace.t ->
   ?stats:Repdb_obs.Stats.t ->
+  ?on_wait:(owner:owner -> dur:float -> unit) ->
   unit ->
   t
 
@@ -91,3 +94,6 @@ val stats : t -> stats
 
 (** Total locks currently held (for invariant checks in tests). *)
 val locks_held : t -> int
+
+(** Requests currently blocked. *)
+val lock_waiters : t -> int

@@ -3,6 +3,7 @@ module Mailbox = Repdb_sim.Mailbox
 module Trace = Repdb_obs.Trace
 module Event = Repdb_obs.Event
 module Stats = Repdb_obs.Stats
+module Profile = Repdb_obs.Profile
 module Fault = Repdb_fault.Fault
 
 type 'a target = Inbox of (int * 'a) Mailbox.t | Handler of (src:int -> 'a -> unit)
@@ -13,7 +14,9 @@ type 'a t = {
   delays : float array array;
   mutable targets : 'a target array;
   mutable sent : int;
+  mutable delivered : int;
   mutable dropped : int;
+  cat : int; (* profiler category for delivery events *)
   on_send : unit -> unit;
   trace : Trace.t;
   describe : ('a -> string * int) option;
@@ -43,7 +46,9 @@ let create ~sim ~n_sites ~latency ?(on_send = fun () -> ()) ?(trace = Trace.disa
     delays;
     targets = Array.init n_sites (fun _ -> Inbox (Mailbox.create ()));
     sent = 0;
+    delivered = 0;
     dropped = 0;
+    cat = Profile.cat (Sim.profile sim) "net";
     on_send;
     trace;
     describe;
@@ -78,6 +83,7 @@ let send t ~src ~dst msg =
   t.on_send ();
   (match t.sent_ctr with Some c -> Stats.incr c ~site:src | None -> ());
   let deliver () =
+    t.delivered <- t.delivered + 1;
     (match t.recv_ctr with Some c -> Stats.incr c ~site:dst | None -> ());
     match t.targets.(dst) with
     | Inbox mb -> Mailbox.send mb (src, msg)
@@ -89,10 +95,10 @@ let send t ~src ~dst msg =
   match t.injector with
   | None ->
       if tracing then
-        Sim.after t.sim t.delays.(src).(dst) (fun () ->
+        Sim.after ~cat:t.cat t.sim t.delays.(src).(dst) (fun () ->
             Trace.record t.trace (Event.Msg_recv { src; dst; kind; size });
             deliver ())
-      else Sim.after t.sim t.delays.(src).(dst) deliver
+      else Sim.after ~cat:t.cat t.sim t.delays.(src).(dst) deliver
   | Some inj ->
       (* The acked link computes the whole retransmission plan up front (the
          schedule is static, so future attempt outcomes are known); the clamp
@@ -107,17 +113,17 @@ let send t ~src ~dst msg =
       if tracing then
         List.iter
           (fun at ->
-            Sim.at t.sim at (fun () ->
+            Sim.at ~cat:t.cat t.sim at (fun () ->
                 Trace.record t.trace (Event.Msg_drop { src; dst; kind; size })))
           tm.Fault.dropped;
       let arrive = tm.Fault.depart +. t.delays.(src).(dst) +. tm.Fault.extra in
       let arrive = Float.max arrive t.fifo_clear.(src).(dst) in
       t.fifo_clear.(src).(dst) <- arrive;
       if tracing then
-        Sim.at t.sim arrive (fun () ->
+        Sim.at ~cat:t.cat t.sim arrive (fun () ->
             Trace.record t.trace (Event.Msg_recv { src; dst; kind; size });
             deliver ())
-      else Sim.at t.sim arrive deliver
+      else Sim.at ~cat:t.cat t.sim arrive deliver
 
 let messages_dropped t = t.dropped
 
@@ -132,6 +138,16 @@ let set_handler t dst f =
   t.targets.(dst) <- Handler f
 
 let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+
+(* Messages accepted by [send] whose delivery event has not yet run. Counts
+   one per message regardless of retransmissions (drops are re-sent by the
+   acked link until the single delivery fires). *)
+let in_flight t = t.sent - t.delivered
+
+let inbox_depth t dst =
+  check t dst;
+  match t.targets.(dst) with Inbox mb -> Mailbox.length mb | Handler _ -> 0
 
 let latency t ~src ~dst =
   check t src;

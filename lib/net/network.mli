@@ -67,6 +67,17 @@ val set_handler : 'a t -> int -> (src:int -> 'a -> unit) -> unit
 (** Total messages sent so far. *)
 val messages_sent : 'a t -> int
 
+(** Total messages whose delivery event has run. *)
+val messages_delivered : 'a t -> int
+
+(** Messages sent but not yet delivered — one per message regardless of
+    how many faulty transmission attempts it took. *)
+val in_flight : 'a t -> int
+
+(** Undrained messages in [dst]'s inbox mailbox (0 for handler targets,
+    which consume at delivery time). *)
+val inbox_depth : 'a t -> int -> int
+
 (** Total dropped transmission attempts so far (0 without an injector; a
     single message may account for several). *)
 val messages_dropped : 'a t -> int

@@ -31,6 +31,7 @@ type kind =
   | Partition_heal of { groups : string }
   | Txn_deadline of { gid : int; site : int }
   | Stale_read of { site : int; item : int; staleness : float }
+  | Span_phase of { gid : int; site : int; phase : string; t0 : float; dur : float }
 
 type t = { time : float; kind : kind }
 
@@ -65,6 +66,7 @@ let label = function
   | Partition_heal _ -> "partition_heal"
   | Txn_deadline _ -> "txn_deadline"
   | Stale_read _ -> "stale_read"
+  | Span_phase _ -> "span_phase"
 
 let site = function
   | Txn_begin { site; _ }
@@ -86,7 +88,8 @@ let site = function
   | Backedge_stage { site; _ }
   | Backedge_decide { site; _ }
   | Txn_deadline { site; _ }
-  | Stale_read { site; _ } -> site
+  | Stale_read { site; _ }
+  | Span_phase { site; _ } -> site
   | Msg_send { src; _ } -> src
   | Msg_recv { dst; _ } | Msg_drop { dst; _ } | Dummy_emit { dst; _ } -> dst
   (* Coordinator / injector events are cluster-wide; they ride site 0's track. *)
@@ -127,6 +130,8 @@ let args = function
   | Txn_deadline { gid; _ } -> [ ("gid", `Int gid) ]
   | Stale_read { item; staleness; _ } ->
       [ ("item", `Int item); ("staleness", `Float staleness) ]
+  | Span_phase { gid; phase; t0; dur; _ } ->
+      [ ("gid", `Int gid); ("phase", `String phase); ("t0", `Float t0); ("dur", `Float dur) ]
 
 let pp ppf e =
   Fmt.pf ppf "@[%.3f %s@%d%a@]" e.time (label e.kind) (site e.kind)

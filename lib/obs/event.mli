@@ -67,6 +67,10 @@ type kind =
       (** A PSL read was served from the local replica while the primary was
           unreachable; [staleness] is ms since the local copy was last
           written. *)
+  | Span_phase of { gid : int; site : int; phase : string; t0 : float; dur : float }
+      (** One lifecycle phase of a finished transaction attempt ([phase] in
+          ["lock"], ["exec"], ["prop"], ["commit"]): it occupied [dur] ms
+          starting at [t0]. Emitted at attempt completion by [Span]. *)
 
 type t = { time : float;  (** Simulated ms. *) kind : kind }
 

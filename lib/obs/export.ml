@@ -13,6 +13,8 @@ let escape s =
     s;
   Buffer.contents buf
 
+type meta = (string * [ `Int of int | `Float of float | `String of string | `Bool of bool ]) list
+
 let value_to_json = function
   | `Int n -> string_of_int n
   | `Float f -> Printf.sprintf "%g" f
@@ -24,7 +26,14 @@ let fields_to_json fields =
 
 (* --- JSONL ---------------------------------------------------------------- *)
 
-let jsonl t write =
+(* The metadata fields every export leads with: ring capacity and how many
+   oldest events the ring dropped (so a consumer can tell a complete trace
+   from a wrapped one), plus whatever the caller adds (protocol, seed, …). *)
+let meta_fields t extra =
+  ("capacity", `Int (Trace.capacity t)) :: ("dropped", `Int (Trace.dropped t)) :: extra
+
+let jsonl ?(meta = []) t write =
+  write (Printf.sprintf "{\"meta\":{%s}}\n" (fields_to_json (meta_fields t meta)));
   Trace.iter t (fun (e : Event.t) ->
       write
         (Printf.sprintf "{\"t\":%.3f,\"e\":\"%s\",\"site\":%d%s}\n" e.time (Event.label e.kind)
@@ -33,11 +42,11 @@ let jsonl t write =
            | [] -> ""
            | fields -> "," ^ fields_to_json fields)))
 
-let jsonl_to_channel t oc = jsonl t (output_string oc)
+let jsonl_to_channel ?meta t oc = jsonl ?meta t (output_string oc)
 
-let jsonl_to_string t =
+let jsonl_to_string ?meta t =
   let buf = Buffer.create 4096 in
-  jsonl t (Buffer.add_string buf);
+  jsonl ?meta t (Buffer.add_string buf);
   Buffer.contents buf
 
 (* --- Chrome trace_event --------------------------------------------------- *)
@@ -47,7 +56,7 @@ let category kind =
   let l = Event.label kind in
   match String.index_opt l '_' with Some i -> String.sub l 0 i | None -> l
 
-let chrome ?n_sites t write =
+let chrome ?n_sites ?(meta = []) t write =
   let n_sites =
     match n_sites with
     | Some n -> n
@@ -56,7 +65,9 @@ let chrome ?n_sites t write =
         Trace.iter t (fun e -> m := max !m (Event.site e.kind));
         !m + 1
   in
-  write "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  write
+    (Printf.sprintf "{\"displayTimeUnit\":\"ms\",\"otherData\":{%s},\"traceEvents\":["
+       (fields_to_json (meta_fields t meta)));
   let first = ref true in
   let emit s =
     if !first then first := false else write ",";
@@ -88,6 +99,13 @@ let chrome ?n_sites t write =
             (Printf.sprintf
                "{\"ph\":\"e\",\"cat\":\"txn\",\"id\":%d,\"pid\":%d,\"tid\":0,\"ts\":%.3f,\"name\":\"txn\",\"args\":{\"outcome\":\"abort\",\"reason\":\"%s\"}}"
                gid site ts (escape reason))
+      | Event.Span_phase { gid; phase; t0; dur; _ } ->
+          (* Phase attribution renders as a complete duration slice on the
+             origin site's track, one tid lane per phase name. *)
+          emit
+            (Printf.sprintf
+               "{\"ph\":\"X\",\"cat\":\"span\",\"pid\":%d,\"tid\":0,\"ts\":%.3f,\"dur\":%.3f,\"name\":\"%s\",\"args\":{\"gid\":%d}}"
+               site (t0 *. 1000.0) (dur *. 1000.0) (escape phase) gid)
       | Event.Queue_depth { queue; depth; _ } ->
           emit
             (Printf.sprintf
@@ -101,9 +119,9 @@ let chrome ?n_sites t write =
                (fields_to_json (Event.args kind))));
   write "\n]}\n"
 
-let chrome_to_channel ?n_sites t oc = chrome ?n_sites t (output_string oc)
+let chrome_to_channel ?n_sites ?meta t oc = chrome ?n_sites ?meta t (output_string oc)
 
-let chrome_to_string ?n_sites t =
+let chrome_to_string ?n_sites ?meta t =
   let buf = Buffer.create 4096 in
-  chrome ?n_sites t (Buffer.add_string buf);
+  chrome ?n_sites ?meta t (Buffer.add_string buf);
   Buffer.contents buf

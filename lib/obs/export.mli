@@ -11,17 +11,31 @@
       transactions appear as async begin/end spans keyed by gid, queue-depth
       samples as counter series, everything else as instant events. *)
 
-(** [jsonl t write] — stream every event through [write], one line each
-    (lines include the trailing newline). *)
-val jsonl : Trace.t -> (string -> unit) -> unit
+(** JSON string-escape [s]: quotes, backslashes, and every control
+    character below 0x20 (named escapes for [\n]/[\r]/[\t], [\uXXXX]
+    otherwise). Shared by the other [lib/obs] JSON emitters. *)
+val escape : string -> string
 
-val jsonl_to_channel : Trace.t -> out_channel -> unit
-val jsonl_to_string : Trace.t -> string
+(** Extra metadata fields ([protocol], [seed], …) for the export's leading
+    metadata record, which always carries the trace ring [capacity] and the
+    [dropped] event count — so a consumer can tell a complete trace from a
+    wrapped one. *)
+type meta = (string * [ `Int of int | `Float of float | `String of string | `Bool of bool ]) list
 
-(** [chrome ?n_sites t write] — emit the complete Chrome trace JSON.
-    [n_sites] sizes the per-site metadata tracks; inferred from the events
-    when omitted. *)
-val chrome : ?n_sites:int -> Trace.t -> (string -> unit) -> unit
+(** [jsonl ?meta t write] — one metadata record
+    ([{"meta":{"capacity":…,"dropped":…,…}}]), then every event through
+    [write], one line each (lines include the trailing newline). *)
+val jsonl : ?meta:meta -> Trace.t -> (string -> unit) -> unit
 
-val chrome_to_channel : ?n_sites:int -> Trace.t -> out_channel -> unit
-val chrome_to_string : ?n_sites:int -> Trace.t -> string
+val jsonl_to_channel : ?meta:meta -> Trace.t -> out_channel -> unit
+val jsonl_to_string : ?meta:meta -> Trace.t -> string
+
+(** [chrome ?n_sites ?meta t write] — emit the complete Chrome trace JSON,
+    with the metadata record under the top-level [otherData] key. [n_sites]
+    sizes the per-site metadata tracks; inferred from the events when
+    omitted. Transaction phase spans ({!Event.Span_phase}) render as
+    complete duration slices on the origin site's track. *)
+val chrome : ?n_sites:int -> ?meta:meta -> Trace.t -> (string -> unit) -> unit
+
+val chrome_to_channel : ?n_sites:int -> ?meta:meta -> Trace.t -> out_channel -> unit
+val chrome_to_string : ?n_sites:int -> ?meta:meta -> Trace.t -> string

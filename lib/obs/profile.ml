@@ -1,0 +1,148 @@
+type t = {
+  enabled : bool;
+  index : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable counts : int array;
+  mutable wall : float array; (* seconds *)
+  mutable minor : float array; (* minor words allocated *)
+  mutable n : int;
+  mutable cur : int;
+  t0 : float; (* wall clock at creation, seconds *)
+  g0 : Gc.stat;
+}
+
+let make enabled =
+  let names = Array.make 8 "" in
+  names.(0) <- "other";
+  let index = Hashtbl.create 16 in
+  Hashtbl.replace index "other" 0;
+  {
+    enabled;
+    index;
+    names;
+    counts = Array.make 8 0;
+    wall = Array.make 8 0.0;
+    minor = Array.make 8 0.0;
+    n = 1;
+    cur = 0;
+    t0 = (if enabled then Unix.gettimeofday () else 0.0);
+    g0 = Gc.quick_stat ();
+  }
+
+let disabled = make false
+let create () = make true
+let on t = t.enabled
+let other = 0
+
+let grow t =
+  let cap = Array.length t.names in
+  let names = Array.make (cap * 2) "" in
+  Array.blit t.names 0 names 0 cap;
+  t.names <- names;
+  let counts = Array.make (cap * 2) 0 in
+  Array.blit t.counts 0 counts 0 cap;
+  t.counts <- counts;
+  let wall = Array.make (cap * 2) 0.0 in
+  Array.blit t.wall 0 wall 0 cap;
+  t.wall <- wall;
+  let minor = Array.make (cap * 2) 0.0 in
+  Array.blit t.minor 0 minor 0 cap;
+  t.minor <- minor
+
+let cat t name =
+  if not t.enabled then other
+  else
+    match Hashtbl.find_opt t.index name with
+    | Some i -> i
+    | None ->
+        if t.n = Array.length t.names then grow t;
+        let i = t.n in
+        t.names.(i) <- name;
+        Hashtbl.replace t.index name i;
+        t.n <- i + 1;
+        i
+
+let current t = t.cur
+
+(* One sample per executed event: events run to completion (no re-entry into
+   the scheduler), so a simple before/after measurement cannot nest. *)
+let wrap t ~cat fn () =
+  let saved = t.cur in
+  t.cur <- cat;
+  let w0 = Unix.gettimeofday () in
+  let m0 = Gc.minor_words () in
+  Fun.protect
+    ~finally:(fun () ->
+      t.counts.(cat) <- t.counts.(cat) + 1;
+      t.wall.(cat) <- t.wall.(cat) +. (Unix.gettimeofday () -. w0);
+      t.minor.(cat) <- t.minor.(cat) +. (Gc.minor_words () -. m0);
+      t.cur <- saved)
+    fn
+
+let total_wall t = Array.fold_left ( +. ) 0.0 t.wall
+let total_events t = Array.fold_left ( + ) 0 t.counts
+
+(* Categories with at least one sample, heaviest wall time first; ties broken
+   by name so the table is stable across runs with equal timings. *)
+let rows t =
+  let rows = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.counts.(i) > 0 then rows := (t.names.(i), t.counts.(i), t.wall.(i), t.minor.(i)) :: !rows
+  done;
+  List.stable_sort
+    (fun (n1, _, w1, _) (n2, _, w2, _) ->
+      match compare w2 w1 with 0 -> compare n1 n2 | c -> c)
+    !rows
+
+let gc_deltas t =
+  let g = Gc.quick_stat () in
+  ( g.Gc.minor_words -. t.g0.Gc.minor_words,
+    g.Gc.major_words -. t.g0.Gc.major_words,
+    g.Gc.minor_collections - t.g0.Gc.minor_collections,
+    g.Gc.major_collections - t.g0.Gc.major_collections )
+
+let pp_table ppf t =
+  if not t.enabled then Fmt.pf ppf "profiler disabled"
+  else begin
+    let total = total_wall t in
+    let share w = if total <= 0.0 then 0.0 else 100.0 *. w /. total in
+    Fmt.pf ppf "@[<v>%-10s %12s %12s %7s %12s@," "category" "events" "wall ms" "share" "minor Mw";
+    List.iter
+      (fun (name, n, w, m) ->
+        Fmt.pf ppf "%-10s %12d %12.3f %6.1f%% %12.3f@," name n (w *. 1000.0) (share w)
+          (m /. 1e6))
+      (rows t);
+    Fmt.pf ppf "%-10s %12d %12.3f %6.1f%% %12.3f@," "total" (total_events t) (total *. 1000.0)
+      (if total > 0.0 then 100.0 else 0.0)
+      (Array.fold_left ( +. ) 0.0 t.minor /. 1e6);
+    let minor_w, major_w, minor_c, major_c = gc_deltas t in
+    Fmt.pf ppf "elapsed %.3f ms; gc: minor %.3f Mw, major %.3f Mw, collections %d/%d@]"
+      ((Unix.gettimeofday () -. t.t0) *. 1000.0)
+      (minor_w /. 1e6) (major_w /. 1e6) minor_c major_c
+  end
+
+let to_json_string t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"enabled\":";
+  Buffer.add_string buf (if t.enabled then "true" else "false");
+  let total = total_wall t in
+  Buffer.add_string buf (Printf.sprintf ",\"total_wall_ms\":%.3f" (total *. 1000.0));
+  Buffer.add_string buf (Printf.sprintf ",\"total_events\":%d" (total_events t));
+  Buffer.add_string buf ",\"categories\":[";
+  List.iteri
+    (fun i (name, n, w, m) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"events\":%d,\"wall_ms\":%.3f,\"share\":%.4f,\"minor_words\":%.0f}"
+           (Export.escape name) n (w *. 1000.0)
+           (if total <= 0.0 then 0.0 else w /. total)
+           m))
+    (rows t);
+  Buffer.add_string buf "]";
+  let minor_w, major_w, minor_c, major_c = gc_deltas t in
+  Buffer.add_string buf
+    (Printf.sprintf
+       ",\"gc\":{\"minor_words\":%.0f,\"major_words\":%.0f,\"minor_collections\":%d,\"major_collections\":%d}}"
+       minor_w major_w minor_c major_c);
+  Buffer.contents buf

@@ -1,0 +1,305 @@
+type t = {
+  meta : (string * string) list;
+  header : string array;
+  data : float array list; (* row-major, sample order *)
+}
+
+let meta t = t.meta
+let header t = t.header
+let data t = t.data
+let n_rows t = List.length t.data
+
+(* --- Parsing -------------------------------------------------------------- *)
+
+let split_csv line = String.split_on_char ',' line
+
+let parse_meta line =
+  (* "# repdb-timeline v1 k=v k=v ..." — tolerate any comment that carries
+     k=v tokens so hand-edited files still parse. *)
+  let tokens = String.split_on_char ' ' line in
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i when i > 0 ->
+          Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+      | _ -> None)
+    tokens
+
+let parse s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if l = "" then None else Some l)
+  in
+  let meta, rest =
+    match lines with
+    | l :: rest when String.length l > 0 && l.[0] = '#' -> (parse_meta l, rest)
+    | _ -> ([], lines)
+  in
+  match rest with
+  | [] -> Error "Report.parse: no header line"
+  | header :: rows ->
+      let header = Array.of_list (split_csv header) in
+      let ncols = Array.length header in
+      let exception Bad of string in
+      (try
+         let data =
+           List.mapi
+             (fun i row ->
+               let cells = split_csv row in
+               if List.length cells <> ncols then
+                 raise (Bad (Printf.sprintf "row %d has %d cells, expected %d" (i + 1)
+                               (List.length cells) ncols));
+               Array.of_list
+                 (List.map
+                    (fun c ->
+                      match float_of_string_opt c with
+                      | Some f -> f
+                      | None -> raise (Bad (Printf.sprintf "row %d: not a number: %S" (i + 1) c)))
+                    cells))
+             rows
+         in
+         Ok { meta; header; data }
+       with Bad msg -> Error ("Report.parse: " ^ msg))
+
+let column t name =
+  match Array.find_index (fun h -> h = name) t.header with
+  | None -> None
+  | Some i -> Some (List.map (fun row -> row.(i)) t.data)
+
+(* All columns named [prefix.N], as [(site, series)] sorted by site. *)
+let site_columns t prefix =
+  let p = prefix ^ "." in
+  let plen = String.length p in
+  let cols = ref [] in
+  Array.iteri
+    (fun i h ->
+      if String.length h > plen && String.sub h 0 plen = p then
+        match int_of_string_opt (String.sub h plen (String.length h - plen)) with
+        | Some site -> cols := (site, i) :: !cols
+        | None -> ())
+    t.header;
+  List.sort (fun (a, _) (b, _) -> compare a b) !cols
+  |> List.map (fun (site, i) -> (site, List.map (fun row -> row.(i)) t.data))
+
+let sum_series = function
+  | [] -> []
+  | first :: rest ->
+      List.fold_left (fun acc s -> List.map2 ( +. ) acc s) first rest
+
+(* --- Series statistics ---------------------------------------------------- *)
+
+let fmax = List.fold_left Float.max 0.0
+let fsum = List.fold_left ( +. ) 0.0
+let fmean xs = match xs with [] -> 0.0 | _ -> fsum xs /. float_of_int (List.length xs)
+let last xs = match List.rev xs with [] -> 0.0 | x :: _ -> x
+
+(* --- Sparklines ----------------------------------------------------------- *)
+
+let spark_chars = [| "\u{2581}"; "\u{2582}"; "\u{2583}"; "\u{2584}"; "\u{2585}"; "\u{2586}"; "\u{2587}"; "\u{2588}" |]
+
+(* Downsample to at most [width] buckets (max within each bucket), then map
+   onto the 8 block glyphs against the series maximum. *)
+let sparkline ?(width = 60) xs =
+  let n = List.length xs in
+  if n = 0 then ""
+  else begin
+    let arr = Array.of_list xs in
+    let buckets = min width n in
+    let vals =
+      Array.init buckets (fun b ->
+          let lo = b * n / buckets and hi = max (((b + 1) * n / buckets) - 1) (b * n / buckets) in
+          let m = ref arr.(lo) in
+          for i = lo to hi do
+            if arr.(i) > !m then m := arr.(i)
+          done;
+          !m)
+    in
+    let top = Array.fold_left Float.max 0.0 vals in
+    let buf = Buffer.create (buckets * 3) in
+    Array.iter
+      (fun v ->
+        let level =
+          if top <= 0.0 then 0
+          else min 7 (int_of_float (v /. top *. 8.0))
+        in
+        Buffer.add_string buf spark_chars.(level))
+      vals;
+    Buffer.contents buf
+  end
+
+(* --- Markdown ------------------------------------------------------------- *)
+
+let time_range t =
+  match column t "t_ms" with
+  | None | Some [] -> (0.0, 0.0)
+  | Some ts -> (List.hd ts, last ts)
+
+let md_escape s = s (* values are numeric / identifier-like *)
+
+let to_markdown t =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "# repdb timeline report\n\n";
+  if t.meta <> [] then begin
+    pf "%s\n\n"
+      (String.concat " · "
+         (List.map (fun (k, v) -> Printf.sprintf "**%s**=%s" (md_escape k) (md_escape v)) t.meta))
+  end;
+  let t0, t1 = time_range t in
+  pf "%d samples covering %.3f – %.3f ms\n" (n_rows t) t0 t1;
+  (match site_columns t "lag_ms" with
+  | [] -> ()
+  | lags ->
+      pf "\n## Replication lag (ms)\n\n";
+      pf "| site | lag over time | max | mean | last |\n";
+      pf "|------|---------------|-----|------|------|\n";
+      List.iter
+        (fun (site, xs) ->
+          pf "| %d | `%s` | %.3f | %.3f | %.3f |\n" site (sparkline xs) (fmax xs) (fmean xs)
+            (last xs))
+        lags;
+      let peak = fmax (List.map (fun (_, xs) -> fmax xs) lags) in
+      pf "\npeak lag across sites: %.3f ms\n" peak);
+  (match (site_columns t "commits", site_columns t "aborts") with
+  | [], _ | _, [] -> ()
+  | commits, aborts ->
+      let ctotal = sum_series (List.map snd commits) in
+      let atotal = sum_series (List.map snd aborts) in
+      pf "\n## Throughput (per window, all sites)\n\n";
+      pf "| series | over time | total | peak/window |\n";
+      pf "|--------|-----------|-------|-------------|\n";
+      pf "| commits | `%s` | %.0f | %.0f |\n" (sparkline ctotal) (fsum ctotal) (fmax ctotal);
+      pf "| aborts | `%s` | %.0f | %.0f |\n" (sparkline atotal) (fsum atotal) (fmax atotal));
+  let gauge name col =
+    match column t col with
+    | None | Some [] -> ()
+    | Some xs -> pf "| %s | `%s` | %.0f | %.1f |\n" name (sparkline xs) (fmax xs) (fmean xs)
+  in
+  let sum_gauge name prefix =
+    match site_columns t prefix with
+    | [] -> ()
+    | cols ->
+        let xs = sum_series (List.map snd cols) in
+        pf "| %s | `%s` | %.0f | %.1f |\n" name (sparkline xs) (fmax xs) (fmean xs)
+  in
+  pf "\n## Activity\n\n";
+  pf "| gauge | over time | max | mean |\n";
+  pf "|-------|-----------|-----|------|\n";
+  gauge "active txns" "active_txns";
+  gauge "msgs in flight" "msgs_inflight";
+  sum_gauge "locks held" "locks_held";
+  sum_gauge "lock waiters" "lock_waiters";
+  sum_gauge "pending updates" "pending";
+  Buffer.contents buf
+
+(* --- HTML ----------------------------------------------------------------- *)
+
+let html_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let palette =
+  [| "#1f77b4"; "#ff7f0e"; "#2ca02c"; "#d62728"; "#9467bd"; "#8c564b"; "#e377c2"; "#7f7f7f";
+     "#bcbd22"; "#17becf" |]
+
+let svg_chart ~title series =
+  let w = 640 and h = 120 and pad = 4 in
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let top = fmax (List.map (fun (_, xs) -> fmax xs) series) in
+  let top = if top <= 0.0 then 1.0 else top in
+  pf "<figure><figcaption>%s (max %.3f)</figcaption>" (html_escape title) top;
+  pf "<svg viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" \
+      style=\"background:#fafafa;border:1px solid #ddd\">" w h w h;
+  List.iteri
+    (fun si (label, xs) ->
+      let n = List.length xs in
+      if n > 1 then begin
+        let color = palette.(si mod Array.length palette) in
+        let pts =
+          String.concat " "
+            (List.mapi
+               (fun i v ->
+                 let x =
+                   float_of_int pad
+                   +. float_of_int i /. float_of_int (n - 1) *. float_of_int (w - (2 * pad))
+                 in
+                 let y =
+                   float_of_int (h - pad) -. (v /. top *. float_of_int (h - (2 * pad)))
+                 in
+                 Printf.sprintf "%.1f,%.1f" x y)
+               xs)
+        in
+        pf "<polyline fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\" points=\"%s\">\
+            <title>%s</title></polyline>"
+          color pts (html_escape label)
+      end)
+    series;
+  pf "</svg></figure>";
+  Buffer.contents buf
+
+let to_html t =
+  let buf = Buffer.create 8192 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "<!DOCTYPE html><html><head><meta charset=\"utf-8\">";
+  pf "<title>repdb timeline report</title>";
+  pf
+    "<style>body{font-family:system-ui,sans-serif;margin:2em;max-width:720px}\
+     h1{font-size:1.4em}h2{font-size:1.1em;margin-top:1.5em}\
+     figure{margin:0.5em 0}figcaption{font-size:0.85em;color:#555}\
+     .meta{color:#555;font-size:0.9em}</style></head><body>";
+  pf "<h1>repdb timeline report</h1>";
+  if t.meta <> [] then
+    pf "<p class=\"meta\">%s</p>"
+      (String.concat " · "
+         (List.map
+            (fun (k, v) -> Printf.sprintf "<b>%s</b>=%s" (Export.escape k) (Export.escape v))
+            t.meta));
+  let t0, t1 = time_range t in
+  pf "<p class=\"meta\">%d samples covering %.3f &ndash; %.3f ms</p>" (n_rows t) t0 t1;
+  (match site_columns t "lag_ms" with
+  | [] -> ()
+  | lags ->
+      pf "<h2>Replication lag (ms)</h2>";
+      pf "%s"
+        (svg_chart ~title:"per-site replication lag"
+           (List.map (fun (s, xs) -> (Printf.sprintf "site %d" s, xs)) lags)));
+  (match (site_columns t "commits", site_columns t "aborts") with
+  | [], _ | _, [] -> ()
+  | commits, aborts ->
+      pf "<h2>Throughput per window</h2>";
+      pf "%s"
+        (svg_chart ~title:"commits and aborts per window (all sites)"
+           [
+             ("commits", sum_series (List.map snd commits));
+             ("aborts", sum_series (List.map snd aborts));
+           ]));
+  let gauges =
+    List.filter_map
+      (fun (name, col) -> Option.map (fun xs -> (name, xs)) (column t col))
+      [ ("active txns", "active_txns"); ("msgs in flight", "msgs_inflight") ]
+    @ List.filter_map
+        (fun (name, prefix) ->
+          match site_columns t prefix with
+          | [] -> None
+          | cols -> Some (name, sum_series (List.map snd cols)))
+        [ ("locks held", "locks_held"); ("lock waiters", "lock_waiters");
+          ("pending updates", "pending") ]
+  in
+  if gauges <> [] then begin
+    pf "<h2>Activity</h2>";
+    List.iter (fun (name, xs) -> pf "%s" (svg_chart ~title:name [ (name, xs) ])) gauges
+  end;
+  pf "</body></html>\n";
+  Buffer.contents buf

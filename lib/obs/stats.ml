@@ -129,39 +129,56 @@ let percentile_total h q = percentile h ~site:(-1) q
 let counter_names t = List.rev_map (fun c -> c.c_name) t.counters
 let histogram_names t = List.rev_map (fun h -> h.h_name) t.histograms
 
+(* One rendering path for counters and histograms: every column is a header
+   plus one pre-formatted cell per row (each site, then "all"), widths
+   computed from the widest entry — so the layout adapts to metric names
+   and value magnitudes instead of truncating either. *)
 let pp_table ppf t =
   let counters = List.rev t.counters and histograms = List.rev t.histograms in
-  Fmt.pf ppf "@[<v>%-6s" "site";
-  List.iter (fun c -> Fmt.pf ppf " %12s" c.c_name) counters;
-  List.iter
-    (fun h ->
-      Fmt.pf ppf " %10s %9s %8s %8s %8s"
-        (h.h_name ^ "#") (h.h_name ^ ".avg") "p50" "p95" "p99")
-    histograms;
-  Fmt.pf ppf "@,";
-  let row label site =
-    Fmt.pf ppf "%-6s" label;
-    List.iter
-      (fun c ->
-        let v = if site >= 0 then c.c.(site) else counter_total c in
-        Fmt.pf ppf " %12d" v)
-      counters;
-    List.iter
-      (fun h ->
-        let n, mean =
-          if site >= 0 then (h.ns.(site), histogram_mean h ~site)
-          else
-            let n = Array.fold_left ( + ) 0 h.ns in
-            let s = Array.fold_left ( +. ) 0.0 h.sums in
-            (n, if n = 0 then 0.0 else s /. float_of_int n)
-        in
-        Fmt.pf ppf " %10d %9.1f %8.1f %8.1f %8.1f" n mean (percentile h ~site 0.5)
-          (percentile h ~site 0.95) (percentile h ~site 0.99))
-      histograms;
-    Fmt.pf ppf "@,"
+  let n_rows = t.n_sites + 1 in
+  let site_of_row i = if i < t.n_sites then i else -1 in
+  let col header cell = (header, Array.init n_rows (fun i -> cell (site_of_row i))) in
+  let columns =
+    (col "site" (fun site -> if site >= 0 then string_of_int site else "all")
+    :: List.map
+         (fun c ->
+           col c.c_name (fun site ->
+               string_of_int (if site >= 0 then c.c.(site) else counter_total c)))
+         counters)
+    @ List.concat_map
+        (fun h ->
+          let count site = if site >= 0 then h.ns.(site) else Array.fold_left ( + ) 0 h.ns in
+          let mean site =
+            if site >= 0 then histogram_mean h ~site
+            else
+              let n = count site and s = Array.fold_left ( +. ) 0.0 h.sums in
+              if n = 0 then 0.0 else s /. float_of_int n
+          in
+          let ms v = Printf.sprintf "%.1f" v in
+          [
+            col (h.h_name ^ "#") (fun site -> string_of_int (count site));
+            col (h.h_name ^ ".avg") (fun site -> ms (mean site));
+            col (h.h_name ^ ".p50") (fun site -> ms (percentile h ~site 0.5));
+            col (h.h_name ^ ".p95") (fun site -> ms (percentile h ~site 0.95));
+            col (h.h_name ^ ".p99") (fun site -> ms (percentile h ~site 0.99));
+          ])
+        histograms
   in
-  for site = 0 to t.n_sites - 1 do
-    row (string_of_int site) site
+  let width (header, cells) =
+    Array.fold_left (fun w s -> max w (String.length s)) (String.length header) cells
+  in
+  let widths = List.map width columns in
+  (* Site label column left-aligned, value columns right-aligned. *)
+  let line get =
+    String.concat "  "
+      (List.mapi
+         (fun i (c, w) ->
+           let s = get c in
+           if i = 0 then Printf.sprintf "%-*s" w s else Printf.sprintf "%*s" w s)
+         (List.combine columns widths))
+  in
+  Fmt.pf ppf "@[<v>%s" (line fst);
+  for i = 0 to n_rows - 1 do
+    Fmt.pf ppf "@,%s" (line (fun (_, cells) -> cells.(i)))
   done;
-  row "all" (-1);
   Fmt.pf ppf "@]"

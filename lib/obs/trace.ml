@@ -45,3 +45,4 @@ let events t =
 
 let length t = t.len
 let dropped t = t.dropped
+let capacity t = t.capacity

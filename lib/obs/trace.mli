@@ -35,3 +35,6 @@ val length : t -> int
 
 (** Events discarded because the ring was full. *)
 val dropped : t -> int
+
+(** Ring size in events (0 for {!disabled}). *)
+val capacity : t -> int

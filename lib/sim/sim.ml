@@ -1,8 +1,11 @@
+module Profile = Repdb_obs.Profile
+
 type t = {
   mutable clock : float;
   mutable seq : int;
   mutable executed : int;
   events : (unit -> unit) Heap.t;
+  mutable profile : Profile.t;
 }
 
 type _ Effect.t +=
@@ -11,23 +14,37 @@ type _ Effect.t +=
 
 exception Stuck of exn
 
-let create () = { clock = 0.0; seq = 0; executed = 0; events = Heap.create () }
+let create ?(profile = Profile.disabled) () =
+  { clock = 0.0; seq = 0; executed = 0; events = Heap.create (); profile }
 
 let now t = t.clock
 let clock t () = t.clock
 let events_executed t = t.executed
+let profile t = t.profile
+let set_profile t p = t.profile <- p
 
-let schedule t time fn =
+(* When profiling, every scheduled closure is wrapped so its execution time
+   and allocation are charged to a category: the caller's explicit [?cat],
+   or — for the implicit re-schedules a process performs on its own behalf
+   (delays, suspends) — the category current at schedule time, which is the
+   scheduling process's own. Disabled profiling costs one branch here. *)
+let schedule ?cat t time fn =
   t.seq <- t.seq + 1;
+  let fn =
+    if Profile.on t.profile then
+      let cat = match cat with Some c -> c | None -> Profile.current t.profile in
+      Profile.wrap t.profile ~cat fn
+    else fn
+  in
   Heap.push t.events ~time ~seq:t.seq fn
 
-let at t time fn =
+let at ?cat t time fn =
   if time < t.clock then invalid_arg "Sim.at: time is in the past";
-  schedule t time fn
+  schedule ?cat t time fn
 
-let after t d fn =
+let after ?cat t d fn =
   if d < 0.0 then invalid_arg "Sim.after: negative delay";
-  schedule t (t.clock +. d) fn
+  schedule ?cat t (t.clock +. d) fn
 
 (* Run [f] as a process: effects [Delay] and [Suspend] park the computation
    and re-enter through the event heap. The handler is installed deeply, so
@@ -54,17 +71,23 @@ let run_process t f =
               Some
                 (fun (k : (a, unit) continuation) ->
                   let resumed = ref false in
+                  (* The resumer may run under a different category (e.g. a
+                     network delivery waking a client), so pin the
+                     continuation to the suspending process's own. *)
+                  let cat =
+                    if Profile.on t.profile then Some (Profile.current t.profile) else None
+                  in
                   let resume v =
                     if not !resumed then begin
                       resumed := true;
-                      schedule t t.clock (fun () -> continue k v)
+                      schedule ?cat t t.clock (fun () -> continue k v)
                     end
                   in
                   register resume)
           | _ -> None);
     }
 
-let spawn t f = schedule t t.clock (fun () -> run_process t f)
+let spawn ?cat t f = schedule ?cat t t.clock (fun () -> run_process t f)
 
 let step t =
   if Heap.is_empty t.events then invalid_arg "Sim.step: no scheduled events";

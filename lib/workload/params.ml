@@ -41,6 +41,8 @@ type t = {
   dummy_idle : float;
   faults : Repdb_fault.Fault.schedule;
   reconfig : Repdb_reconfig.Reconfig.plan;
+  timeline_every : float;
+  profile : bool;
 }
 
 let default =
@@ -75,6 +77,8 @@ let default =
     dummy_idle = 50.0;
     faults = Repdb_fault.Fault.empty;
     reconfig = Repdb_reconfig.Reconfig.empty;
+    timeline_every = 0.0;
+    profile = false;
   }
 
 let table1 t =
@@ -148,6 +152,8 @@ let validate t =
       if multiplier < 1.0 then invalid_arg "Params: backoff multiplier must be >= 1";
       if cap < base then invalid_arg "Params: backoff cap must be >= base";
       if max_retries < 0 then invalid_arg "Params: backoff max_retries must be >= 0");
+  if t.timeline_every < 0.0 || not (Float.is_finite t.timeline_every) then
+    invalid_arg "Params: timeline_every must be >= 0 and finite";
   if t.epoch_period <= 0.0 then invalid_arg "Params: epoch_period must be > 0";
   if t.dummy_idle <= 0.0 then invalid_arg "Params: dummy_idle must be > 0";
   Repdb_fault.Fault.validate ~n_sites:t.n_sites t.faults;

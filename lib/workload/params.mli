@@ -88,6 +88,14 @@ type t = {
       (** Copy-graph reconfiguration steps executed live by the epoch-based
           coordinator; {!Repdb_reconfig.Reconfig.empty} (the default) keeps
           the topology static. *)
+  (* Observability *)
+  timeline_every : float;
+      (** Timeline sampling interval, ms; 0 (the default) disables the
+          ticker and the per-run timeline entirely. *)
+  profile : bool;
+      (** Enable the wall-clock self-profiler for this run (default
+          false). Profiling never affects simulated results, only adds
+          wall-time accounting per event category. *)
 }
 
 val default : t

@@ -159,7 +159,11 @@ let test_export_jsonl () =
   let tr = sample_trace () in
   let out = Export.jsonl_to_string tr in
   let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
-  checki "one line per event" (Trace.length tr) (List.length lines);
+  checki "meta line plus one line per event" (Trace.length tr + 1) (List.length lines);
+  let meta = List.hd lines in
+  checkb "leads with the metadata record" true (contains ~affix:"\"meta\"" meta);
+  checkb "meta carries the ring capacity" true (contains ~affix:"\"capacity\":64" meta);
+  checkb "meta reports a complete trace" true (contains ~affix:"\"dropped\":0" meta);
   List.iter
     (fun line ->
       checkb "object per line" true
@@ -175,11 +179,86 @@ let test_export_chrome () =
   checkb "balanced json" true (json_balanced out);
   checkb "trace events array" true (contains ~affix:"\"traceEvents\"" out);
   checkb "site process metadata" true (contains ~affix:"\"process_name\"" out);
+  checkb "otherData meta" true (contains ~affix:"\"otherData\":{\"capacity\":64,\"dropped\":0}" out);
   checkb "txn async begin" true (contains ~affix:"\"ph\":\"b\"" out);
   checkb "txn async end" true (contains ~affix:"\"ph\":\"e\"" out);
   checkb "queue counter" true (contains ~affix:"\"ph\":\"C\"" out);
   (* ts is microseconds: event at t=2.0ms must appear as 2000. *)
   checkb "microsecond timestamps" true (contains ~affix:"\"ts\":2000" out)
+
+(* A trace that wrapped must say so in its metadata record: a consumer that
+   misses the dropped count would read a sliding window as a full history. *)
+let test_export_meta_wrapped () =
+  let tr = Trace.create ~capacity:4 ~clock:(ticking_clock ()) () in
+  for gid = 0 to 9 do
+    Trace.record tr (Event.Txn_begin { gid; site = 0 })
+  done;
+  let meta = [ ("protocol", `String "psl"); ("seed", `Int 42) ] in
+  let out = Export.jsonl_to_string ~meta tr in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  checki "meta plus surviving events" (Trace.length tr + 1) (List.length lines);
+  let first = List.hd lines in
+  checkb "capacity" true (contains ~affix:"\"capacity\":4" first);
+  checkb "dropped count of the wrapped ring" true (contains ~affix:"\"dropped\":6" first);
+  checkb "caller metadata: protocol" true (contains ~affix:"\"protocol\":\"psl\"" first);
+  checkb "caller metadata: seed" true (contains ~affix:"\"seed\":42" first);
+  let chrome = Export.chrome_to_string ~n_sites:1 ~meta tr in
+  checkb "chrome balanced" true (json_balanced chrome);
+  checkb "chrome mirrors the record under otherData" true
+    (contains ~affix:"\"otherData\":{\"capacity\":4,\"dropped\":6,\"protocol\":\"psl\",\"seed\":42}"
+       chrome)
+
+(* Span phases render as complete ("X") duration slices with microsecond
+   ts/dur on the origin site's track. *)
+let test_export_chrome_span_slice () =
+  let tr = Trace.create ~capacity:8 ~clock:(ticking_clock ()) () in
+  Trace.record tr (Event.Span_phase { gid = 3; site = 1; phase = "lock"; t0 = 2.0; dur = 1.5 });
+  let out = Export.chrome_to_string ~n_sites:2 tr in
+  checkb "balanced json" true (json_balanced out);
+  checkb "complete slice" true
+    (contains
+       ~affix:
+         "{\"ph\":\"X\",\"cat\":\"span\",\"pid\":1,\"tid\":0,\"ts\":2000.000,\"dur\":1500.000,\"name\":\"lock\",\"args\":{\"gid\":3}}"
+       out)
+
+(* The escaper is shared by every JSON emitter in lib/obs; pin its output on
+   each class of character so a regression shows up as an exact-string diff. *)
+let test_escape_pinned () =
+  let checks = Alcotest.(check string) in
+  checks "plain text untouched" "abc xyz" (Export.escape "abc xyz");
+  checks "quote" "\\\"" (Export.escape "\"");
+  checks "backslash" "\\\\" (Export.escape "\\");
+  checks "newline" "\\n" (Export.escape "\n");
+  checks "carriage return" "\\r" (Export.escape "\r");
+  checks "tab" "\\t" (Export.escape "\t");
+  checks "control chars get \\u escapes" "\\u0000\\u0001\\u001f" (Export.escape "\x00\x01\x1f");
+  checks "0x20 and above pass through" " ~" (Export.escape " ~");
+  checks "mixed" "say \\\"hi\\\"\\nbell\\u0007" (Export.escape "say \"hi\"\nbell\x07")
+
+(* --- stats table rendering -------------------------------------------------- *)
+
+(* Expect-style pin of the unified counter+histogram table layout: adaptive
+   column widths, site rows then an "all" aggregate, histograms expanded to
+   count/avg/p50/p95/p99 columns. *)
+let test_stats_table_layout () =
+  let s = Stats.create ~n_sites:2 () in
+  let c = Stats.counter s "txn.commit" in
+  Stats.incr c ~site:0;
+  Stats.incr c ~site:0;
+  let h = Stats.histogram s "response" in
+  Stats.observe h ~site:0 3.0;
+  Stats.observe h ~site:0 7.0;
+  Stats.observe h ~site:1 900.0;
+  let expected =
+    String.concat "\n"
+      [
+        "site  txn.commit  response#  response.avg  response.p50  response.p95  response.p99";
+        "0              2          2           5.0           5.0          10.0          10.0";
+        "1              0          1         900.0        1000.0        1000.0        1000.0";
+        "all            2          3         303.3          10.0        1000.0        1000.0";
+      ]
+  in
+  Alcotest.(check string) "pinned layout" expected (Fmt.str "%a" Stats.pp_table s)
 
 (* --- trace-backed protocol invariants -------------------------------------- *)
 
@@ -309,11 +388,15 @@ let () =
           Alcotest.test_case "histogram overflow max" `Quick test_stats_histogram_overflow_max;
           Alcotest.test_case "histogram bucket mismatch" `Quick
             test_stats_histogram_bucket_mismatch;
+          Alcotest.test_case "table layout" `Quick test_stats_table_layout;
         ] );
       ( "export",
         [
           Alcotest.test_case "jsonl" `Quick test_export_jsonl;
           Alcotest.test_case "chrome" `Quick test_export_chrome;
+          Alcotest.test_case "wrapped-trace metadata" `Quick test_export_meta_wrapped;
+          Alcotest.test_case "chrome span slice" `Quick test_export_chrome_span_slice;
+          Alcotest.test_case "escape pinned" `Quick test_escape_pinned;
         ] );
       ( "invariants",
         [
