@@ -8,7 +8,13 @@
    domain pool — and BENCH_sweeps.json records wall-clock per figure for
    both paths, the speedup, simulator events/second, and whether the two
    CSVs were byte-identical (they must be). Future PRs diff this file to
-   regression-check the experiment engine's performance. *)
+   regression-check the experiment engine's performance.
+
+   [--check FILE] compares this run against a committed baseline JSON: the
+   run fails (exit 1) if FILE is missing any required field or if the run's
+   total events/second — sequential or parallel — has regressed more than
+   15% below FILE's. CI uses this to gate merges on the committed
+   BENCH_sweeps.json. *)
 
 module Params = Repdb_workload.Params
 module Experiment = Repdb.Experiment
@@ -19,7 +25,22 @@ let txns_per_thread =
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1000)
   | None -> 1000
 
-let base = { Params.default with txns_per_thread }
+(* REPDB_BENCH_BATCH="8/2" runs every sweep with that batch size / linger-ms
+   so the batched data plane can be timed on the full sweeps (the default,
+   "1/0", is the unbatched path). *)
+let batch_size, batch_linger_ms =
+  match Sys.getenv_opt "REPDB_BENCH_BATCH" with
+  | None -> (1, 0.0)
+  | Some s -> (
+      match String.split_on_char '/' s with
+      | [ sz ] -> ( match int_of_string_opt sz with Some n when n >= 1 -> (n, 0.0) | _ -> (1, 0.0))
+      | [ sz; lg ] -> (
+          match (int_of_string_opt sz, float_of_string_opt lg) with
+          | Some n, Some l when n >= 1 && l >= 0.0 -> (n, l)
+          | _ -> (1, 0.0))
+      | _ -> (1, 0.0))
+
+let base = { Params.default with txns_per_thread; batch_size; batch_linger_ms }
 
 let figures : (string * (?pool:Pool.t -> unit -> Experiment.figure)) list =
   [
@@ -36,30 +57,36 @@ let figures : (string * (?pool:Pool.t -> unit -> Experiment.figure)) list =
     ("dummy-period", fun ?pool () -> Experiment.ablation_dummy_period ?pool ~base ());
     ("hotspot", fun ?pool () -> Experiment.ablation_hotspot ?pool ~base ());
     ("straggler", fun ?pool () -> Experiment.ablation_straggler ?pool ~base ());
+    ("faults", fun ?pool () -> Experiment.sweep_faults ?pool ~base ());
+    ("reconfig", fun ?pool () -> Experiment.sweep_reconfig ?pool ~base ());
+    ("partition", fun ?pool () -> Experiment.sweep_partition ?pool ~base ());
   ]
 
 let default_figures = [ "fig2a"; "fig2b"; "fig3a"; "fig3b" ]
 
 let usage () =
-  Fmt.epr "usage: baseline [-j N] [-o FILE] [figure...]@.figures: %s@."
+  Fmt.epr "usage: baseline [-j N] [-o FILE] [--check FILE] [figure...]@.figures: %s@."
     (String.concat ", " (List.map fst figures));
   exit 1
 
-let jobs, out_file, selected =
-  let rec parse jobs out acc = function
-    | [] -> (jobs, out, List.rev acc)
+let jobs, out_file, check_file, selected =
+  let rec parse jobs out check acc = function
+    | [] -> (jobs, out, check, List.rev acc)
     | "-j" :: n :: rest -> (
-        match int_of_string_opt n with Some j when j >= 1 -> parse j out acc rest | _ -> usage ())
-    | "-o" :: f :: rest -> parse jobs f acc rest
-    | ("-j" | "-o") :: _ -> usage ()
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse j out check acc rest
+        | _ -> usage ())
+    | "-o" :: f :: rest -> parse jobs f check acc rest
+    | "--check" :: f :: rest -> parse jobs out (Some f) acc rest
+    | ("-j" | "-o" | "--check") :: _ -> usage ()
     | arg :: rest ->
-        if List.mem_assoc arg figures then parse jobs out (arg :: acc) rest
+        if List.mem_assoc arg figures then parse jobs out check (arg :: acc) rest
         else begin
           Fmt.epr "unknown figure %S@." arg;
           usage ()
         end
   in
-  parse (Pool.default_domains ()) "BENCH_sweeps.json" [] (List.tl (Array.to_list Sys.argv))
+  parse (Pool.default_domains ()) "BENCH_sweeps.json" None [] (List.tl (Array.to_list Sys.argv))
 
 let selected = if selected = [] then default_figures else selected
 
@@ -82,8 +109,91 @@ let time f =
   let v = f () in
   (Unix.gettimeofday () -. t0, v)
 
+(* --- [--check]: regression gate against a committed baseline JSON ----------
+
+   The baseline file is machine-written by this very program, so a field
+   scanner is enough — we locate ["name": value] textually instead of
+   parsing arbitrary JSON (no JSON library in the toolchain). *)
+
+let check_fail fmt = Fmt.kstr (fun m -> Fmt.epr "baseline check FAILED: %s@." m; exit 1) fmt
+
+let index_from_opt s from needle =
+  let n = String.length needle and len = String.length s in
+  let rec go i =
+    if i + n > len then None else if String.sub s i n = needle then Some i else go (i + 1)
+  in
+  go (max 0 from)
+
+(* The numeric value following ["name":], searching from [from]. *)
+let number_after json ~from name =
+  let needle = Printf.sprintf "\"%s\":" name in
+  match index_from_opt json from needle with
+  | None -> None
+  | Some i ->
+      let len = String.length json in
+      let j = ref (i + String.length needle) in
+      while !j < len && (json.[!j] = ' ' || json.[!j] = '\n') do
+        incr j
+      done;
+      let start = !j in
+      while
+        !j < len
+        && (match json.[!j] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub json start (!j - start))
+
+let check_against file ~seq_rate ~par_rate =
+  let json =
+    match In_channel.with_open_bin file In_channel.input_all with
+    | j -> j
+    | exception Sys_error e -> check_fail "cannot read %s: %s" file e
+  in
+  (* Every field this program writes must be present — a truncated or
+     hand-edited baseline is worse than none. *)
+  List.iter
+    (fun f ->
+      if index_from_opt json 0 (Printf.sprintf "\"%s\"" f) = None then
+        check_fail "%s: required field %S missing" file f)
+    [
+      "generated_by"; "txns_per_thread"; "jobs"; "recommended_domains"; "figures"; "total";
+      "seq_s"; "par_s"; "speedup"; "events"; "seq_events_per_s"; "par_events_per_s"; "identical";
+    ];
+  let total_at =
+    match index_from_opt json 0 "\"total\"" with
+    | Some i -> i
+    | None -> assert false (* presence checked above *)
+  in
+  let total name =
+    match number_after json ~from:total_at name with
+    | Some v when v > 0.0 -> v
+    | Some v -> check_fail "%s: total.%s = %g is not positive" file name v
+    | None -> check_fail "%s: total.%s missing or not a number" file name
+  in
+  (match number_after json ~from:0 "txns_per_thread" with
+  | Some t when int_of_float t <> txns_per_thread ->
+      Fmt.epr
+        "baseline check: warning: txns_per_thread differs (run %d vs baseline %.0f); events/s is \
+         roughly scale-free but prefer matching REPDB_BENCH_TXNS@."
+        txns_per_thread t
+  | _ -> ());
+  let tolerance = 0.15 in
+  let gate label current baseline =
+    let ratio = current /. baseline in
+    Fmt.pr "check %-4s %10.0f ev/s vs baseline %10.0f  (%+.1f%%)@." label current baseline
+      ((ratio -. 1.0) *. 100.0);
+    if ratio < 1.0 -. tolerance then
+      check_fail "%s events/s regressed %.1f%% (> %.0f%% tolerance)" label
+        ((1.0 -. ratio) *. 100.0)
+        (tolerance *. 100.0)
+  in
+  gate "seq" seq_rate (total "seq_events_per_s");
+  gate "par" par_rate (total "par_events_per_s");
+  Fmt.pr "baseline check OK (tolerance %.0f%%) against %s@." (tolerance *. 100.0) file
+
 let () =
-  let pool = if jobs > 1 then Some (Pool.create ~domains:jobs) else None in
+  let pool = if jobs > 1 then Some (Pool.create ~domains:jobs ()) else None in
   let rows =
     Fun.protect
       ~finally:(fun () -> Option.iter Pool.shutdown pool)
@@ -144,4 +254,10 @@ let () =
     (seq_total /. par_total) events_total
     (if all_identical then "all CSVs identical" else "CSV MISMATCH")
     out_file;
-  if not all_identical then exit 1
+  if not all_identical then exit 1;
+  Option.iter
+    (fun file ->
+      check_against file
+        ~seq_rate:(float_of_int events_total /. seq_total)
+        ~par_rate:(float_of_int events_total /. par_total))
+    check_file

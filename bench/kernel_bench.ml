@@ -1,0 +1,50 @@
+module Sim = Repdb_sim.Sim
+let time f = let t0 = Unix.gettimeofday () in let v = f () in (Unix.gettimeofday () -. t0, v)
+
+let () =
+  (* 1: pure schedule/run of preloaded thunks (heap + dispatch only) *)
+  let n = 2_000_000 in
+  let sim = Sim.create () in
+  let cnt = ref 0 in
+  for i = 1 to n do Sim.at sim (float_of_int i) (fun () -> incr cnt) done;
+  let d, () = time (fun () -> Sim.run sim) in
+  Printf.printf "plain events:   %d in %.3fs = %.2fM ev/s\n%!" !cnt d (float_of_int n /. d /. 1e6);
+  (* 2: process delay loop (effects machinery) *)
+  let sim = Sim.create () in
+  let m = 500_000 in
+  let cnt = ref 0 in
+  Sim.spawn sim (fun () -> for _ = 1 to m do Sim.delay 1.0; incr cnt done);
+  let d, () = time (fun () -> Sim.run sim) in
+  Printf.printf "delay loop:     %d in %.3fs = %.2fM ev/s\n%!" !cnt d (float_of_int m /. d /. 1e6);
+  (* 3: suspend/resume pairs *)
+  let sim = Sim.create () in
+  let cnt = ref 0 in
+  Sim.spawn sim (fun () ->
+    for _ = 1 to m do
+      Sim.suspend (fun resume -> Sim.after sim 1.0 (fun () -> resume ())) ; incr cnt
+    done);
+  let d, () = time (fun () -> Sim.run sim) in
+  Printf.printf "suspend loop:   %d in %.3fs = %.2fM ev/s (2 events each)\n%!" !cnt d (float_of_int (2*m) /. d /. 1e6);
+  (* 4: 64 interleaved delay processes (realistic heap depth) *)
+  let sim = Sim.create () in
+  let cnt = ref 0 in
+  let per = m / 64 in
+  for p = 1 to 64 do
+    Sim.spawn sim (fun () -> for _ = 1 to per do Sim.delay (1.0 +. float_of_int (p mod 7)) ; incr cnt done)
+  done;
+  let d, () = time (fun () -> Sim.run sim) in
+  Printf.printf "64 proc delays: %d in %.3fs = %.2fM ev/s\n%!" !cnt d (float_of_int (64*per) /. d /. 1e6)
+
+(* Full-stack measurement: one bench-like dag-wt run, words/event. *)
+let () =
+  let module Params = Repdb_workload.Params in
+  let module Driver = Repdb.Driver in
+  let params = { Params.default with txns_per_thread = 500; backedge_prob = 0.0 } in
+  let proto = Option.get (Repdb.Registry.find "dag-wt") in
+  ignore (Driver.run { params with txns_per_thread = 50 } proto); (* warm *)
+  let w0 = Gc.minor_words () in
+  let d, r = time (fun () -> Driver.run params proto) in
+  let dw = Gc.minor_words () -. w0 in
+  Printf.printf "driver run:     %d events in %.3fs = %.2fM ev/s, %.1f minor words/event\n%!"
+    r.Driver.sim_events d (float_of_int r.Driver.sim_events /. d /. 1e6)
+    (dw /. float_of_int r.Driver.sim_events)

@@ -12,7 +12,8 @@
    [-j N] runs the independent simulations of each target on N domains
    (default: Domain.recommended_domain_count () - 1, at least 1). Output is
    bit-identical to [-j 1] — tasks land by input index and each owns its
-   whole simulator state. *)
+   whole simulator state. [--chunk N] fixes the pool's claim size (default:
+   the adaptive heuristic, tasks / (domains * 4)). *)
 
 module Params = Repdb_workload.Params
 module Experiment = Repdb.Experiment
@@ -25,24 +26,33 @@ let txns_per_thread =
 
 let base = { Params.default with txns_per_thread }
 
-let jobs, requested =
+let jobs, chunk, requested =
   let bad arg =
-    Fmt.epr "bad argument %s: expected -j N with N >= 1@." arg;
+    Fmt.epr "bad argument %s: expected -j N or --chunk N with N >= 1@." arg;
     exit 1
   in
-  let rec parse jobs acc = function
-    | [] -> (jobs, List.rev acc)
+  let rec parse jobs chunk acc = function
+    | [] -> (jobs, chunk, List.rev acc)
     | "-j" :: n :: rest -> (
-        match int_of_string_opt n with Some j when j >= 1 -> parse j acc rest | _ -> bad ("-j " ^ n))
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse j chunk acc rest
+        | _ -> bad ("-j " ^ n))
     | [ "-j" ] -> bad "-j"
+    | "--chunk" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some c when c >= 1 -> parse jobs (Some c) acc rest
+        | _ -> bad ("--chunk " ^ n))
+    | [ "--chunk" ] -> bad "--chunk"
     | arg :: rest when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
         let n = String.sub arg 2 (String.length arg - 2) in
-        match int_of_string_opt n with Some j when j >= 1 -> parse j acc rest | _ -> bad arg)
-    | arg :: rest -> parse jobs (arg :: acc) rest
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse j chunk acc rest
+        | _ -> bad arg)
+    | arg :: rest -> parse jobs chunk (arg :: acc) rest
   in
-  parse (Pool.default_domains ()) [] (List.tl (Array.to_list Sys.argv))
+  parse (Pool.default_domains ()) None [] (List.tl (Array.to_list Sys.argv))
 
-let pool = if jobs > 1 then Some (Pool.create ~domains:jobs) else None
+let pool = if jobs > 1 then Some (Pool.create ?chunk ~domains:jobs ()) else None
 
 (* Parallel map for this file's own seed loops; sequential without a pool. *)
 let par_map arr ~f = match pool with Some p -> Pool.map p arr ~f | None -> Array.map f arr
@@ -205,7 +215,8 @@ let variance () =
 (* --- micro-benchmarks ----------------------------------------------------------- *)
 
 (* The pre-PR heap, kept verbatim as a baseline so the micro target shows
-   what the hole-sifting rewrite of [Repdb_sim.Heap] buys: this version does
+   what the structure-of-arrays rewrite of [Repdb_sim.Heap] buys: this
+   version boxes every entry in a record (one allocation per push) and does
    a three-word swap per level in both sift directions. *)
 module Swap_heap = struct
   type 'a entry = { time : float; seq : int; value : 'a }
@@ -289,15 +300,57 @@ let micro () =
   in
   (* Per-task pool overhead: 256 no-op tasks on a 2-domain pool, so the
      measured cost is claim/synchronisation, not work. *)
-  let micro_pool = Pool.create ~domains:2 in
+  let micro_pool = Pool.create ~domains:2 () in
   let pool_tasks = Array.init 256 Fun.id in
+  (* Propagation path: 256 updates from one source to one destination, as
+     singletons (size 1 short-circuits the batcher — the pre-batching path)
+     or coalesced into runs of 8 / 64. The closure builds its own simulator
+     so each run pays send + delivery for every physical message. *)
+  let bench_batch size =
+    let module Sim = Repdb_sim.Sim in
+    let module Network = Repdb_net.Network in
+    let module Batcher = Repdb_net.Batcher in
+    Staged.stage (fun () ->
+        let sim = Sim.create () in
+        let delivered = ref 0 in
+        let net =
+          Network.create ~sim ~n_sites:2 ~latency:(fun _ _ -> 1.0) ~arity:List.length ()
+        in
+        Network.set_handler net 1 (fun ~src:_ batch -> delivered := !delivered + List.length batch);
+        let bat =
+          Batcher.create ~sim ~n_sites:2 ~size ~linger_ms:0.0
+            ~ship:(fun ~src ~dst batch -> Network.send net ~src ~dst batch)
+            ()
+        in
+        for i = 1 to 256 do
+          Batcher.push bat ~src:0 ~dst:1 i
+        done;
+        Sim.run sim;
+        assert (!delivered = 256))
+  in
+  (* The [Profile.on] guard: the same event churn with the self-profiler
+     disabled (the default — schedulers skip the wrap after one check) and
+     enabled (every closure wrapped, gettimeofday + minor-words sampled). *)
+  let bench_sched profile =
+    let module Sim = Repdb_sim.Sim in
+    Staged.stage (fun () ->
+        let sim = Sim.create ?profile () in
+        let n = ref 0 in
+        let rec tick () =
+          incr n;
+          if !n < 256 then Sim.after sim 1.0 tick
+        in
+        Sim.after sim 1.0 tick;
+        Sim.run sim;
+        assert (!n = 256))
+  in
   let tests =
     [
       Test.make ~name:"Timestamp.compare" (Staged.stage (fun () -> Repdb.Timestamp.compare ts_a ts_b));
       Test.make ~name:"Rng.next_int64" (Staged.stage (fun () -> Repdb_sim.Rng.next_int64 rng));
       Test.make ~name:"Tree.of_dag (16 sites)" (Staged.stage (fun () -> Repdb_graph.Tree.of_dag dag));
       Test.make ~name:"Backedge.minimal_set" (Staged.stage (fun () -> Repdb_graph.Backedge.minimal_set dag));
-      Test.make ~name:"Heap push/pop (hole-sift)"
+      Test.make ~name:"Heap push/pop (SoA hole-sift)"
         (Staged.stage (fun () ->
              let h = Repdb_sim.Heap.create () in
              for seq = 0 to 63 do
@@ -306,7 +359,7 @@ let micro () =
              while not (Repdb_sim.Heap.is_empty h) do
                ignore (Repdb_sim.Heap.pop_min h)
              done));
-      Test.make ~name:"Heap push/pop (pairwise-swap)"
+      Test.make ~name:"Heap push/pop (record swap)"
         (Staged.stage (fun () ->
              let h = Swap_heap.create () in
              for seq = 0 to 63 do
@@ -326,6 +379,12 @@ let micro () =
                   (Repdb_reconfig.Reconfig.Add_replica { item = 0; site = 1 }))));
       Test.make ~name:"Pool.map (256 tasks, 2 domains)"
         (Staged.stage (fun () -> ignore (Pool.map micro_pool pool_tasks ~f:succ)));
+      Test.make ~name:"propagate 256 (batch=1)" (bench_batch 1);
+      Test.make ~name:"propagate 256 (batch=8)" (bench_batch 8);
+      Test.make ~name:"propagate 256 (batch=64)" (bench_batch 64);
+      Test.make ~name:"256 events (profile off)" (bench_sched None);
+      Test.make ~name:"256 events (profile on)"
+        (bench_sched (Some (Repdb_obs.Profile.create ())));
     ]
   in
   let benchmark test =

@@ -33,7 +33,7 @@ let params_term =
   in
   let d = Params.default in
   let make sites items r s b ops threads txns read_op read_txn latency timeout seed retry deadline
-      stale check faults reconfig =
+      stale check faults reconfig batch_size batch_linger =
     {
       d with
       n_sites = sites;
@@ -55,6 +55,8 @@ let params_term =
       record_history = check;
       faults;
       reconfig;
+      batch_size;
+      batch_linger_ms = batch_linger;
     }
   in
   const make
@@ -119,6 +121,19 @@ let params_term =
              to site $(i,B)). Each step is an epoch switch: quiesce, transfer, atomic \
              placement/tree swap, resume. Example: \
              $(b,\"add@300:item=5,site=3;rebalance@600:from=1,to=2\").")
+  $ int_flag "batch-size"
+      ~doc:
+        "Coalesce up to this many lazy propagation updates per destination into one network \
+         message (dag-wt, dag-t, backedge normals, lazy-master pushes). 1 disables batching \
+         (every update ships immediately in its own message)."
+      d.batch_size
+  $ float_flag "batch-linger"
+      ~doc:
+        "How long (simulated ms) a partially filled batch may wait for more updates before \
+         flushing. 0 flushes within the opening instant (delivery times unchanged); larger \
+         values trade bounded propagation latency for fuller batches. Ignored at \
+         $(b,--batch-size) 1."
+      d.batch_linger_ms
 
 (* --- run ------------------------------------------------------------------ *)
 
@@ -313,10 +328,20 @@ let jobs_term =
            to $(b,-j 1): every run owns its simulator and RNG, and results are ordered by \
            input index. $(b,-j 1) is the plain sequential path.")
 
+let chunk_term =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "Tasks claimed per atomic increment by each pool domain. Defaults to the adaptive \
+           heuristic $(b,max 1 (tasks / (domains * 4))); $(b,1) is finest-grained stealing, \
+           values above the task count collapse to a single claim. No effect at $(b,-j 1).")
+
 (* Run [f] with a pool of [jobs] domains (or none for [jobs <= 1]), shutting
    the pool down afterwards. *)
-let with_jobs jobs f =
-  if jobs > 1 then Pool.with_pool ~domains:jobs (fun pool -> f (Some pool)) else f None
+let with_jobs ?chunk jobs f =
+  if jobs > 1 then Pool.with_pool ?chunk ~domains:jobs (fun pool -> f (Some pool)) else f None
 
 let experiment_cmd =
   (* Both the help text and the dispatch come from [Experiment.registry], so
@@ -342,7 +367,7 @@ let experiment_cmd =
              (point, protocol) into $(docv) (created if missing). Render each with $(b,repdb \
              report).")
   in
-  let run params exp_name steps csv jobs timeline_dir ((_, every, _) as obs) =
+  let run params exp_name steps csv jobs chunk timeline_dir ((_, every, _) as obs) =
     (* [--timeline-dir] turns sampling on for every run of the sweep; a bare
        [--timeline FILE] is meaningless here and ignored in favour of it. *)
     let base =
@@ -356,7 +381,7 @@ let experiment_cmd =
           (String.concat ", " Repdb.Experiment.ids);
         exit 1
     | Some entry ->
-        with_jobs jobs (fun pool ->
+        with_jobs ?chunk jobs (fun pool ->
             let outcome = entry.run ~pool ~base ~steps in
             (match outcome with
             | Repdb.Experiment.Figure fig ->
@@ -413,7 +438,9 @@ let experiment_cmd =
        ~doc:
          "Regenerate one of the paper's tables/figures or a sweep. Independent simulations run           on $(b,-j) domains."
        ~man:[ `S Manpage.s_description; exp_list ])
-    Term.(const run $ params_term $ exp_name $ steps $ csv $ jobs_term $ timeline_dir $ obs_flags)
+    Term.(
+      const run $ params_term $ exp_name $ steps $ csv $ jobs_term $ chunk_term $ timeline_dir
+      $ obs_flags)
 
 (* --- report ---------------------------------------------------------------- *)
 

@@ -7,6 +7,7 @@ module Digraph = Repdb_graph.Digraph
 module Tree = Repdb_graph.Tree
 module Backedge = Repdb_graph.Backedge
 module Network = Repdb_net.Network
+module Batcher = Repdb_net.Batcher
 module Placement = Repdb_workload.Placement
 module Txn = Repdb_txn.Txn
 
@@ -50,7 +51,8 @@ type t = {
   c : Cluster.t;
   mutable tr : Tree.t;
   retree : unit -> Tree.t; (* rebuild the tree for the current placement *)
-  tree_net : chain_msg Network.t;
+  tree_net : chain_msg list Network.t; (* one physical message = one coalesced run *)
+  tree_bat : chain_msg Batcher.t;
   direct_net : direct_msg Network.t;
   mutable in_subtree : bool array array;
       (* site -> item -> replica within subtree(site) *)
@@ -93,7 +95,7 @@ let forward_normal t site (gid, writes, origin_commit) =
   List.iter
     (fun child ->
       Cluster.inc_outstanding t.c;
-      Network.send t.tree_net ~src:site ~dst:child
+      Batcher.push t.tree_bat ~src:site ~dst:child
         (Normal { gid; writes; origin_commit; epoch = t.c.config_epoch }))
     children;
   List.length children
@@ -200,9 +202,12 @@ let run_participant t ~gid ~origin ~site items =
   in
   attempt_loop 0
 
+(* The special chases the normals committed before it down the same chain
+   FIFO — [push_now] flushes any parked normals on the hop first, so the
+   special can never overtake them inside the batcher. *)
 let forward_special t ~src (gid, origin, writes) =
   Cluster.inc_outstanding t.c;
-  Network.send t.tree_net ~src ~dst:(next_hop t src origin)
+  Batcher.push_now t.tree_bat ~src ~dst:(next_hop t src origin)
     (Special { gid; origin; writes; epoch = t.c.config_epoch })
 
 (* --- tree applier -------------------------------------------------------- *)
@@ -251,13 +256,16 @@ let process_tree_msg t site msg =
 let tree_applier t site =
   let inbox = Network.inbox t.tree_net site in
   let rec loop () =
-    let _, msg = Mailbox.recv inbox in
-    (match msg with
-    | Normal { gid; _ } ->
-        Cluster.trace_secondary_recv t.c ~gid ~site;
-        Cluster.trace_queue_depth t.c ~site ~queue:"tree" ~depth:(Mailbox.length inbox)
-    | Special _ -> ());
-    process_tree_msg t site msg;
+    let _, batch = Mailbox.recv inbox in
+    List.iter
+      (fun msg ->
+        (match msg with
+        | Normal { gid; _ } ->
+            Cluster.trace_secondary_recv t.c ~gid ~site;
+            Cluster.trace_queue_depth t.c ~site ~queue:"tree" ~depth:(Mailbox.length inbox)
+        | Special _ -> ());
+        process_tree_msg t site msg)
+      batch;
     loop ()
   in
   loop ()
@@ -333,15 +341,18 @@ let make_with_tree (c : Cluster.t) ~retree tr =
   if not (validate_tree g tr) then
     invalid_arg "Backedge_proto: tree leaves a copy-graph edge between incomparable sites";
   let m = c.params.n_sites in
+  let tree_net =
+    Cluster.make_batch_net c ~describe_one:(function
+      | Normal { writes; _ } -> ("normal", 24 + (8 * List.length writes))
+      | Special { writes; _ } -> ("special", 32 + (8 * List.length writes)))
+  in
   let t =
     {
       c;
       tr;
       retree;
-      tree_net =
-        Cluster.make_net c ~describe:(function
-          | Normal { writes; _ } -> ("normal", 24 + (8 * List.length writes))
-          | Special { writes; _ } -> ("special", 32 + (8 * List.length writes)));
+      tree_net;
+      tree_bat = Cluster.make_batcher c tree_net;
       direct_net =
         Cluster.make_net c ~describe:(function
           | Exec_request { writes; _ } -> ("exec-request", 32 + (8 * List.length writes))

@@ -214,11 +214,55 @@ let latency_fn t src dst = t.lat_fn src dst
 let make_net ?describe t =
   let net =
     Repdb_net.Network.create ~sim:t.sim ~n_sites:t.params.n_sites ~latency:(latency_fn t)
-      ~on_send:(fun () -> t.messages <- t.messages + 1)
+      ~on_send:(fun units -> t.messages <- t.messages + units)
       ~trace:t.trace ?describe ~stats:t.stats ?injector:t.injector ()
   in
   t.inflight_fns <- (fun () -> Repdb_net.Network.in_flight net) :: t.inflight_fns;
   net
+
+(* A net whose messages are per-pair coalesced update runs. Counters and
+   traces account logical updates (a singleton batch describes exactly like
+   the bare message did pre-batching, so batch_size=1 traces are unchanged);
+   the [inflight] sample also counts updates still parked in the batcher. *)
+let make_batch_net ?describe_one t =
+  let describe =
+    Option.map
+      (fun d -> function
+        | [ m ] -> d m
+        | ms ->
+            let kind = match ms with m :: _ -> fst (d m) | [] -> "batch" in
+            ( Printf.sprintf "%s[%d]" kind (List.length ms),
+              List.fold_left (fun acc m -> acc + snd (d m)) 8 ms ))
+      describe_one
+  in
+  let net =
+    Repdb_net.Network.create ~sim:t.sim ~n_sites:t.params.n_sites ~latency:(latency_fn t)
+      ~arity:List.length
+      ~on_send:(fun units -> t.messages <- t.messages + units)
+      ~trace:t.trace ?describe ~stats:t.stats ?injector:t.injector ()
+  in
+  t.inflight_fns <- (fun () -> Repdb_net.Network.in_flight net) :: t.inflight_fns;
+  net
+
+let make_batcher t net =
+  let bat =
+    Repdb_net.Batcher.create ~sim:t.sim ~n_sites:t.params.n_sites ~size:t.params.batch_size
+      ~linger_ms:t.params.batch_linger_ms
+      ~ship:(fun ~src ~dst batch -> Repdb_net.Network.send net ~src ~dst batch)
+      ()
+  in
+  t.inflight_fns <-
+    (fun () ->
+      let n = t.params.n_sites in
+      let parked = ref 0 in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          parked := !parked + Repdb_net.Batcher.pending bat ~src ~dst
+        done
+      done;
+      !parked)
+    :: t.inflight_fns;
+  bat
 
 (* --- trace/metrics emission helpers (shared by the protocols) ------------- *)
 

@@ -140,6 +140,20 @@ val latency_fn : t -> int -> int -> float
     approximate size in bytes. *)
 val make_net : ?describe:('a -> string * int) -> t -> 'a Repdb_net.Network.t
 
+(** [make_batch_net t] — a network carrying per-pair coalesced update runs
+    ([batch_size]/[batch_linger_ms] from the cluster's params). Message
+    counters, per-site stats and the timeline's in-flight sample account
+    logical updates, not envelopes, so metrics stay comparable across batch
+    sizes; [describe_one] describes a single update (a singleton batch is
+    described exactly like the bare message, larger batches as
+    ["kind[n]"] with summed sizes). *)
+val make_batch_net : ?describe_one:('a -> string * int) -> t -> 'a list Repdb_net.Network.t
+
+(** [make_batcher t net] — the coalescer feeding [net], configured from the
+    cluster's [batch_size]/[batch_linger_ms]; updates still parked in it are
+    included in the timeline's in-flight sample. *)
+val make_batcher : t -> 'a list Repdb_net.Network.t -> 'a Repdb_net.Batcher.t
+
 (** {1 Trace emission helpers}
 
     No-ops when the trace is disabled; protocols call these instead of

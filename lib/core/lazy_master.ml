@@ -4,6 +4,7 @@ module Lock_mgr = Repdb_lock.Lock_mgr
 module History = Repdb_txn.History
 module Store = Repdb_store.Store
 module Network = Repdb_net.Network
+module Batcher = Repdb_net.Batcher
 module Txn = Repdb_txn.Txn
 
 let name = "lazy-master"
@@ -17,7 +18,11 @@ type msg =
   | Push_ack of { deliver : unit -> unit }
   | Release of { owner : int }
 
-type t = { c : Cluster.t; net : msg Network.t; mutable remote : int }
+(* Only [Push] messages coalesce (they are the lazy propagation stream); the
+   lock-protocol traffic — read requests, replies, acks, releases — ships via
+   [push_now], which flushes any parked pushes on the pair first so the
+   channel order the lock protocol relies on is preserved. *)
+type t = { c : Cluster.t; net : msg list Network.t; bat : msg Batcher.t; mutable remote : int }
 
 let remote_reads t = t.remote
 
@@ -28,7 +33,7 @@ let serve_read t site ~src ~item ~owner ~reply =
   let c = t.c in
   Cluster.use_cpu c site c.params.cpu_msg;
   let respond granted =
-    Network.send t.net ~src:site ~dst:src (Read_reply { granted; deliver = reply })
+    Batcher.push_now t.bat ~src:site ~dst:src (Read_reply { granted; deliver = reply })
   in
   match Lock_mgr.acquire c.locks.(site) ~owner item Lock_mgr.Shared with
   | Lock_mgr.Granted ->
@@ -44,13 +49,12 @@ let serve_push t site ~src ~gid ~writes ~origin_commit ~reply =
   let items = List.filter (fun item -> List.mem site c.placement.replicas.(item)) writes in
   Exec.apply_secondary c ~gid ~site items ~finally:(fun () ->
       if items <> [] then Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. origin_commit);
-      Network.send t.net ~src:site ~dst:src (Push_ack { deliver = reply }))
+      Batcher.push_now t.bat ~src:site ~dst:src (Push_ack { deliver = reply }))
 
 let server t site =
   let inbox = Network.inbox t.net site in
-  let rec loop () =
-    let src, msg = Mailbox.recv inbox in
-    (match msg with
+  let handle src msg =
+    match msg with
     | Read_request { item; owner; reply } ->
         Sim.spawn t.c.sim (fun () -> serve_read t site ~src ~item ~owner ~reply)
     | Read_reply { granted; deliver } ->
@@ -65,25 +69,33 @@ let server t site =
         Sim.spawn t.c.sim (fun () ->
             Cluster.use_cpu t.c site t.c.params.cpu_msg;
             Lock_mgr.release_all t.c.locks.(site) ~owner;
-            Cluster.dec_outstanding t.c));
+            Cluster.dec_outstanding t.c)
+  in
+  let rec loop () =
+    let src, batch = Mailbox.recv inbox in
+    List.iter (handle src) batch;
     loop ()
   in
   loop ()
 
 let create (c : Cluster.t) =
-  let t = { c; net = Cluster.make_net c; remote = 0 } in
+  let net = Cluster.make_batch_net c in
+  let t = { c; net; bat = Cluster.make_batcher c net; remote = 0 } in
   let cat = Cluster.profile_cat c "server" in
   for site = 0 to c.params.n_sites - 1 do
     Sim.spawn ~cat c.sim (fun () -> server t site)
   done;
   t
 
-let rpc t ~site ~dst msg_of_reply =
+(* [batched] only for pushes: the lazy stream may park in the coalescer;
+   synchronous lock traffic always flushes ahead of itself and ships now. *)
+let rpc ?(batched = false) t ~site ~dst msg_of_reply =
   let c = t.c in
   Cluster.use_cpu c site c.params.cpu_msg;
   Sim.suspend (fun resume ->
       Cluster.inc_outstanding c;
-      Network.send t.net ~src:site ~dst (msg_of_reply resume))
+      if batched then Batcher.push t.bat ~src:site ~dst (msg_of_reply resume)
+      else Batcher.push_now t.bat ~src:site ~dst (msg_of_reply resume))
 
 let submit t (spec : Txn.spec) =
   let c = t.c in
@@ -95,7 +107,7 @@ let submit t (spec : Txn.spec) =
     Hashtbl.iter
       (fun primary () ->
         Cluster.inc_outstanding c;
-        Network.send t.net ~src:site ~dst:primary (Release { owner = attempt }))
+        Batcher.push_now t.bat ~src:site ~dst:primary (Release { owner = attempt }))
       remote_sites
   in
   let rec run = function
@@ -143,7 +155,7 @@ let submit t (spec : Txn.spec) =
       Hashtbl.iter
         (fun dst () ->
           ignore
-            (rpc t ~site ~dst (fun resume ->
+            (rpc ~batched:true t ~site ~dst (fun resume ->
                  Push { gid; writes; origin_commit; reply = (fun () -> resume true) })))
         dests;
       Exec.release c ~attempt ~site;

@@ -27,11 +27,14 @@ type entry = {
   mutable queue : request list; (* front = next to grant; may contain `Done *)
 }
 
+(* Items are dense small ints (0 .. n_items-1), so the lock table is a flat
+   array grown on demand — no hashing, no bucket allocation on the acquire
+   fast path, which profiling showed as the hottest non-kernel function. *)
 type t = {
   sim : Sim.t;
   policy : policy;
-  entries : (item, entry) Hashtbl.t;
-  held : (owner, (item, mode) Hashtbl.t) Hashtbl.t;
+  mutable entries : entry array; (* indexed by item *)
+  held : (owner, (item * mode) list ref) Hashtbl.t; (* for release_all *)
   waiting : (owner, request) Hashtbl.t;
   mutable arrivals : int;
   mutable n_acquires : int;
@@ -53,7 +56,7 @@ let create ~sim ~policy ?(site = 0) ?(trace = Trace.disabled) ?stats
   {
     sim;
     policy;
-    entries = Hashtbl.create 256;
+    entries = [||];
     held = Hashtbl.create 64;
     waiting = Hashtbl.create 64;
     arrivals = 0;
@@ -75,27 +78,30 @@ let obs_mode = function Shared -> Event.Shared | Exclusive -> Event.Exclusive
 let bump c site = match c with Some c -> Stats.incr c ~site | None -> ()
 
 let entry_of t item =
-  match Hashtbl.find_opt t.entries item with
-  | Some e -> e
-  | None ->
-      let e = { holding = []; queue = [] } in
-      Hashtbl.replace t.entries item e;
-      e
+  if item < 0 then invalid_arg "Lock_mgr: negative item";
+  let n = Array.length t.entries in
+  if item >= n then begin
+    let ncap = max 64 (max (item + 1) (2 * n)) in
+    let grown =
+      Array.init ncap (fun i -> if i < n then t.entries.(i) else { holding = []; queue = [] })
+    in
+    t.entries <- grown
+  end;
+  t.entries.(item)
 
-let held_table t owner =
+let record_hold t ~owner item mode =
   match Hashtbl.find_opt t.held owner with
-  | Some tbl -> tbl
-  | None ->
-      let tbl = Hashtbl.create 8 in
-      Hashtbl.replace t.held owner tbl;
-      tbl
-
-let record_hold t ~owner item mode = Hashtbl.replace (held_table t owner) item mode
+  | Some cell -> cell := (item, mode) :: !cell
+  | None -> Hashtbl.replace t.held owner (ref [ (item, mode) ])
 
 let compatible mode holding =
   match mode with
   | Shared -> List.for_all (fun (_, m) -> m = Shared) holding
   | Exclusive -> holding = []
+
+let has_live_queue e =
+  let rec go = function [] -> false | r :: rest -> r.state = `Waiting || go rest in
+  go e.queue
 
 let live_queue e = List.filter (fun r -> r.state = `Waiting) e.queue
 
@@ -210,17 +216,26 @@ let rec resolve_deadlocks t start =
           fail_request t victim Deadlock_victim;
           if victim.req_owner <> start then resolve_deadlocks t start)
 
+let trace_grant t ~owner item mode =
+  if Trace.on t.trace then
+    Trace.record t.trace (Event.Lock_grant { site = t.site; owner; item; mode = obs_mode mode })
+
 let rec acquire t ~owner item mode =
   let e = entry_of t item in
   if Trace.on t.trace then
     Trace.record t.trace (Event.Lock_request { site = t.site; owner; item; mode = obs_mode mode });
-  let current = Hashtbl.find_opt t.held owner |> Fun.flip Option.bind (fun tbl -> Hashtbl.find_opt tbl item) in
-  match (current, mode) with
+  (* Mode this owner already holds on [item], read off the (short) holder
+     list — no per-owner hash lookups, no option/tuple allocation on the
+     uncontended path. *)
+  let rec current_mode = function
+    | [] -> None
+    | (o, m) :: rest -> if o = owner then Some m else current_mode rest
+  in
+  match (current_mode e.holding, mode) with
   | Some Exclusive, _ | Some Shared, Shared ->
       t.n_acquires <- t.n_acquires + 1;
       bump t.s_acquires t.site;
-      if Trace.on t.trace then
-        Trace.record t.trace (Event.Lock_grant { site = t.site; owner; item; mode = obs_mode mode });
+      trace_grant t ~owner item mode;
       Granted (* re-entrant *)
   | Some Shared, Exclusive -> begin
       (* Upgrade: immediate if sole holder, else wait at the queue front. *)
@@ -230,9 +245,7 @@ let rec acquire t ~owner item mode =
           record_hold t ~owner item Exclusive;
           t.n_acquires <- t.n_acquires + 1;
           bump t.s_acquires t.site;
-          if Trace.on t.trace then
-            Trace.record t.trace
-              (Event.Lock_grant { site = t.site; owner; item; mode = Event.Exclusive });
+          trace_grant t ~owner item Exclusive;
           Granted
       | _ ->
           t.arrivals <- t.arrivals + 1;
@@ -251,14 +264,12 @@ let rec acquire t ~owner item mode =
           wait t req
     end
   | None, _ ->
-      if live_queue e = [] && compatible mode e.holding then begin
+      if (not (has_live_queue e)) && compatible mode e.holding then begin
         e.holding <- (owner, mode) :: e.holding;
         record_hold t ~owner item mode;
         t.n_acquires <- t.n_acquires + 1;
         bump t.s_acquires t.site;
-        if Trace.on t.trace then
-          Trace.record t.trace
-            (Event.Lock_grant { site = t.site; owner; item; mode = obs_mode mode });
+        trace_grant t ~owner item mode;
         Granted
       end
       else begin
@@ -308,17 +319,20 @@ let release_all t ~owner =
   | None -> ());
   match Hashtbl.find_opt t.held owner with
   | None -> ()
-  | Some tbl ->
+  | Some cell ->
       if Trace.on t.trace then Trace.record t.trace (Event.Lock_release { site = t.site; owner });
       Hashtbl.remove t.held owner;
-      Hashtbl.iter
-        (fun item _ ->
+      (* The list may name an item twice (S then X after an upgrade); the
+         second pass just re-services an already-clean entry. *)
+      List.iter
+        (fun (item, _) ->
           let e = entry_of t item in
           e.holding <- List.filter (fun (o, _) -> o <> owner) e.holding;
           service t item e)
-        tbl
+        !cell
 
-let holders t item = match Hashtbl.find_opt t.entries item with None -> [] | Some e -> e.holding
+let holders t item =
+  if item >= 0 && item < Array.length t.entries then t.entries.(item).holding else []
 
 let abort_waiter t ~owner =
   match Hashtbl.find_opt t.waiting owner with
@@ -328,7 +342,13 @@ let abort_waiter t ~owner =
       true
 
 let holds t ~owner item =
-  Hashtbl.find_opt t.held owner |> Fun.flip Option.bind (fun tbl -> Hashtbl.find_opt tbl item)
+  if item < 0 || item >= Array.length t.entries then None
+  else
+    let rec go = function
+      | [] -> None
+      | (o, m) :: rest -> if o = owner then Some m else go rest
+    in
+    go t.entries.(item).holding
 
 let stats t =
   {
@@ -338,5 +358,5 @@ let stats t =
     deadlock_aborts = t.n_deadlock_aborts;
   }
 
-let locks_held t = Hashtbl.fold (fun _ e acc -> acc + List.length e.holding) t.entries 0
+let locks_held t = Array.fold_left (fun acc e -> acc + List.length e.holding) 0 t.entries
 let lock_waiters t = Hashtbl.length t.waiting

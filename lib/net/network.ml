@@ -17,7 +17,11 @@ type 'a t = {
   mutable delivered : int;
   mutable dropped : int;
   cat : int; (* profiler category for delivery events *)
-  on_send : unit -> unit;
+  arity : 'a -> int;
+      (* Logical updates carried by one physical message. Always 1 except on
+         batched nets, where counters track updates rather than envelopes so
+         the message metrics stay comparable across batch sizes. *)
+  on_send : int -> unit;
   trace : Trace.t;
   describe : ('a -> string * int) option;
   sent_ctr : Stats.counter option;
@@ -30,8 +34,8 @@ type 'a t = {
          to preserve the FIFO-channel guarantee. *)
 }
 
-let create ~sim ~n_sites ~latency ?(on_send = fun () -> ()) ?(trace = Trace.disabled) ?describe
-    ?stats ?injector () =
+let create ~sim ~n_sites ~latency ?(arity = fun _ -> 1) ?(on_send = fun _ -> ())
+    ?(trace = Trace.disabled) ?describe ?stats ?injector () =
   if n_sites < 1 then invalid_arg "Network.create: need at least one site";
   let delays =
     Array.init n_sites (fun src ->
@@ -49,6 +53,7 @@ let create ~sim ~n_sites ~latency ?(on_send = fun () -> ()) ?(trace = Trace.disa
     delivered = 0;
     dropped = 0;
     cat = Profile.cat (Sim.profile sim) "net";
+    arity;
     on_send;
     trace;
     describe;
@@ -79,12 +84,13 @@ let send t ~src ~dst msg =
   check t src;
   check t dst;
   if src = dst then invalid_arg "Network.send: src = dst";
-  t.sent <- t.sent + 1;
-  t.on_send ();
-  (match t.sent_ctr with Some c -> Stats.incr c ~site:src | None -> ());
+  let units = t.arity msg in
+  t.sent <- t.sent + units;
+  t.on_send units;
+  (match t.sent_ctr with Some c -> Stats.add c ~site:src units | None -> ());
   let deliver () =
-    t.delivered <- t.delivered + 1;
-    (match t.recv_ctr with Some c -> Stats.incr c ~site:dst | None -> ());
+    t.delivered <- t.delivered + units;
+    (match t.recv_ctr with Some c -> Stats.add c ~site:dst units | None -> ());
     match t.targets.(dst) with
     | Inbox mb -> Mailbox.send mb (src, msg)
     | Handler f -> f ~src msg

@@ -16,8 +16,14 @@ type 'a t
 
 (** [create ~sim ~n_sites ~latency ()] — [latency src dst] gives the one-way
     delay in ms for that ordered pair; it is sampled once per pair at
-    creation. [on_send] is invoked synchronously for every {!send} (used for
-    cluster-wide message accounting).
+    creation. [on_send] is invoked synchronously for every {!send} with the
+    message's logical arity (used for cluster-wide message accounting).
+
+    [arity] gives the number of logical updates one physical message carries
+    (default: 1). Batched nets pass the batch length so that the sent /
+    delivered / in-flight counters and the per-site stats keep counting
+    logical updates — comparable across batch sizes — while the simulation
+    still schedules one delivery event per physical message.
 
     Observability: when [trace] is enabled, every send and delivery is
     recorded as a [Msg_send] / [Msg_recv] event tagged with the message kind
@@ -35,7 +41,8 @@ val create :
   sim:Repdb_sim.Sim.t ->
   n_sites:int ->
   latency:(int -> int -> float) ->
-  ?on_send:(unit -> unit) ->
+  ?arity:('a -> int) ->
+  ?on_send:(int -> unit) ->
   ?trace:Repdb_obs.Trace.t ->
   ?describe:('a -> string * int) ->
   ?stats:Repdb_obs.Stats.t ->
@@ -64,14 +71,14 @@ val inbox : 'a t -> int -> (int * 'a) Repdb_sim.Mailbox.t
     the inbox. The handler runs at delivery time and must not block. *)
 val set_handler : 'a t -> int -> (src:int -> 'a -> unit) -> unit
 
-(** Total messages sent so far. *)
+(** Total logical messages sent so far (physical sends weighted by [arity]). *)
 val messages_sent : 'a t -> int
 
-(** Total messages whose delivery event has run. *)
+(** Total logical messages whose delivery event has run. *)
 val messages_delivered : 'a t -> int
 
-(** Messages sent but not yet delivered — one per message regardless of
-    how many faulty transmission attempts it took. *)
+(** Logical messages sent but not yet delivered — counted once per update
+    regardless of how many faulty transmission attempts it took. *)
 val in_flight : 'a t -> int
 
 (** Undrained messages in [dst]'s inbox mailbox (0 for handler targets,

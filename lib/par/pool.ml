@@ -7,6 +7,7 @@
 
 type t = {
   domains : int;  (* total parallelism, counting the caller *)
+  chunk : int option;  (* pool-level claim size; None = adaptive per map *)
   mutable workers : unit Domain.t array;  (* domains - 1 of them *)
   m : Mutex.t;
   work_ready : Condition.t;
@@ -43,11 +44,15 @@ let worker pool () =
   in
   loop ()
 
-let create ~domains =
+let create ?chunk ~domains () =
   if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.create: chunk must be >= 1"
+  | _ -> ());
   let pool =
     {
       domains;
+      chunk;
       workers = [||];
       m = Mutex.create ();
       work_ready = Condition.create ();
@@ -70,12 +75,21 @@ let shutdown t =
   Mutex.unlock t.m;
   if not was_stopped then Array.iter Domain.join t.workers
 
-let with_pool ~domains f =
-  let pool = create ~domains in
+let with_pool ?chunk ~domains f =
+  let pool = create ?chunk ~domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-let map t xs ~f =
+(* Tasks are whole simulation runs (seconds each), so per-claim overhead is
+   negligible; what matters is skew. Coarse chunks amortise claims on big
+   fan-outs while leaving at least a few claims per domain for stealing to
+   even out slow tasks. *)
+let adaptive_chunk ~domains ~n = max 1 (n / (domains * 4))
+
+let map ?chunk t xs ~f =
   let n = Array.length xs in
+  (match chunk with
+  | Some c when c < 1 -> invalid_arg "Pool.map: chunk must be >= 1"
+  | _ -> ());
   if t.stopped then invalid_arg "Pool.map: pool is shut down";
   if n = 0 then [||]
   else if t.domains = 1 || n = 1 then Array.map f xs
@@ -84,9 +98,11 @@ let map t xs ~f =
   else begin
     let results = Array.make n None in
     let next = Atomic.make 0 in
-    (* Small chunks: our tasks are whole simulation runs, so per-claim
-       overhead is negligible and fine-grained stealing evens out skew. *)
-    let chunk = max 1 (n / (t.domains * 8)) in
+    let chunk =
+      match (chunk, t.chunk) with
+      | Some c, _ | None, Some c -> c
+      | None, None -> adaptive_chunk ~domains:t.domains ~n
+    in
     let error = Atomic.make None in
     let body () =
       let continue = ref true in

@@ -1,5 +1,9 @@
 (** Binary min-heap of timestamped events, ties broken by insertion sequence
-    so that events scheduled at the same instant run in FIFO order. *)
+    so that events scheduled at the same instant run in FIFO order.
+
+    Storage is structure-of-arrays ([float array] priorities, [int array]
+    sequences, payload array), so {!push}/{!pop_top} allocate nothing beyond
+    amortised growth. *)
 
 type 'a t
 
@@ -10,7 +14,17 @@ val size : 'a t -> int
 (** [push h ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
 val push : 'a t -> time:float -> seq:int -> 'a -> unit
 
-(** [pop_min h] removes and returns the minimum entry.
+(** [top_time h] is the priority of the minimum entry, without allocating.
+    @raise Invalid_argument if the heap is empty. *)
+val top_time : 'a t -> float
+
+(** [pop_top h] removes and returns the minimum entry's payload only —
+    the allocation-free pop used by the scheduler (read {!top_time} first
+    if the priority is needed).
+    @raise Invalid_argument if the heap is empty. *)
+val pop_top : 'a t -> 'a
+
+(** [pop_min h] removes and returns the minimum entry as a tuple.
     @raise Invalid_argument if the heap is empty. *)
 val pop_min : 'a t -> float * int * 'a
 

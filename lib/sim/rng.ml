@@ -1,30 +1,43 @@
-type t = { mutable state : int64 }
+(* Splitmix-style generator on OCaml's native 63-bit int.
 
-let golden_gamma = 0x9E3779B97F4A7C15L
+   The original implementation ran splitmix64 on [int64], but every [Int64]
+   intermediate is a boxed custom block without flambda — ~10 allocations
+   per draw on what is (after the event heap) the hottest path in the
+   workload generator. Native [int] arithmetic wraps modulo 2^63 on 64-bit
+   platforms, so the same xor-shift/multiply mixing runs allocation-free;
+   the constants are the splitmix64 ones truncated to fit 62 bits (kept
+   odd). Streams differ from the int64 version but remain deterministic
+   per seed, which is all the repository relies on. *)
 
-let create seed = { state = Int64.mul (Int64.of_int (seed + 1)) 0x2545F4914F6CDD1DL }
+type t = { mutable state : int }
+
+(* golden gamma truncated below 2^62, odd *)
+let golden_gamma = 0x1E3779B97F4A7C15
+
+let create seed = { state = (seed + 1) * 0x2545F4914F6CDD1D }
 
 let mix z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+  z lxor (z lsr 31)
 
-let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
+(* Next raw value: 63 bits, may be negative (top bit set). *)
+let next t =
+  t.state <- t.state + golden_gamma;
   mix t.state
 
-let split t = { state = next_int64 t }
+let next_int64 t = Int64.of_int (next t)
+let split t = { state = next t }
 let copy t = { state = t.state }
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Keep 62 bits so the value still fits OCaml's 63-bit int non-negatively. *)
-  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
-  v mod bound
+  (* Logical shift clears the sign bit: 62 uniform non-negative bits. *)
+  (next t lsr 1) mod bound
 
 (* 53 random bits mapped to [0, 1). *)
 let float t =
-  let bits = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  let bits = float_of_int (next t lsr 10) in
   bits *. (1.0 /. 9007199254740992.0)
 
 let float_range t lo hi = lo +. (float t *. (hi -. lo))

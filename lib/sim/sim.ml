@@ -1,7 +1,9 @@
 module Profile = Repdb_obs.Profile
 
 type t = {
-  mutable clock : float;
+  clock : float array;
+      (* One-element flat float array: a [mutable clock : float] field in a
+         mixed record is boxed, so every clock advance would allocate. *)
   mutable seq : int;
   mutable executed : int;
   events : (unit -> unit) Heap.t;
@@ -15,10 +17,10 @@ type _ Effect.t +=
 exception Stuck of exn
 
 let create ?(profile = Profile.disabled) () =
-  { clock = 0.0; seq = 0; executed = 0; events = Heap.create (); profile }
+  { clock = [| 0.0 |]; seq = 0; executed = 0; events = Heap.create (); profile }
 
-let now t = t.clock
-let clock t () = t.clock
+let now t = t.clock.(0)
+let clock t () = t.clock.(0)
 let events_executed t = t.executed
 let profile t = t.profile
 let set_profile t p = t.profile <- p
@@ -39,12 +41,12 @@ let schedule ?cat t time fn =
   Heap.push t.events ~time ~seq:t.seq fn
 
 let at ?cat t time fn =
-  if time < t.clock then invalid_arg "Sim.at: time is in the past";
+  if time < t.clock.(0) then invalid_arg "Sim.at: time is in the past";
   schedule ?cat t time fn
 
 let after ?cat t d fn =
   if d < 0.0 then invalid_arg "Sim.after: negative delay";
-  schedule ?cat t (t.clock +. d) fn
+  schedule ?cat t (t.clock.(0) +. d) fn
 
 (* Run [f] as a process: effects [Delay] and [Suspend] park the computation
    and re-enter through the event heap. The handler is installed deeply, so
@@ -66,7 +68,7 @@ let run_process t f =
                 (fun (k : (a, unit) continuation) ->
                   if d < 0.0 then
                     discontinue k (Invalid_argument "Sim.delay: negative delay")
-                  else schedule t (t.clock +. d) (fun () -> continue k ()))
+                  else schedule t (t.clock.(0) +. d) (fun () -> continue k ()))
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
@@ -80,35 +82,36 @@ let run_process t f =
                   let resume v =
                     if not !resumed then begin
                       resumed := true;
-                      schedule ?cat t t.clock (fun () -> continue k v)
+                      schedule ?cat t t.clock.(0) (fun () -> continue k v)
                     end
                   in
                   register resume)
           | _ -> None);
     }
 
-let spawn ?cat t f = schedule ?cat t t.clock (fun () -> run_process t f)
+let spawn ?cat t f = schedule ?cat t t.clock.(0) (fun () -> run_process t f)
 
 let step t =
   if Heap.is_empty t.events then invalid_arg "Sim.step: no scheduled events";
-  let time, _, fn = Heap.pop_min t.events in
-  t.clock <- time;
+  t.clock.(0) <- Heap.top_time t.events;
   t.executed <- t.executed + 1;
-  fn ()
+  (Heap.pop_top t.events) ()
 
 let run t =
   while not (Heap.is_empty t.events) do
-    step t
+    t.clock.(0) <- Heap.top_time t.events;
+    t.executed <- t.executed + 1;
+    (Heap.pop_top t.events) ()
   done
 
 let run_until t horizon =
-  let continue = ref true in
-  while !continue do
-    match Heap.min_time t.events with
-    | Some time when time <= horizon -> step t
-    | Some _ | None -> continue := false
+  let events = t.events in
+  while (not (Heap.is_empty events)) && Heap.top_time events <= horizon do
+    t.clock.(0) <- Heap.top_time events;
+    t.executed <- t.executed + 1;
+    (Heap.pop_top events) ()
   done;
-  if t.clock < horizon then t.clock <- horizon
+  if t.clock.(0) < horizon then t.clock.(0) <- horizon
 
 let delay d = Effect.perform (Delay d)
 let suspend register = Effect.perform (Suspend register)

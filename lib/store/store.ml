@@ -4,12 +4,17 @@ type write_event =
   | Applied of { item : item; writer : int; payload : string option }
   | Installed of { item : item; value : Value.t }
 
-type t = { site : int; table : Value.t Hash_index.t; mutable hook : write_event -> unit }
+type t = {
+  site : int;
+  table : Value.t Hash_index.t;
+  mutable hook : write_event -> unit;
+  mutable hooked : bool; (* skip building the event record when no hook *)
+}
 
 let create ~site items =
   let table = Hash_index.create ~capacity:64 () in
   List.iter (fun item -> Hash_index.set table item Value.initial) items;
-  { site; table; hook = ignore }
+  { site; table; hook = ignore; hooked = false }
 
 let site t = t.site
 let mem t item = Hash_index.mem t.table item
@@ -26,19 +31,21 @@ let apply t item ~writer ?payload () =
   match Hash_index.find t.table item with
   | Some v ->
       Hash_index.set t.table item (Value.write ~writer ?payload v);
-      t.hook (Applied { item; writer; payload })
+      if t.hooked then t.hook (Applied { item; writer; payload })
   | None -> not_placed t item
 
 let set t item v =
   if not (Hash_index.mem t.table item) then not_placed t item;
   Hash_index.set t.table item v;
-  t.hook (Installed { item; value = v })
+  if t.hooked then t.hook (Installed { item; value = v })
 
 let install t item v =
   Hash_index.set t.table item v;
-  t.hook (Installed { item; value = v })
+  if t.hooked then t.hook (Installed { item; value = v })
 
-let set_write_hook t f = t.hook <- f
+let set_write_hook t f =
+  t.hook <- f;
+  t.hooked <- true
 
 let contents t =
   Hash_index.fold (fun item v acc -> (item, v) :: acc) t.table [] |> List.sort compare

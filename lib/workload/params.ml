@@ -43,6 +43,8 @@ type t = {
   reconfig : Repdb_reconfig.Reconfig.plan;
   timeline_every : float;
   profile : bool;
+  batch_size : int;
+  batch_linger_ms : float;
 }
 
 let default =
@@ -79,6 +81,8 @@ let default =
     reconfig = Repdb_reconfig.Reconfig.empty;
     timeline_every = 0.0;
     profile = false;
+    batch_size = 1;
+    batch_linger_ms = 0.0;
   }
 
 let table1 t =
@@ -101,12 +105,12 @@ let pp ppf t =
   Fmt.pf ppf
     "@[<v>m=%d n=%d r=%g s=%g b=%g ops=%d threads=%d txns=%d read_op=%g read_txn=%g@ \
      latency=%gms timeout=%gms machines=%d cpu(op=%g commit=%g msg=%g) seed=%d retry=%s@ \
-     deadline=%gms stale_reads=%gms faults=%a@ reconfig=%a@]"
+     deadline=%gms stale_reads=%gms batch=%d/%gms faults=%a@ reconfig=%a@]"
     t.n_sites t.n_items t.replication_prob t.site_prob t.backedge_prob t.ops_per_txn
     t.threads_per_site t.txns_per_thread t.read_op_prob t.read_txn_prob t.latency
     t.lock_timeout t.n_machines t.cpu_op t.cpu_commit t.cpu_msg t.seed
-    (string_of_retry t.retry) t.txn_deadline t.stale_reads Repdb_fault.Fault.pp t.faults
-    Repdb_reconfig.Reconfig.pp t.reconfig
+    (string_of_retry t.retry) t.txn_deadline t.stale_reads t.batch_size t.batch_linger_ms
+    Repdb_fault.Fault.pp t.faults Repdb_reconfig.Reconfig.pp t.reconfig
 
 let validate t =
   let prob name v =
@@ -156,5 +160,8 @@ let validate t =
     invalid_arg "Params: timeline_every must be >= 0 and finite";
   if t.epoch_period <= 0.0 then invalid_arg "Params: epoch_period must be > 0";
   if t.dummy_idle <= 0.0 then invalid_arg "Params: dummy_idle must be > 0";
+  positive "batch_size" t.batch_size;
+  if t.batch_linger_ms < 0.0 || not (Float.is_finite t.batch_linger_ms) then
+    invalid_arg "Params: batch_linger_ms must be >= 0 and finite";
   Repdb_fault.Fault.validate ~n_sites:t.n_sites t.faults;
   Repdb_reconfig.Reconfig.validate ~n_sites:t.n_sites ~n_items:t.n_items t.reconfig

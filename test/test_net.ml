@@ -91,7 +91,7 @@ let test_handler_routing () =
 
 let test_counting_and_on_send () =
   let count = ref 0 in
-  let sim, net = make ~on_send:(fun () -> incr count) () in
+  let sim, net = make ~on_send:(fun _ -> incr count) () in
   for _ = 1 to 4 do
     Network.send net ~src:0 ~dst:1 0
   done;

@@ -76,6 +76,9 @@ let chaos_params =
     Params.default with
     n_sites = 4;
     n_items = 40;
+    (* dag-wt runs too, so the copy graph must be a DAG by construction
+       rather than by luck of the placement stream. *)
+    backedge_prob = 0.0;
     threads_per_site = 2;
     txns_per_thread = 12;
     txn_deadline = 200.0;
