@@ -159,7 +159,18 @@ let check_against file ~seq_rate ~par_rate =
     [
       "generated_by"; "txns_per_thread"; "jobs"; "recommended_domains"; "figures"; "total";
       "seq_s"; "par_s"; "speedup"; "events"; "seq_events_per_s"; "par_events_per_s"; "identical";
+      "large";
     ];
+  (* The hand-merged "large" entry (bench/large.exe at production scale) must
+     carry a positive events/s — a zero or missing rate means the sweep never
+     actually ran at scale. *)
+  (match index_from_opt json 0 "\"large\"" with
+  | None -> assert false (* presence checked above *)
+  | Some large_at -> (
+      match number_after json ~from:large_at "events_per_s" with
+      | Some v when v > 0.0 -> ()
+      | Some v -> check_fail "%s: large.events_per_s = %g is not positive" file v
+      | None -> check_fail "%s: large.events_per_s missing or not a number" file));
   let total_at =
     match index_from_opt json 0 "\"total\"" with
     | Some i -> i

@@ -1,0 +1,151 @@
+(* Production-size partial-replication sweep.
+
+     dune exec bench/large.exe                                # 200 x 100k
+     dune exec bench/large.exe -- --sites 64 --items 20000    # CI smoke
+     dune exec bench/large.exe -- -o large.csv --txns 20
+
+   Runs the lazy protocols whose apply paths the compact placement layer
+   serves (BackEdge, DAG(WT), PSL) on a cluster of hundreds of sites with
+   100k+ partially replicated items, and reports per protocol: wall-clock
+   seconds, simulator events per second, and resident memory per site (peak
+   RSS divided by the site count — the figure that the sorted-array replica
+   rows, routing bitsets and dense lock tables keep flat).
+
+   The summary line printed at the end is the JSON fragment recorded as the
+   "large" entry of BENCH_sweeps.json; [baseline.exe --check] requires that
+   entry and fails on a non-positive events/s. *)
+
+module Params = Repdb_workload.Params
+module Placement = Repdb_workload.Placement
+module Registry = Repdb.Registry
+module Driver = Repdb.Driver
+
+let usage () =
+  Fmt.epr
+    "usage: large [--sites N] [--items N] [--txns N] [--threads N] [--protocols a,b] [-o FILE]@.";
+  exit 1
+
+let sites, items, txns, threads, protocols, out_file =
+  let rec parse sites items txns threads protos out = function
+    | [] -> (sites, items, txns, threads, protos, out)
+    | "--sites" :: n :: rest -> parse (int_of_string n) items txns threads protos out rest
+    | "--items" :: n :: rest -> parse sites (int_of_string n) txns threads protos out rest
+    | "--txns" :: n :: rest -> parse sites items (int_of_string n) threads protos out rest
+    | "--threads" :: n :: rest -> parse sites items txns (int_of_string n) protos out rest
+    | "--protocols" :: p :: rest ->
+        parse sites items txns threads (String.split_on_char ',' p) out rest
+    | "-o" :: f :: rest -> parse sites items txns threads protos (Some f) rest
+    | _ -> usage ()
+  in
+  match
+    parse 200 100_000 10 1 [ "backedge"; "dag-wt"; "psl" ] None
+      (List.tl (Array.to_list Sys.argv))
+  with
+  | v -> v
+  | exception _ -> usage ()
+
+(* Peak resident set, kB, from the kernel's accounting (0 if unavailable). *)
+let peak_rss_kb () =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | status -> (
+      let rec find = function
+        | [] -> 0
+        | line :: rest ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+            else find rest
+      in
+      match find (String.split_on_char '\n' status) with n -> n | exception _ -> 0)
+  | exception _ -> 0
+
+(* Target ~3 replicas per replicated item regardless of scale: the candidate
+   pool averages m/2 following sites, so s = 6/m keeps the expected replica
+   count constant while the placement stays genuinely partial. *)
+let params ~backedge_prob =
+  {
+    Params.default with
+    n_sites = sites;
+    n_items = items;
+    threads_per_site = threads;
+    txns_per_thread = txns;
+    replication_prob = 0.5;
+    site_prob = min 1.0 (6.0 /. float_of_int sites);
+    backedge_prob;
+    n_machines = max 3 (sites / 8);
+  }
+
+type row = {
+  proto : string;
+  wall_s : float;
+  events : int;
+  events_per_s : float;
+  commits : int;
+  aborts : int;
+  n_replicas : int;
+  rss_kb_per_site : int;
+}
+
+let run_one name =
+  let proto =
+    match Registry.find name with
+    | Some p -> p
+    | None -> (
+        Fmt.epr "unknown protocol %S (known: %s)@." name (String.concat ", " Registry.names);
+        exit 1)
+  in
+  (* DAG protocols need an acyclic copy graph; the chain-order BackEdge and
+     PSL runs keep the default backedge fraction so their eager paths fire. *)
+  let b = if name = "dag-wt" || name = "dag-t" then 0.0 else 0.2 in
+  Fmt.pr "%-10s %d sites x %d items ... %!" name sites items;
+  let t0 = Unix.gettimeofday () in
+  let r = Driver.run (params ~backedge_prob:b) proto in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let events_per_s = float_of_int r.sim_events /. wall_s in
+  let rss_kb_per_site = peak_rss_kb () / sites in
+  Fmt.pr "%6.1fs  %9.0f ev/s  %d commits  %d kB/site@." wall_s events_per_s r.summary.commits
+    rss_kb_per_site;
+  {
+    proto = name;
+    wall_s;
+    events = r.sim_events;
+    events_per_s;
+    commits = r.summary.commits;
+    aborts = r.summary.aborts;
+    n_replicas = r.n_replicas;
+    rss_kb_per_site;
+  }
+
+let () =
+  let rows = List.map run_one protocols in
+  let csv =
+    let b = Buffer.create 512 in
+    Buffer.add_string b
+      "protocol,sites,items,txns_per_thread,wall_s,sim_events,events_per_s,commits,aborts,replicas,rss_kb_per_site\n";
+    List.iter
+      (fun r ->
+        Buffer.add_string b
+          (Printf.sprintf "%s,%d,%d,%d,%.3f,%d,%.0f,%d,%d,%d,%d\n" r.proto sites items txns
+             r.wall_s r.events r.events_per_s r.commits r.aborts r.n_replicas r.rss_kb_per_site))
+      rows;
+    Buffer.contents b
+  in
+  (match out_file with
+  | Some f ->
+      Out_channel.with_open_text f (fun oc -> output_string oc csv);
+      Fmt.pr "wrote %s@." f
+  | None -> print_string csv);
+  (* The committed BENCH_sweeps.json "large" entry: total events over total
+     wall time, worst per-site memory across protocols. *)
+  let wall = List.fold_left (fun a r -> a +. r.wall_s) 0.0 rows in
+  let events = List.fold_left (fun a r -> a + r.events) 0 rows in
+  let rss = List.fold_left (fun a r -> max a r.rss_kb_per_site) 0 rows in
+  Fmt.pr
+    "@.\"large\": { \"sites\": %d, \"items\": %d, \"txns_per_thread\": %d, \"protocols\": %S,@.\
+    \           \"wall_s\": %.2f, \"events\": %d, \"events_per_s\": %.0f, \"rss_kb_per_site\": %d }@."
+    sites items txns (String.concat "," protocols) wall events
+    (float_of_int events /. wall)
+    rss;
+  if List.exists (fun r -> r.commits = 0) rows then begin
+    Fmt.epr "FAILED: a protocol committed nothing@.";
+    exit 1
+  end

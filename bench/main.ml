@@ -121,7 +121,7 @@ let fas () =
         let counts = Array.make_matrix m m 0 in
         Array.iteri
           (fun item u ->
-            List.iter (fun v -> counts.(u).(v) <- counts.(u).(v) + 1) pl.Placement.replicas.(item))
+            Array.iter (fun v -> counts.(u).(v) <- counts.(u).(v) + 1) pl.Placement.replicas.(item))
           pl.Placement.primary;
         let weight u v = float_of_int counts.(u).(v) in
         let sets =
@@ -275,10 +275,11 @@ let micro () =
   let open Bechamel in
   let module Timestamp = Repdb.Timestamp in
   let ts_a =
-    { Timestamp.epoch = 1; tuples = [ { Timestamp.site = 0; lts = 3 }; { site = 2; lts = 5 }; { site = 4; lts = 1 } ] }
+    Timestamp.of_tuples ~epoch:1
+      [ { Timestamp.site = 0; lts = 3 }; { site = 2; lts = 5 }; { site = 4; lts = 1 } ]
   in
   let ts_b =
-    { Timestamp.epoch = 1; tuples = [ { Timestamp.site = 0; lts = 3 }; { site = 3; lts = 2 } ] }
+    Timestamp.of_tuples ~epoch:1 [ { Timestamp.site = 0; lts = 3 }; { site = 3; lts = 2 } ]
   in
   let rng = Repdb_sim.Rng.create 1 in
   let dag =

@@ -54,8 +54,8 @@ type t = {
   tree_net : chain_msg list Network.t; (* one physical message = one coalesced run *)
   tree_bat : chain_msg Batcher.t;
   direct_net : direct_msg Network.t;
-  mutable in_subtree : bool array array;
-      (* site -> item -> replica within subtree(site) *)
+  mutable in_subtree : Routing.subtree_map;
+      (* site -> item bitset -> replica within subtree(site) *)
   pending_by_attempt : (int, pending) Hashtbl.t array; (* per site *)
   pending_by_gid : (int, pending) Hashtbl.t;
   participants : (int, participant) Hashtbl.t array; (* per site, by gid *)
@@ -81,7 +81,7 @@ let backedge_targets t site writes =
   let tbl = Hashtbl.create 8 in
   List.iter
     (fun item ->
-      List.iter
+      Array.iter
         (fun s -> if s <> site && Tree.is_ancestor t.tr s site then Hashtbl.replace tbl s ())
         t.c.placement.replicas.(item))
     writes;

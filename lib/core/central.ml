@@ -74,7 +74,7 @@ let update_applier t site =
   let rec loop () =
     let _, { gid; writes; origin_commit } = Mailbox.recv inbox in
     Cluster.use_cpu c site c.params.cpu_msg;
-    let items = List.filter (fun item -> List.mem site c.placement.replicas.(item)) writes in
+    let items = Routing.local_replicas c.placement site writes in
     Exec.apply_secondary c ~gid ~site items ~finally:(fun () ->
         if items <> [] then
           Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. origin_commit);
@@ -160,7 +160,7 @@ let submit t (spec : Txn.spec) =
            primary, so replicas apply in certification order. *)
         let dests = Hashtbl.create 4 in
         List.iter
-          (fun item -> List.iter (fun s -> Hashtbl.replace dests s ()) c.placement.replicas.(item))
+          (fun item -> Array.iter (fun s -> Hashtbl.replace dests s ()) c.placement.replicas.(item))
           writes;
         let now = Sim.now c.sim in
         Hashtbl.iter

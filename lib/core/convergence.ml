@@ -13,7 +13,7 @@ let check (c : Cluster.t) =
   let placement = c.placement in
   for item = placement.n_items - 1 downto 0 do
     let primary_value = Store.read c.stores.(placement.primary.(item)) item in
-    List.iter
+    Array.iter
       (fun site ->
         let replica_value = Store.read c.stores.(site) item in
         if not (Value.equal primary_value replica_value) then

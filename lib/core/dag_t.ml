@@ -71,7 +71,7 @@ let process t site (msg : msg) =
   if msg.dummy then advance_site_ts t site msg
   else begin
     Cluster.trace_secondary_recv c ~gid:msg.gid ~site;
-    let items = List.filter (fun item -> List.mem site c.placement.replicas.(item)) msg.writes in
+    let items = Routing.local_replicas c.placement site msg.writes in
     Exec.apply_secondary c ~gid:msg.gid ~site items ~finally:(fun () ->
         if items <> [] then
           Cluster.record_propagation c ~gid:msg.gid ~site
@@ -161,7 +161,7 @@ let pipelined_applier t site =
         st.tickets <- st.tickets + 1;
         let items =
           if msg.dummy then []
-          else List.filter (fun item -> List.mem site c.placement.replicas.(item)) msg.writes
+          else Routing.local_replicas c.placement site msg.writes
         in
         (* Register per-item FIFO position synchronously, before yielding. *)
         List.iter
@@ -221,10 +221,10 @@ let epoch_timer t site =
   let rec loop () =
     Sim.delay c.params.epoch_period;
     if not c.stopped then begin
-      st.ts <- Timestamp.with_epoch st.ts (st.ts.Timestamp.epoch + 1);
+      st.ts <- Timestamp.with_epoch st.ts (Timestamp.epoch st.ts + 1);
       if Repdb_obs.Trace.on c.trace then
         Repdb_obs.Trace.record c.trace
-          (Repdb_obs.Event.Epoch_advance { site; epoch = st.ts.Timestamp.epoch });
+          (Repdb_obs.Event.Epoch_advance { site; epoch = Timestamp.epoch st.ts });
       loop ()
     end
   in
@@ -319,7 +319,7 @@ let submit t (spec : Txn.spec) =
       let relevant =
         List.filter
           (fun child ->
-            List.exists (fun item -> List.mem child c.placement.replicas.(item)) writes)
+            List.exists (fun item -> Placement.has_replica c.placement ~site:child item) writes)
           (Digraph.succ t.graph site)
       in
       let now = Sim.now c.sim in

@@ -16,8 +16,8 @@ type t = {
   mutable tr : Tree.t;
   net : msg list Network.t; (* one physical message = one coalesced run *)
   bat : msg Batcher.t;
-  mutable in_subtree : bool array array;
-      (* site -> item -> some replica lives in subtree(site) *)
+  mutable in_subtree : Routing.subtree_map;
+      (* site -> item bitset -> some replica lives in subtree(site) *)
 }
 
 let tree t = t.tr

@@ -119,18 +119,21 @@ let submit t (spec : Txn.spec) =
       participants
   in
   let write_everywhere item =
-    let rec go = function
-      | [] -> Ok ()
-      | dst :: rest ->
-          t.remote <- t.remote + 1;
-          Hashtbl.replace participants dst ();
-          if rpc t ~site ~dst (fun reply -> Wlock_request { item; owner = attempt; reply }) then begin
-            Cluster.use_cpu c site c.params.cpu_msg;
-            go rest
-          end
-          else Error Txn.Remote_denied
+    let reps = c.placement.replicas.(item) in
+    let rec go i =
+      if i >= Array.length reps then Ok ()
+      else begin
+        let dst = reps.(i) in
+        t.remote <- t.remote + 1;
+        Hashtbl.replace participants dst ();
+        if rpc t ~site ~dst (fun reply -> Wlock_request { item; owner = attempt; reply }) then begin
+          Cluster.use_cpu c site c.params.cpu_msg;
+          go (i + 1)
+        end
+        else Error Txn.Remote_denied
+      end
     in
-    go c.placement.replicas.(item)
+    go 0
   in
   let rec run = function
     | [] -> Ok ()

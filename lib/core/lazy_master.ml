@@ -46,7 +46,7 @@ let serve_read t site ~src ~item ~owner ~reply =
 let serve_push t site ~src ~gid ~writes ~origin_commit ~reply =
   let c = t.c in
   Cluster.use_cpu c site c.params.cpu_msg;
-  let items = List.filter (fun item -> List.mem site c.placement.replicas.(item)) writes in
+  let items = Routing.local_replicas c.placement site writes in
   Exec.apply_secondary c ~gid ~site items ~finally:(fun () ->
       if items <> [] then Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. origin_commit);
       Batcher.push_now t.bat ~src:site ~dst:src (Push_ack { deliver = reply }))
@@ -149,7 +149,7 @@ let submit t (spec : Txn.spec) =
       (* Push the updates and hold every lock until all replicas ack. *)
       let dests = Hashtbl.create 4 in
       List.iter
-        (fun item -> List.iter (fun s -> Hashtbl.replace dests s ()) c.placement.replicas.(item))
+        (fun item -> Array.iter (fun s -> Hashtbl.replace dests s ()) c.placement.replicas.(item))
         writes;
       let origin_commit = Sim.now c.sim in
       Hashtbl.iter

@@ -16,7 +16,7 @@ let applier t site =
   let rec loop () =
     let _, msg = Mailbox.recv inbox in
     Cluster.use_cpu c site c.params.cpu_msg;
-    let items = List.filter (fun item -> List.mem site c.placement.replicas.(item)) msg.writes in
+    let items = Routing.local_replicas c.placement site msg.writes in
     Exec.apply_secondary c ~gid:msg.gid ~site items ~finally:(fun () ->
         if items <> [] then
           Metrics.propagation c.metrics ~delay:(Sim.now c.sim -. msg.origin_commit);
@@ -51,7 +51,7 @@ let submit t (spec : Txn.spec) =
       (* Indiscriminate: straight to every replica site, no ordering. *)
       let dests = Hashtbl.create 8 in
       List.iter
-        (fun item -> List.iter (fun s -> Hashtbl.replace dests s ()) c.placement.replicas.(item))
+        (fun item -> Array.iter (fun s -> Hashtbl.replace dests s ()) c.placement.replicas.(item))
         writes;
       let now = Sim.now c.sim in
       Hashtbl.iter

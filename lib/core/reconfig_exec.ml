@@ -18,9 +18,13 @@ let describe_xfer (_ : xfer) = ("state-transfer", 24)
 let additions (old_pl : Placement.t) (np : Placement.t) =
   let acc = ref [] in
   for item = np.n_items - 1 downto 0 do
-    List.iter
-      (fun site -> if not (List.mem site old_pl.replicas.(item)) then acc := (item, site) :: !acc)
-      np.replicas.(item)
+    (* Untouched rows are shared by the incremental [Placement.apply_step],
+       so physical equality skips the per-site membership checks wholesale. *)
+    if np.replicas.(item) != old_pl.replicas.(item) then
+      Array.iter
+        (fun site ->
+          if not (Placement.has_replica old_pl ~site item) then acc := (item, site) :: !acc)
+        np.replicas.(item)
   done;
   !acc
 

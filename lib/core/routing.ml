@@ -1,28 +1,55 @@
 module Tree = Repdb_graph.Tree
 module Placement = Repdb_workload.Placement
 
+(* Per-site replica bitmaps over items, packed as bytes: m * ceil(n/8) bytes
+   total instead of the m * n bools the old representation materialized, and
+   the bottom-up union runs 64 items per instruction. *)
+type subtree_map = { bits : Bytes.t array }
+
+let bit_get b item =
+  Char.code (Bytes.unsafe_get b (item lsr 3)) land (1 lsl (item land 7)) <> 0
+
+let bit_set b item =
+  let i = item lsr 3 in
+  Bytes.unsafe_set b i
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get b i) lor (1 lsl (item land 7))))
+
+let union_into ~dst ~src =
+  let len = Bytes.length dst in
+  let i = ref 0 in
+  while !i + 8 <= len do
+    Bytes.set_int64_ne dst !i (Int64.logor (Bytes.get_int64_ne dst !i) (Bytes.get_int64_ne src !i));
+    i := !i + 8
+  done;
+  while !i < len do
+    Bytes.unsafe_set dst !i
+      (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst !i) lor Char.code (Bytes.unsafe_get src !i)));
+    incr i
+  done
+
 let subtree_replicas (placement : Placement.t) tree =
   let m = placement.n_sites and n = placement.n_items in
-  let maps = Array.init m (fun _ -> Array.make n false) in
+  let nb = (n + 7) lsr 3 in
+  let bits = Array.init m (fun _ -> Bytes.make nb '\000') in
   Array.iteri
-    (fun item _ -> List.iter (fun site -> maps.(site).(item) <- true) placement.replicas.(item))
-    placement.primary;
+    (fun item reps -> Array.iter (fun site -> bit_set bits.(site) item) reps)
+    placement.replicas;
   let rec fold site =
     List.iter
       (fun child ->
         fold child;
-        for item = 0 to n - 1 do
-          if maps.(child).(item) then maps.(site).(item) <- true
-        done)
+        union_into ~dst:bits.(site) ~src:bits.(child))
       (Tree.children tree site)
   in
   List.iter fold (Tree.roots tree);
-  maps
+  { bits }
+
+let in_subtree maps ~site item = bit_get maps.bits.(site) item
 
 let relevant_children maps tree site writes =
   List.filter
-    (fun child -> List.exists (fun item -> maps.(child).(item)) writes)
+    (fun child -> List.exists (fun item -> bit_get maps.bits.(child) item) writes)
     (Tree.children tree site)
 
 let local_replicas (placement : Placement.t) site writes =
-  List.filter (fun item -> List.mem site placement.replicas.(item)) writes
+  List.filter (fun item -> Placement.has_replica placement ~site item) writes

@@ -3,16 +3,26 @@
 module Tree = Repdb_graph.Tree
 module Placement = Repdb_workload.Placement
 
+(** Per-site bitmap over items: [m * ceil(n/8)] bytes, unioned bottom-up
+    with 64-bit word operations — the compact replacement for the old
+    [bool array array] matrix. *)
+type subtree_map
+
 (** [subtree_replicas placement tree] — per-site bitmap over items:
-    [(m site).(item)] is true iff some site in [subtree tree site] holds a
+    bit [(site, item)] is set iff some site in [subtree tree site] holds a
     replica of [item]. Computed bottom-up over the forest. *)
-val subtree_replicas : Placement.t -> Tree.t -> bool array array
+val subtree_replicas : Placement.t -> Tree.t -> subtree_map
+
+(** [in_subtree maps ~site item] — does some site in [subtree site] hold a
+    replica of [item]? O(1). *)
+val in_subtree : subtree_map -> site:int -> int -> bool
 
 (** [relevant_children maps tree site writes] — the children of [site] whose
     subtree holds a replica of some written item (the paper's relevance rule
     for forwarding secondary subtransactions). *)
-val relevant_children : bool array array -> Tree.t -> int -> int list -> int list
+val relevant_children : subtree_map -> Tree.t -> int -> int list -> int list
 
 (** [local_replicas placement site writes] — written items replicated at
-    [site] (the ones a secondary subtransaction applies there). *)
+    [site] (the ones a secondary subtransaction applies there). O(log r) per
+    write, no replica-list scans. *)
 val local_replicas : Placement.t -> int -> int list -> int list

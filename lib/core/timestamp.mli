@@ -20,11 +20,26 @@
 
 type tuple = { site : int; lts : int }
 
-type t = { epoch : int; tuples : tuple list }
+type t
+(** Abstract: internally the vector is kept newest-tuple-first so {!concat}
+    and {!bump_own} are O(1) — a transaction crossing a long propagation
+    chain extends its timestamp once per hop, and the tail-append
+    representation made that quadratic. Use {!tuples} for the forward
+    (increasing-site-order) view. *)
 
 (** [initial site] — the timestamp [(site, 0)] with epoch 0; the initial site
     timestamp of the protocol. *)
 val initial : int -> t
+
+(** The epoch number. *)
+val epoch : t -> int
+
+(** The vector in forward (increasing-site) order. O(n). *)
+val tuples : t -> tuple list
+
+(** [of_tuples ~epoch tuples] builds a timestamp from a forward-order vector.
+    No validation — pair with {!well_formed} when the input is untrusted. *)
+val of_tuples : epoch:int -> tuple list -> t
 
 (** Total order of Definition 3.3 extended with epochs. *)
 val compare : t -> t -> int

@@ -42,6 +42,15 @@ let edges g =
 
 let copy g = { n = g.n; succs = Array.copy g.succs; preds = Array.copy g.preds; m = g.m }
 
+let remove_edge g u v =
+  check g u;
+  check g v;
+  if ISet.mem v g.succs.(u) then begin
+    g.succs.(u) <- ISet.remove v g.succs.(u);
+    g.preds.(v) <- ISet.remove u g.preds.(v);
+    g.m <- g.m - 1
+  end
+
 let remove_edges g es =
   let h = copy g in
   List.iter

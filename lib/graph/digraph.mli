@@ -19,6 +19,12 @@ val add_edge : t -> int -> int -> unit
 
 val has_edge : t -> int -> int -> bool
 
+(** [remove_edge g u v] deletes edge [u -> v] in place; no-op if absent.
+    The adjacency sets are persistent, so a {!copy} taken before the removal
+    is unaffected.
+    @raise Invalid_argument if [u] or [v] is out of range. *)
+val remove_edge : t -> int -> int -> unit
+
 (** Successors of [v], ascending. *)
 val succ : t -> int -> int list
 

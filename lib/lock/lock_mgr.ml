@@ -22,18 +22,29 @@ type request = {
   mutable resume : outcome -> unit;
 }
 
+(* The waiter queue is a two-list FIFO: push-back conses onto [q_back],
+   upgrades cons onto [q_front], and the head is normalized lazily ([q_back]
+   reversed into [q_front] when the front runs dry). Every operation is O(1)
+   amortized — the old single-list [queue @ [req]] append was O(n) per
+   enqueue, O(n^2) under hot-key contention. [n_live] counts `Waiting
+   requests so emptiness checks never walk the queue. *)
 type entry = {
   mutable holding : (owner * mode) list;
-  mutable queue : request list; (* front = next to grant; may contain `Done *)
+  mutable q_front : request list; (* head = next to grant; may contain `Done *)
+  mutable q_back : request list; (* reversed tail *)
+  mutable n_live : int;
 }
 
 (* Items are dense small ints (0 .. n_items-1), so the lock table is a flat
    array grown on demand — no hashing, no bucket allocation on the acquire
-   fast path, which profiling showed as the hottest non-kernel function. *)
+   fast path, which profiling showed as the hottest non-kernel function.
+   [remap] compresses sparse item ids into dense table slots (per-site
+   placed-item ranks at scale); the default is the identity. *)
 type t = {
   sim : Sim.t;
   policy : policy;
-  mutable entries : entry array; (* indexed by item *)
+  remap : item -> int;
+  mutable entries : entry array; (* indexed by remapped item *)
   held : (owner, (item * mode) list ref) Hashtbl.t; (* for release_all *)
   waiting : (owner, request) Hashtbl.t;
   mutable arrivals : int;
@@ -51,11 +62,12 @@ type t = {
   s_deadlocks : Stats.counter option;
 }
 
-let create ~sim ~policy ?(site = 0) ?(trace = Trace.disabled) ?stats
+let create ~sim ~policy ?(site = 0) ?(trace = Trace.disabled) ?stats ?(remap = Fun.id)
     ?(on_wait = fun ~owner:_ ~dur:_ -> ()) () =
   {
     sim;
     policy;
+    remap;
     entries = [||];
     held = Hashtbl.create 64;
     waiting = Hashtbl.create 64;
@@ -78,16 +90,19 @@ let obs_mode = function Shared -> Event.Shared | Exclusive -> Event.Exclusive
 let bump c site = match c with Some c -> Stats.incr c ~site | None -> ()
 
 let entry_of t item =
-  if item < 0 then invalid_arg "Lock_mgr: negative item";
+  let slot = t.remap item in
+  if slot < 0 then invalid_arg "Lock_mgr: negative item";
   let n = Array.length t.entries in
-  if item >= n then begin
-    let ncap = max 64 (max (item + 1) (2 * n)) in
+  if slot >= n then begin
+    let ncap = max 64 (max (slot + 1) (2 * n)) in
     let grown =
-      Array.init ncap (fun i -> if i < n then t.entries.(i) else { holding = []; queue = [] })
+      Array.init ncap (fun i ->
+          if i < n then t.entries.(i)
+          else { holding = []; q_front = []; q_back = []; n_live = 0 })
     in
     t.entries <- grown
   end;
-  t.entries.(item)
+  t.entries.(slot)
 
 let record_hold t ~owner item mode =
   match Hashtbl.find_opt t.held owner with
@@ -99,19 +114,41 @@ let compatible mode holding =
   | Shared -> List.for_all (fun (_, m) -> m = Shared) holding
   | Exclusive -> holding = []
 
-let has_live_queue e =
-  let rec go = function [] -> false | r :: rest -> r.state = `Waiting || go rest in
-  go e.queue
+let has_live_queue e = e.n_live > 0
 
-let live_queue e = List.filter (fun r -> r.state = `Waiting) e.queue
+(* First `Waiting request in FIFO order. `Done entries are pruned from the
+   front lazily; when the front runs dry the reversed back is normalized in.
+   On [Some req], [req] is the head of [e.q_front]. *)
+let rec first_live e =
+  match e.q_front with
+  | r :: rest ->
+      if r.state = `Waiting then Some r
+      else begin
+        e.q_front <- rest;
+        first_live e
+      end
+  | [] ->
+      if e.q_back = [] then None
+      else begin
+        e.q_front <- List.rev e.q_back;
+        e.q_back <- [];
+        first_live e
+      end
+
+let push_back e req =
+  e.q_back <- req :: e.q_back;
+  e.n_live <- e.n_live + 1
+
+let push_front e req =
+  e.q_front <- req :: e.q_front;
+  e.n_live <- e.n_live + 1
 
 (* Grant queued requests from the front while possible. An upgrade request is
    grantable when its owner is the sole remaining holder. *)
 let rec service t item e =
-  e.queue <- live_queue e;
-  match e.queue with
-  | [] -> ()
-  | req :: rest ->
+  match first_live e with
+  | None -> ()
+  | Some req ->
       let grantable =
         if req.upgrade then
           match e.holding with [ (o, Shared) ] when o = req.req_owner -> true | _ -> false
@@ -121,7 +158,8 @@ let rec service t item e =
         if req.upgrade then e.holding <- [ (req.req_owner, Exclusive) ]
         else e.holding <- (req.req_owner, req.req_mode) :: e.holding;
         record_hold t ~owner:req.req_owner item req.req_mode;
-        e.queue <- rest;
+        e.q_front <- List.tl e.q_front;
+        e.n_live <- e.n_live - 1;
         req.state <- `Done;
         Hashtbl.remove t.waiting req.req_owner;
         t.n_acquires <- t.n_acquires + 1;
@@ -154,6 +192,9 @@ let fail_request t req outcome =
             (Event.Lock_deadlock { site = t.site; owner = req.req_owner; item = req.req_item })
     | Granted -> assert false);
     let e = entry_of t req.req_item in
+    (* The request stays in the queue as a `Done tombstone (pruned lazily by
+       [first_live]), but it no longer counts as live. *)
+    e.n_live <- e.n_live - 1;
     req.resume outcome;
     service t req.req_item e
   end
@@ -168,7 +209,7 @@ let blockers_of t req =
       | r :: _ when r == req -> acc
       | r :: rest -> take (if r.state = `Waiting then r.req_owner :: acc else acc) rest
     in
-    take [] e.queue
+    take [] (e.q_front @ List.rev e.q_back)
   in
   let holders = List.map fst e.holding in
   List.sort_uniq compare (List.filter (fun o -> o <> req.req_owner) (holders @ ahead))
@@ -260,7 +301,7 @@ let rec acquire t ~owner item mode =
               resume = ignore;
             }
           in
-          e.queue <- req :: e.queue;
+          push_front e req;
           wait t req
     end
   | None, _ ->
@@ -285,7 +326,7 @@ let rec acquire t ~owner item mode =
             resume = ignore;
           }
         in
-        e.queue <- e.queue @ [ req ];
+        push_back e req;
         wait t req
       end
 
@@ -332,7 +373,8 @@ let release_all t ~owner =
         !cell
 
 let holders t item =
-  if item >= 0 && item < Array.length t.entries then t.entries.(item).holding else []
+  let slot = t.remap item in
+  if slot >= 0 && slot < Array.length t.entries then t.entries.(slot).holding else []
 
 let abort_waiter t ~owner =
   match Hashtbl.find_opt t.waiting owner with
@@ -342,13 +384,14 @@ let abort_waiter t ~owner =
       true
 
 let holds t ~owner item =
-  if item < 0 || item >= Array.length t.entries then None
+  let slot = t.remap item in
+  if slot < 0 || slot >= Array.length t.entries then None
   else
     let rec go = function
       | [] -> None
       | (o, m) :: rest -> if o = owner then Some m else go rest
     in
-    go t.entries.(item).holding
+    go t.entries.(slot).holding
 
 let stats t =
   {

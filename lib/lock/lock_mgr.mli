@@ -52,13 +52,21 @@ type t
     ["lock.acq"] / ["lock.wait"] / ["lock.tmo"] / ["lock.ddl"] counters are
     registered and bumped. [on_wait ~owner ~dur] fires after every blocked
     request resolves (granted or failed) with the simulated ms it waited —
-    the span layer's lock-wait attribution hook. *)
+    the span layer's lock-wait attribution hook.
+
+    [remap] maps external item ids to dense lock-table slots (default:
+    identity). Under partial replication a site only ever locks the items
+    placed there, so remapping to the site's placed-item rank keeps the flat
+    table at |placed| entries instead of max-item-id. The function must be
+    injective on the items actually locked; it may raise to flag a lock
+    request for an item the site should never touch. *)
 val create :
   sim:Repdb_sim.Sim.t ->
   policy:policy ->
   ?site:int ->
   ?trace:Repdb_obs.Trace.t ->
   ?stats:Repdb_obs.Stats.t ->
+  ?remap:(item -> int) ->
   ?on_wait:(owner:owner -> dur:float -> unit) ->
   unit ->
   t

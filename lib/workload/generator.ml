@@ -8,13 +8,12 @@ type t = {
   mutable writable : int array array;
 }
 
+(* The pools are the placement's own precomputed per-site slices (read-only
+   by contract), so refreshing after a reconfiguration copies pointers, not
+   item lists. *)
 let pools (params : Params.t) placement =
-  let readable =
-    Array.init params.n_sites (fun site -> Array.of_list (Placement.placed_at placement site))
-  in
-  let writable =
-    Array.init params.n_sites (fun site -> Array.of_list (Placement.primaries_at placement site))
-  in
+  let readable = Array.init params.n_sites (fun site -> Placement.placed_at placement site) in
+  let writable = Array.init params.n_sites (fun site -> Placement.primaries_at placement site) in
   (readable, writable)
 
 let create rng (params : Params.t) placement =
@@ -68,7 +67,24 @@ let gen_with t rng ~site =
        the paper). *)
     let item_of = function Txn.Read i | Txn.Write i -> i in
     let ops = List.sort (fun a b -> compare (item_of a) (item_of b)) ops in
-    { Txn.origin = site; ops }
+    (* [pick_distinct] is best-effort: with a tiny or heavily skewed pool it
+       gives up after 20 tries and returns a duplicate, and a Read + Write of
+       the same item would force exactly the shared-to-exclusive upgrade the
+       distinct-items rule exists to prevent (two such transactions at one
+       site deadlock against each other). Collapse duplicates after the
+       canonical sort, a Write absorbing a Read of the same item. *)
+    let rec dedup = function
+      | a :: b :: rest when item_of a = item_of b ->
+          let keep =
+            match (a, b) with
+            | (Txn.Write _ as w), _ | _, (Txn.Write _ as w) -> w
+            | (Txn.Read _ as r), Txn.Read _ -> r
+          in
+          dedup (keep :: rest)
+      | a :: rest -> a :: dedup rest
+      | [] -> []
+    in
+    { Txn.origin = site; ops = dedup ops }
   end
 
 let gen t ~site = gen_with t t.rng ~site

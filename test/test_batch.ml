@@ -86,7 +86,7 @@ let test_final_values_identical () =
       (fun item primary ->
         let version site = (Store.read c.stores.(site) item).Value.version in
         Buffer.add_string b (Printf.sprintf "%d@%d=%d;" item primary (version primary));
-        List.iter
+        Array.iter
           (fun site -> Buffer.add_string b (Printf.sprintf "%d@%d=%d;" item site (version site)))
           c.placement.Placement.replicas.(item))
       c.placement.Placement.primary;

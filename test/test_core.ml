@@ -205,9 +205,9 @@ let test_routing_subtree_maps () =
   in
   let tr = Tree.chain_of_order [| 0; 1; 2 |] in
   let maps = Repdb.Routing.subtree_replicas placement tr in
-  checkb "root subtree sees it" true maps.(0).(0);
-  checkb "middle subtree sees it" true maps.(1).(0);
-  checkb "leaf holds it" true maps.(2).(0);
+  checkb "root subtree sees it" true (Repdb.Routing.in_subtree maps ~site:0 0);
+  checkb "middle subtree sees it" true (Repdb.Routing.in_subtree maps ~site:1 0);
+  checkb "leaf holds it" true (Repdb.Routing.in_subtree maps ~site:2 0);
   Alcotest.(check (list int)) "middle is relevant from root" [ 1 ]
     (Repdb.Routing.relevant_children maps tr 0 [ 0 ]);
   Alcotest.(check (list int)) "local replicas at 1" []
@@ -234,17 +234,19 @@ let test_cluster_quiescence_accounting () =
 let test_cluster_deadlock_policy_param () =
   let params = { small_params with Params.deadlock_policy = `Detect } in
   let c = Cluster.create_with params placement in
-  (* Two locally deadlocked owners resolve by detection (no 50 ms wait). *)
+  (* Two locally deadlocked owners resolve by detection (no 50 ms wait).
+     Site 1 holds both items (replica of 0, primary of 1), so both are valid
+     lock targets under the dense placed-item lock tables. *)
   let resolved_at = ref infinity in
   Sim.spawn c.sim (fun () ->
-      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(0) ~owner:1 0 Repdb_lock.Lock_mgr.Exclusive);
+      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(1) ~owner:1 0 Repdb_lock.Lock_mgr.Exclusive);
       Sim.delay 2.0;
-      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(0) ~owner:1 1 Repdb_lock.Lock_mgr.Exclusive);
+      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(1) ~owner:1 1 Repdb_lock.Lock_mgr.Exclusive);
       resolved_at := Sim.now c.sim);
   Sim.spawn c.sim (fun () ->
       Sim.delay 1.0;
-      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(0) ~owner:2 1 Repdb_lock.Lock_mgr.Exclusive);
-      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(0) ~owner:2 0 Repdb_lock.Lock_mgr.Exclusive));
+      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(1) ~owner:2 1 Repdb_lock.Lock_mgr.Exclusive);
+      ignore (Repdb_lock.Lock_mgr.acquire c.locks.(1) ~owner:2 0 Repdb_lock.Lock_mgr.Exclusive));
   Sim.run c.sim;
   checkb "detection beats the 50ms timeout" true (!resolved_at < 50.0)
 

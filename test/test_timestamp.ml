@@ -7,7 +7,7 @@ let checkb = Alcotest.(check bool)
 let lt a b = Timestamp.compare a b < 0
 
 let ts ?(epoch = 0) tuples =
-  { Timestamp.epoch; tuples = List.map (fun (site, lts) -> { Timestamp.site; lts }) tuples }
+  Timestamp.of_tuples ~epoch (List.map (fun (site, lts) -> { Timestamp.site; lts }) tuples)
 
 (* The published examples, with sites s1 < s2 < s3 as ranks 1 < 2 < 3. *)
 let test_definition_examples () =
@@ -46,7 +46,7 @@ let test_concat () =
 
 let test_with_epoch () =
   let t = Timestamp.with_epoch (ts [ (1, 1) ]) 9 in
-  Alcotest.(check int) "epoch set" 9 t.Timestamp.epoch
+  Alcotest.(check int) "epoch set" 9 (Timestamp.epoch t)
 
 (* Site-timestamp evolution: committing a secondary with a larger timestamp
    always advances the site timestamp (the monotonicity DAG(T) relies on). *)
@@ -96,7 +96,7 @@ let prop_concat_grows =
     (fun t ->
       if not (Timestamp.well_formed t) then QCheck2.assume_fail ()
       else
-        let last_site = List.fold_left (fun _ tup -> tup.Timestamp.site) 0 t.Timestamp.tuples in
+        let last_site = List.fold_left (fun _ tup -> tup.Timestamp.site) 0 (Timestamp.tuples t) in
         let t' = Timestamp.concat t ~site:(last_site + 1) ~lts:0 in
         lt t t' && Timestamp.well_formed t')
 

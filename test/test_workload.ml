@@ -42,8 +42,8 @@ let test_primary_round_robin () =
   for item = 0 to 9 do
     checki "round robin" (item mod 4) pl.Placement.primary.(item)
   done;
-  checki "primaries at site 0" 3 (List.length (Placement.primaries_at pl 0));
-  checki "primaries at site 3" 2 (List.length (Placement.primaries_at pl 3))
+  checki "primaries at site 0" 3 (Array.length (Placement.primaries_at pl 0));
+  checki "primaries at site 3" 2 (Array.length (Placement.primaries_at pl 3))
 
 let test_no_replication () =
   let p = { d with Params.replication_prob = 0.0 } in
@@ -59,7 +59,7 @@ let test_full_forward_replication () =
   for item = 0 to 7 do
     let si = pl.Placement.primary.(item) in
     let expected = List.init (4 - si - 1) (fun k -> si + 1 + k) in
-    Alcotest.(check (list int)) "following sites" expected pl.Placement.replicas.(item)
+    Alcotest.(check (list int)) "following sites" expected (Array.to_list pl.Placement.replicas.(item))
   done;
   Alcotest.(check (list (pair int int))) "still no backedges" [] (Placement.backedges pl)
 
@@ -79,7 +79,8 @@ let test_placement_queries () =
   checkb "replica is a copy" true (Placement.has_copy pl ~site:2 0);
   checkb "is_primary" true (Placement.is_primary pl ~site:0 0);
   checkb "replica not primary" false (Placement.is_primary pl ~site:2 0);
-  Alcotest.(check (list int)) "placed at last site" [ 0; 1; 2; 3; 4; 5 ] (Placement.placed_at pl 2);
+  Alcotest.(check (list int)) "placed at last site" [ 0; 1; 2; 3; 4; 5 ]
+    (Array.to_list (Placement.placed_at pl 2));
   (* Items whose primary is the last site have no following candidates at
      b = 0, so they stay unreplicated. *)
   checki "replicated items" 4 (Placement.n_replicated_items pl)
@@ -154,7 +155,7 @@ let test_gen_hotspot () =
   let p = { d with Params.hot_access_prob = 1.0; hot_item_fraction = 0.2; read_txn_prob = 1.0 } in
   let gen, pl = make_gen ~p 14 in
   let rng = Rng.create 106 in
-  let pool = Array.of_list (Placement.placed_at pl 0) in
+  let pool = Placement.placed_at pl 0 in
   let hot = max 1 (int_of_float (ceil (0.2 *. float_of_int (Array.length pool)))) in
   for _ = 1 to 30 do
     let spec = Generator.gen_with gen rng ~site:0 in
@@ -182,6 +183,164 @@ let test_gen_empty_site () =
   let rng = Rng.create 105 in
   let spec = Generator.gen_with gen rng ~site:1 in
   Alcotest.(check (list Alcotest.reject)) "empty txn" [] (List.map (fun _ -> ()) spec.Txn.ops)
+
+(* --- compact representation vs. list-based reference ---------------------- *)
+
+module Reconfig = Repdb_reconfig.Reconfig
+
+(* A transparent list-based model of every placement query: the
+   representation the compact sorted-array/bitset layout replaced. Small and
+   obviously correct, so the QCheck tests below can pin the compact
+   structures against it on random placements and reconfiguration
+   sequences. *)
+module Ref_model = struct
+  type t = { m : int; n : int; primary : int array; replicas : int list array }
+
+  let make ~n_sites ~n_items ~primary ~replicas =
+    let replicas =
+      Array.mapi
+        (fun item l -> List.sort_uniq compare (List.filter (fun s -> s <> primary.(item)) l))
+        replicas
+    in
+    { m = n_sites; n = n_items; primary; replicas }
+
+  let has_copy t ~site item = t.primary.(item) = site || List.mem site t.replicas.(item)
+  let has_replica t ~site item = List.mem site t.replicas.(item)
+  let placed_at t site = List.filter (fun item -> has_copy t ~site item) (List.init t.n Fun.id)
+
+  let primaries_at t site =
+    List.filter (fun item -> t.primary.(item) = site) (List.init t.n Fun.id)
+
+  let edges t =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri
+      (fun item u -> List.iter (fun v -> Hashtbl.replace tbl (u, v) ()) t.replicas.(item))
+      t.primary;
+    List.sort compare (Hashtbl.fold (fun e () acc -> e :: acc) tbl [])
+
+  let backedges t = List.filter (fun (u, v) -> v < u) (edges t)
+
+  let apply_step t (step : Reconfig.step) =
+    let upd f = { t with replicas = Array.mapi f t.replicas } in
+    match step with
+    | Reconfig.Add_replica { item; site } ->
+        if site = t.primary.(item) then t
+        else upd (fun i l -> if i = item then List.sort_uniq compare (site :: l) else l)
+    | Reconfig.Drop_replica { item; site } ->
+        upd (fun i l -> if i = item then List.filter (fun s -> s <> site) l else l)
+    | Reconfig.Rebalance_site { from_site; to_site } ->
+        upd (fun item l ->
+            if List.mem from_site l then
+              let l = List.filter (fun s -> s <> from_site) l in
+              if to_site = t.primary.(item) then l else List.sort_uniq compare (to_site :: l)
+            else l)
+end
+
+(* Compact placement and reference agree on every query. *)
+let agrees (rm : Ref_model.t) (pl : Placement.t) =
+  let ok = ref true in
+  let chk b = if not b then ok := false in
+  for site = 0 to rm.m - 1 do
+    chk (Ref_model.placed_at rm site = Array.to_list (Placement.placed_at pl site));
+    chk (Ref_model.primaries_at rm site = Array.to_list (Placement.primaries_at pl site));
+    for item = 0 to rm.n - 1 do
+      chk (Ref_model.has_copy rm ~site item = Placement.has_copy pl ~site item);
+      chk (Ref_model.has_replica rm ~site item = Placement.has_replica pl ~site item);
+      let idx = Placement.placed_index pl ~site item in
+      chk
+        (if Ref_model.has_copy rm ~site item then (Placement.placed_at pl site).(idx) = item
+         else idx = -1)
+    done
+  done;
+  chk (Ref_model.edges rm = List.sort compare (Digraph.edges (Placement.copy_graph pl)));
+  chk (Ref_model.backedges rm = List.sort compare (Placement.backedges pl));
+  !ok
+
+(* Raw placement input: primaries and replica site lists, both arbitrary
+   (duplicates, the primary itself — [make] must normalize). *)
+let gen_raw =
+  QCheck.Gen.(
+    2 -- 6 >>= fun m ->
+    1 -- 25 >>= fun n ->
+    array_repeat n (0 -- (m - 1)) >>= fun primary ->
+    array_repeat n (list_size (0 -- (2 * m)) (0 -- (m - 1))) >>= fun replicas ->
+    return (m, n, primary, replicas))
+
+let arb_raw = QCheck.make ~print:(fun (m, n, _, _) -> Printf.sprintf "%d sites, %d items" m n) gen_raw
+
+let test_compact_equivalence =
+  QCheck.Test.make ~name:"compact placement matches list-based reference" ~count:300 arb_raw
+    (fun (m, n, primary, replicas) ->
+      let rm = Ref_model.make ~n_sites:m ~n_items:n ~primary ~replicas in
+      let pl = Placement.make ~n_sites:m ~n_items:n ~primary ~replicas in
+      agrees rm pl)
+
+(* Random step sequences: the incremental [apply_step] must stay equivalent
+   to the reference at every intermediate placement, not just the last. *)
+let gen_steps =
+  QCheck.Gen.(
+    pair gen_raw
+      (list_size (0 -- 12)
+         (triple (0 -- 2) (pair small_nat small_nat) small_nat)))
+
+let arb_steps =
+  QCheck.make
+    ~print:(fun ((m, n, _, _), steps) ->
+      Printf.sprintf "%d sites, %d items, %d steps" m n (List.length steps))
+    gen_steps
+
+let test_compact_apply_step =
+  QCheck.Test.make ~name:"incremental apply_step matches reference" ~count:300 arb_steps
+    (fun ((m, n, primary, replicas), raw_steps) ->
+      let to_step (kind, (a, b), c) =
+        match kind with
+        | 0 -> Reconfig.Add_replica { item = a mod n; site = b mod m }
+        | 1 -> Reconfig.Drop_replica { item = a mod n; site = b mod m }
+        | _ ->
+            let from_site = a mod m in
+            let to_site = (from_site + 1 + (c mod (max 1 (m - 1)))) mod m in
+            Reconfig.Rebalance_site { from_site; to_site }
+      in
+      let rm = ref (Ref_model.make ~n_sites:m ~n_items:n ~primary ~replicas) in
+      let pl = ref (Placement.make ~n_sites:m ~n_items:n ~primary ~replicas) in
+      List.for_all
+        (fun raw ->
+          let step = to_step raw in
+          rm := Ref_model.apply_step !rm step;
+          pl := Placement.apply_step !pl step;
+          agrees !rm !pl)
+        raw_steps)
+
+(* Even a pool tiny enough to defeat resampling must never yield a
+   transaction touching the same item twice (a Read + Write pair upgrades
+   and deadlocks; see the dedup pass in [Generator.gen_with]). *)
+let test_gen_distinct_tiny_pool =
+  QCheck.Test.make ~name:"generated txns have distinct items even with tiny pools" ~count:200
+    QCheck.(pair (1 -- 3) small_nat)
+    (fun (n_items, seed) ->
+      let p =
+        {
+          d with
+          Params.n_sites = 2;
+          n_items;
+          ops_per_txn = 8;
+          replication_prob = 1.0;
+          site_prob = 1.0;
+          read_txn_prob = 0.3;
+          read_op_prob = 0.5;
+        }
+      in
+      let gen, _ = make_gen ~p (seed + 1) in
+      let rng = Rng.create (seed + 1000) in
+      List.for_all
+        (fun site ->
+          List.for_all
+            (fun _ ->
+              let spec = Generator.gen_with gen rng ~site in
+              let items = List.map (function Txn.Read i | Txn.Write i -> i) spec.Txn.ops in
+              List.sort_uniq compare items = items)
+            (List.init 20 Fun.id))
+        [ 0; 1 ])
 
 let () =
   Alcotest.run "workload"
@@ -211,5 +370,11 @@ let () =
           Alcotest.test_case "hotspot" `Quick test_gen_hotspot;
           Alcotest.test_case "hotspot/straggler validation" `Quick test_hotspot_validation;
           Alcotest.test_case "empty site" `Quick test_gen_empty_site;
+        ] );
+      ( "compact",
+        [
+          QCheck_alcotest.to_alcotest test_compact_equivalence;
+          QCheck_alcotest.to_alcotest test_compact_apply_step;
+          QCheck_alcotest.to_alcotest test_gen_distinct_tiny_pool;
         ] );
     ]
