@@ -60,6 +60,7 @@ let figures : (string * (?pool:Pool.t -> unit -> Experiment.figure)) list =
     ("faults", fun ?pool () -> Experiment.sweep_faults ?pool ~base ());
     ("reconfig", fun ?pool () -> Experiment.sweep_reconfig ?pool ~base ());
     ("partition", fun ?pool () -> Experiment.sweep_partition ?pool ~base ());
+    ("occ", fun ?pool () -> Experiment.sweep_occ ?pool ~base ());
   ]
 
 let default_figures = [ "fig2a"; "fig2b"; "fig3a"; "fig3b" ]
@@ -159,18 +160,22 @@ let check_against file ~seq_rate ~par_rate =
     [
       "generated_by"; "txns_per_thread"; "jobs"; "recommended_domains"; "figures"; "total";
       "seq_s"; "par_s"; "speedup"; "events"; "seq_events_per_s"; "par_events_per_s"; "identical";
-      "large";
+      "large"; "occ";
     ];
-  (* The hand-merged "large" entry (bench/large.exe at production scale) must
-     carry a positive events/s — a zero or missing rate means the sweep never
-     actually ran at scale. *)
-  (match index_from_opt json 0 "\"large\"" with
-  | None -> assert false (* presence checked above *)
-  | Some large_at -> (
-      match number_after json ~from:large_at "events_per_s" with
-      | Some v when v > 0.0 -> ()
-      | Some v -> check_fail "%s: large.events_per_s = %g is not positive" file v
-      | None -> check_fail "%s: large.events_per_s missing or not a number" file));
+  (* The hand-merged entries ("large" from bench/large.exe at production
+     scale, "occ" from the optimistic-vs-locking contention sweep) must carry
+     a positive events/s — a zero or missing rate means the sweep never
+     actually ran. *)
+  List.iter
+    (fun entry ->
+      match index_from_opt json 0 (Printf.sprintf "\"%s\"" entry) with
+      | None -> assert false (* presence checked above *)
+      | Some at -> (
+          match number_after json ~from:at "events_per_s" with
+          | Some v when v > 0.0 -> ()
+          | Some v -> check_fail "%s: %s.events_per_s = %g is not positive" file entry v
+          | None -> check_fail "%s: %s.events_per_s missing or not a number" file entry))
+    [ "large"; "occ" ];
   let total_at =
     match index_from_opt json 0 "\"total\"" with
     | Some i -> i

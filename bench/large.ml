@@ -20,9 +20,12 @@ module Placement = Repdb_workload.Placement
 module Registry = Repdb.Registry
 module Driver = Repdb.Driver
 
+(* The protocol listing is rendered from [Registry.entries] — the same single
+   source `repdb protocols` prints, so the two cannot drift. *)
 let usage () =
   Fmt.epr
-    "usage: large [--sites N] [--items N] [--txns N] [--threads N] [--protocols a,b] [-o FILE]@.";
+    "usage: large [--sites N] [--items N] [--txns N] [--threads N] [--protocols a,b] [-o FILE]@.@.protocols:@.";
+  List.iter (fun (name, doc) -> Fmt.epr "  %-10s %s@." name doc) (Registry.describe ());
   exit 1
 
 let sites, items, txns, threads, protocols, out_file =

@@ -409,6 +409,49 @@ let micro () =
   Pool.shutdown micro_pool;
   Fmt.pr "@."
 
+(* Validation cost against read/write-set size: one [Validator.validate]
+   call per run. Read and write sets are disjoint, so every run validates
+   clean (the steady-state cost a winner pays) — the writes keep bumping
+   their own items, the reads stay at their seeded versions. *)
+let occ_validate () =
+  let open Bechamel in
+  let module Validator = Repdb_occ.Validator in
+  let bench n =
+    let v = Validator.create () in
+    let reads = List.init n (fun i -> (i, 0)) in
+    let writes = List.init n (fun i -> 4096 + i) in
+    let gid = ref 0 in
+    Staged.stage (fun () ->
+        incr gid;
+        match Validator.validate v { gid = !gid; reads; writes } with
+        | Some _ -> ()
+        | None -> assert false)
+  in
+  let tests =
+    List.map
+      (fun n -> Test.make ~name:(Printf.sprintf "Validator.validate (%d r + %d w)" n n) (bench n))
+      [ 4; 16; 64 ]
+  in
+  let benchmark test =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+    let raw = Benchmark.all cfg [ instance ] test in
+    Analyze.all ols instance raw
+  in
+  Fmt.pr "== OCC validation micro (Bechamel, monotonic clock) ==@.";
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Fmt.pr "  %-32s %10.1f ns/run@." name t
+          | _ -> Fmt.pr "  %-32s (no estimate)@." name)
+        results)
+    tests;
+  Fmt.pr "@."
+
 (* --- dispatch ------------------------------------------------------------------- *)
 
 let targets : (string * (unit -> unit)) list =
@@ -453,6 +496,8 @@ let targets : (string * (unit -> unit)) list =
     ("fas", fas);
     ("variance", variance);
     ("micro", micro);
+    ("occ", fun () -> print_figure (Experiment.sweep_occ ?pool ~base ()));
+    ("occ-validate", occ_validate);
   ]
 
 let () =

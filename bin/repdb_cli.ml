@@ -33,7 +33,7 @@ let params_term =
   in
   let d = Params.default in
   let make sites items r s b ops threads txns read_op read_txn latency timeout seed retry deadline
-      stale check faults reconfig batch_size batch_linger =
+      stale check faults reconfig batch_size batch_linger zipf occ_epoch =
     {
       d with
       n_sites = sites;
@@ -57,6 +57,8 @@ let params_term =
       reconfig;
       batch_size;
       batch_linger_ms = batch_linger;
+      zipf_theta = zipf;
+      occ_epoch_ms = occ_epoch;
     }
   in
   const make
@@ -134,6 +136,20 @@ let params_term =
          values trade bounded propagation latency for fuller batches. Ignored at \
          $(b,--batch-size) 1."
       d.batch_linger_ms
+  $ float_flag "zipf"
+      ~doc:
+        "Zipf skew theta for item selection within the site's readable/writable pools, in \
+         [0, 1). 0 keeps the uniform (or $(b,--hot)-spot) draw; larger values concentrate \
+         accesses on the lowest-numbered items of each pool, creating the contention the \
+         $(b,occ) sweep measures."
+      d.zipf_theta
+  $ float_flag "occ-epoch"
+      ~doc:
+        "Validation epoch (simulated ms) for the $(b,occ-epoch) protocol: every site flushes \
+         its buffered transactions to the validator at each epoch boundary. Shorter epochs cut \
+         commit latency but amortize less; longer epochs age the read sets and raise \
+         validation aborts under contention."
+      d.occ_epoch_ms
 
 (* --- run ------------------------------------------------------------------ *)
 
@@ -492,14 +508,16 @@ let report_cmd =
 
 (* --- protocols / table1 ------------------------------------------------------ *)
 
+(* Rendered from [Registry.entries] — the same single source bench/large.exe
+   --protocols uses, so the two listings cannot drift. *)
 let protocols_cmd =
   let run () =
     List.iter
-      (fun (p : Repdb.Protocol.t) ->
+      (fun ((p : Repdb.Protocol.t), doc) ->
         let module P = (val p) in
-        Fmt.pr "%-9s %s@." P.name
+        Fmt.pr "%-10s %-58s %s@." P.name doc
           (if P.updates_replicas then "(physically updates replicas)" else "(replicas virtual)"))
-      Repdb.Registry.all
+      Repdb.Registry.entries
   in
   Cmd.v (Cmd.info "protocols" ~doc:"List the available protocols.") Term.(const run $ const ())
 

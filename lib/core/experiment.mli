@@ -122,6 +122,16 @@ val sweep_reconfig : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
     run converges after heal. *)
 val sweep_partition : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
 
+(** Contention sweep: the optimistic protocols (occ-epoch, ssi) against
+    BackEdge, DAG(WT) and PSL ([b = 0]) as the Zipf skew of item selection
+    grows (theta = 0 / 0.5 / 0.7 / 0.9 / 0.99). At low skew optimistic
+    execution wins on commit rate; under heavy skew it pays with validation
+    aborts instead of lock waits — visible in the per-reason abort columns
+    ([aborts_validation_failed], [aborts_first_committer_lost],
+    [aborts_dangerous_structure] vs [aborts_lock_timeout] /
+    [aborts_deadlock]). *)
+val sweep_occ : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
+
 (** {1 Registry} *)
 
 (** What an experiment produces: a swept figure, or a flat list of labelled
@@ -155,7 +165,11 @@ val pp_figure : Format.formatter -> figure -> unit
 val pp_reports : Format.formatter -> (string * Driver.report) list -> unit
 
 (** CSV text (one line per point and protocol:
-    [figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages,reconfigs,state_transfers,reconfig_stall_ms,aborts_deadline,aborts_partitioned,stale_reads,max_staleness_ms,unavail_ms]). *)
+    [figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages,reconfigs,state_transfers,reconfig_stall_ms,<aborts_* columns>,stale_reads,max_staleness_ms,unavail_ms]
+    where the [aborts_*] block has one count column per
+    {!Repdb_txn.Txn.abort_reason} constructor in
+    [Txn.all_abort_reasons] order, e.g. [aborts_lock_timeout] ...
+    [aborts_dangerous_structure]). *)
 val to_csv : figure -> string
 
 (** ASCII plot of per-site throughput against the swept parameter, one glyph

@@ -1,11 +1,19 @@
-(** Protocol registry: names to first-class protocol modules. *)
+(** Protocol registry: names to first-class protocol modules.
+
+    [entries] is the single source of truth — the CLI protocol help,
+    [bench/large.exe --protocols] and the docs table are all rendered from
+    it, so adding a protocol here is the whole registration step. *)
+
+(** Every protocol with a one-line description, in presentation order. *)
+val entries : (Protocol.t * string) list
 
 (** All protocols: DAG(WT), DAG(T), BackEdge, PSL, Lazy-master, Central,
-    Eager, Naive. *)
+    Eager, Naive, OCC-epoch, SSI (= [List.map fst entries]). *)
 val all : Protocol.t list
 
 (** Protocols safe on arbitrary copy graphs (what the benchmark sweeps with
-    [b > 0] may run): BackEdge, PSL, Lazy-master, Central, Eager, Naive. *)
+    [b > 0] may run): BackEdge, PSL, Lazy-master, Central, Eager, Naive,
+    OCC-epoch, SSI. *)
 val cyclic_safe : Protocol.t list
 
 (** The general-tree BackEdge variant ("backedge-gen"), kept out of {!all}
@@ -21,3 +29,6 @@ val dag_t_pipelined : Protocol.t
 val find : string -> Protocol.t option
 
 val names : string list
+
+(** [(name, one-line description)] pairs, in [entries] order. *)
+val describe : unit -> (string * string) list

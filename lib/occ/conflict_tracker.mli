@@ -1,0 +1,65 @@
+(** Commit-time certifier for serializable snapshot isolation.
+
+    Transactions read a snapshot as of their begin timestamp and certify at
+    commit. The tracker enforces, in certification order:
+
+    - {e snapshot validity}: every read must have been the latest committed
+      version as of the begin timestamp (a lagging replica may serve an older
+      version; such reads abort rather than weaken the snapshot);
+    - {e first committer wins}: a write set overlapping a concurrent
+      transaction that already committed aborts ([Ww_conflict]);
+    - {e dangerous structures} (Cahill et al., as in PostgreSQL SSI): each
+      committed transaction carries [in_c]/[out_c] flags recording incoming /
+      outgoing rw-antidependencies from/to other committed transactions. A
+      committing transaction aborts if it is itself a pivot (both an in- and
+      an out-edge to concurrent committed transactions), or if one of its
+      out-neighbours already has an out-edge, or one of its in-neighbours
+      already has an in-edge — i.e. committing would complete a structure
+      whose pivot already committed. Whichever member of a dangerous
+      structure certifies last is aborted, so no cycle ever commits.
+
+    Records older than the oldest active begin timestamp are garbage
+    collected; {!begin_txn} must therefore be called when a transaction
+    starts and {!forget} when it aborts before certification (a certified
+    transaction is deregistered by {!certify} itself). *)
+
+type txn = {
+  gid : int;
+  begin_ts : float;
+  reads : (int * int) list;  (** (item, version observed at begin_ts). *)
+  writes : int list;  (** Ascending, distinct. *)
+}
+
+type abort_cause = Stale_read | Ww_conflict | Dangerous
+
+type verdict =
+  | Commit of { commit_ts : float; writes : (int * int) list }
+      (** Certified; [writes] carry the newly assigned versions. *)
+  | Abort of abort_cause
+
+type t
+
+val create : unit -> t
+
+(** Register an active transaction (bounds the GC window). *)
+val begin_txn : t -> gid:int -> begin_ts:float -> unit
+
+(** Deregister a transaction that will never certify. Idempotent. *)
+val forget : t -> gid:int -> unit
+
+(** [certify t ~now txn] — validate and, on success, commit [txn] at
+    timestamp [now] (must not regress). Deregisters [txn.gid]. *)
+val certify : t -> now:float -> txn -> verdict
+
+val latest_version : t -> int -> int
+
+(** Pin an item's (version, commit_ts) — reconfiguration resync. *)
+val seed : t -> item:int -> version:int -> commit_ts:float -> unit
+
+(** {1 Introspection, for tests and metrics} *)
+
+val active_count : t -> int
+val recent_count : t -> int
+val stale_aborts : t -> int
+val ww_aborts : t -> int
+val dangerous_aborts : t -> int

@@ -1,0 +1,63 @@
+type entry = { version : int; commit_ts : float }
+
+type t = {
+  chains : (int, entry list ref) Hashtbl.t; (* item -> newest-first versions *)
+  cap : int;
+}
+
+let create ?(cap = 64) items =
+  let t = { chains = Hashtbl.create (List.length items * 2); cap } in
+  List.iter
+    (fun item ->
+      Hashtbl.replace t.chains item (ref [ { version = 0; commit_ts = neg_infinity } ]))
+    items;
+  t
+
+let mem t item = Hashtbl.mem t.chains item
+
+let read_at t ~item ~ts =
+  match Hashtbl.find_opt t.chains item with
+  | None -> None
+  | Some chain ->
+      let rec find = function
+        | [] -> None
+        | e :: rest -> if e.commit_ts <= ts then Some e.version else find rest
+      in
+      find !chain
+
+let latest t ~item =
+  match Hashtbl.find_opt t.chains item with
+  | None -> None
+  | Some chain -> ( match !chain with [] -> None | e :: _ -> Some e.version)
+
+let truncate cap chain =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | e :: rest -> e :: take (n - 1) rest
+  in
+  take cap chain
+
+let append t ~item ~version ~commit_ts =
+  match Hashtbl.find_opt t.chains item with
+  | None -> invalid_arg (Printf.sprintf "Mvstore.append: item %d has no chain here" item)
+  | Some chain ->
+      (match !chain with
+      | { version = prev; commit_ts = prev_ts } :: _ ->
+          if version <= prev then
+            invalid_arg
+              (Printf.sprintf "Mvstore.append: item %d version %d <= head %d" item version prev);
+          if commit_ts < prev_ts then
+            invalid_arg (Printf.sprintf "Mvstore.append: item %d commit_ts regressed" item)
+      | [] -> ());
+      chain := truncate t.cap ({ version; commit_ts } :: !chain)
+
+let seed t ~item ~version ~commit_ts =
+  Hashtbl.replace t.chains item (ref [ { version; commit_ts } ])
+
+let drop t ~item = Hashtbl.remove t.chains item
+
+let items t = Hashtbl.fold (fun item _ acc -> item :: acc) t.chains [] |> List.sort compare
+
+let chain_length t ~item =
+  match Hashtbl.find_opt t.chains item with None -> 0 | Some c -> List.length !c

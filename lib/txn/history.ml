@@ -1,6 +1,6 @@
 type kind = R | W
 
-type access = { gid : int; attempt : int; kind : kind }
+type access = { gid : int; attempt : int; kind : kind; version : int option }
 
 type t = {
   on : bool;
@@ -14,7 +14,7 @@ let create ?(enabled = true) ~n_sites:_ () =
 
 let enabled t = t.on
 
-let record t ~site ~item ~gid ~attempt kind =
+let record t ~site ~item ~gid ~attempt ?version kind =
   if t.on then begin
     let key = (site, item) in
     let cell =
@@ -25,7 +25,7 @@ let record t ~site ~item ~gid ~attempt kind =
           Hashtbl.replace t.logs key c;
           c
     in
-    cell := { gid; attempt; kind } :: !cell;
+    cell := { gid; attempt; kind; version } :: !cell;
     t.count <- t.count + 1
   end
 

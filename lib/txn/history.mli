@@ -21,15 +21,22 @@ type access = {
   gid : int;  (** Global transaction id (shared by all its subtransactions). *)
   attempt : int;  (** Execution attempt id; unique per (re)execution. *)
   kind : kind;
+  version : int option;
+      (** For multi-version protocols: the item version read, or installed by
+          a write. [None] (lock-based protocols) means the log position is the
+          conflict order; any versioned access in a log switches the checker
+          to version-derived edges for that log. *)
 }
 
 val create : ?enabled:bool -> n_sites:int -> unit -> t
 
 val enabled : t -> bool
 
-(** [record t ~site ~item ~gid ~attempt kind] appends an access to the
-    per-(site, item) log. No-op when disabled. *)
-val record : t -> site:int -> item:int -> gid:int -> attempt:int -> kind -> unit
+(** [record t ~site ~item ~gid ~attempt ?version kind] appends an access to
+    the per-(site, item) log. Multi-version protocols pass [?version]; see
+    {!access}. No-op when disabled. *)
+val record :
+  t -> site:int -> item:int -> gid:int -> attempt:int -> ?version:int -> kind -> unit
 
 (** [discard_attempt t ~attempt] marks every access by [attempt] as aborted;
     the checker ignores them. *)

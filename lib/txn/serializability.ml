@@ -7,14 +7,59 @@ type verdict = Serializable | Not_serializable of int list
    it suffices to track the last committed writer and the readers seen since:
    a new write conflicts with that writer and those readers; a new read
    conflicts with that writer. *)
+(* Version-tagged logs come from the multi-version protocols (occ-epoch,
+   ssi): a snapshot read executes at some log position but observes an older
+   version, so positional order is not the conflict order there. Edges are
+   derived from the versions instead: ww between writers of consecutive
+   installed versions, wr from the writer of [v] to each reader of [v], and
+   rw from each reader of [v] to the writer of the next installed version. *)
+let scan_versioned g vertex (log : History.access list) =
+  let writers = Hashtbl.create 16 (* version -> gid *) in
+  let readers = Hashtbl.create 16 (* version -> reader gids *) in
+  List.iter
+    (fun (a : History.access) ->
+      match a.version with
+      | None -> ()
+      | Some v -> (
+          match a.kind with
+          | History.W -> Hashtbl.replace writers v a.gid
+          | History.R ->
+              let seen = Option.value ~default:[] (Hashtbl.find_opt readers v) in
+              Hashtbl.replace readers v (a.gid :: seen)))
+    log;
+  let versions = Hashtbl.fold (fun v _ acc -> v :: acc) writers [] |> List.sort compare in
+  let rec ww = function
+    | v1 :: (v2 :: _ as rest) ->
+        let w1 = Hashtbl.find writers v1 and w2 = Hashtbl.find writers v2 in
+        if w1 <> w2 then Digraph.add_edge g (vertex w1) (vertex w2);
+        ww rest
+    | _ -> ()
+  in
+  ww versions;
+  Hashtbl.iter
+    (fun v rs ->
+      let writer = Hashtbl.find_opt writers v in
+      let next = List.find_opt (fun v' -> v' > v) versions in
+      List.iter
+        (fun r ->
+          (match writer with
+          | Some w when w <> r -> Digraph.add_edge g (vertex w) (vertex r)
+          | _ -> ());
+          match next with
+          | Some v' ->
+              let w' = Hashtbl.find writers v' in
+              if w' <> r then Digraph.add_edge g (vertex r) (vertex w')
+          | None -> ())
+        rs)
+    readers
+
 let conflict_graph history =
   let gids = History.committed_gids history in
   let index = Hashtbl.create (List.length gids * 2) in
   List.iteri (fun i gid -> Hashtbl.replace index gid i) gids;
   let g = Digraph.create (List.length gids) in
   let vertex gid = Hashtbl.find index gid in
-  let scan (site, item) =
-    let log = History.committed_log history ~site ~item in
+  let scan_positional log =
     let last_writer = ref None in
     let readers = ref [] in
     List.iter
@@ -35,6 +80,12 @@ let conflict_graph history =
             last_writer := Some a.gid;
             readers := [])
       log
+  in
+  let scan (site, item) =
+    let log = History.committed_log history ~site ~item in
+    if List.exists (fun (a : History.access) -> a.version <> None) log then
+      scan_versioned g vertex log
+    else scan_positional log
   in
   List.iter scan (History.touched history);
   (g, Array.of_list gids)

@@ -9,7 +9,23 @@ type abort_reason =
   | Propagation_timeout
   | Deadline_exceeded
   | Partitioned
+  | Validation_failed
+  | First_committer_lost
+  | Dangerous_structure
 type outcome = Committed | Aborted of abort_reason
+
+let all_abort_reasons =
+  [
+    Lock_timeout;
+    Deadlock;
+    Remote_denied;
+    Propagation_timeout;
+    Deadline_exceeded;
+    Partitioned;
+    Validation_failed;
+    First_committer_lost;
+    Dangerous_structure;
+  ]
 
 let reads spec = List.filter_map (function Read i -> Some i | Write _ -> None) spec.ops
 let writes spec = List.filter_map (function Write i -> Some i | Read _ -> None) spec.ops
@@ -29,6 +45,9 @@ let string_of_abort = function
   | Propagation_timeout -> "propagation-timeout"
   | Deadline_exceeded -> "deadline-exceeded"
   | Partitioned -> "partitioned"
+  | Validation_failed -> "validation-failed"
+  | First_committer_lost -> "first-committer-lost"
+  | Dangerous_structure -> "dangerous-structure"
 
 let pp_outcome ppf = function
   | Committed -> Fmt.string ppf "committed"

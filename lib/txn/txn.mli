@@ -24,8 +24,22 @@ type abort_reason =
   | Partitioned
       (** A required remote site is unreachable behind an active network
           partition; the protocol failed fast instead of stalling. *)
+  | Validation_failed
+      (** Optimistic backward validation found a read that is no longer
+          current (occ-epoch), or a snapshot read that was not the latest
+          version as of the begin timestamp (ssi). *)
+  | First_committer_lost
+      (** SSI first-committer-wins: a concurrent transaction writing an
+          overlapping item committed first. *)
+  | Dangerous_structure
+      (** SSI: committing would complete an rw-antidependency pivot
+          (in-edge and out-edge both to concurrent transactions). *)
 
 type outcome = Committed | Aborted of abort_reason
+
+(** Every constructor of {!abort_reason}, in declaration order — the
+    experiment CSV derives its per-reason abort columns from this list. *)
+val all_abort_reasons : abort_reason list
 
 val reads : spec -> item list
 (** Items read, in op order, duplicates preserved. *)

@@ -6,6 +6,11 @@ type t = {
   params : Params.t;
   mutable readable : int array array;
   mutable writable : int array array;
+  (* Per-site cumulative Zipf weight tables over each pool, built lazily on
+     first use (only when [zipf_theta > 0]) and invalidated by [refresh]:
+     the pools change with the placement, so rank -> item does too. *)
+  mutable zipf_read : float array option array;
+  mutable zipf_write : float array option array;
 }
 
 (* The pools are the placement's own precomputed per-site slices (read-only
@@ -18,12 +23,45 @@ let pools (params : Params.t) placement =
 
 let create rng (params : Params.t) placement =
   let readable, writable = pools params placement in
-  { rng; params; readable; writable }
+  {
+    rng;
+    params;
+    readable;
+    writable;
+    zipf_read = Array.make params.n_sites None;
+    zipf_write = Array.make params.n_sites None;
+  }
 
 let refresh t placement =
   let readable, writable = pools t.params placement in
   t.readable <- readable;
-  t.writable <- writable
+  t.writable <- writable;
+  Array.fill t.zipf_read 0 (Array.length t.zipf_read) None;
+  Array.fill t.zipf_write 0 (Array.length t.zipf_write) None
+
+(* Cumulative weights 1/(rank+1)^theta over a pool; item ids are sorted, so
+   rank 0 — the smallest id in the pool — is the hottest key, stable across
+   protocols and runs. *)
+let zipf_table theta pool =
+  let n = Array.length pool in
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for rank = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (rank + 1)) theta);
+    cum.(rank) <- !acc
+  done;
+  cum
+
+let zipf_pick rng cum pool =
+  let n = Array.length cum in
+  let u = Rng.float rng *. cum.(n - 1) in
+  (* First rank whose cumulative weight covers the draw. *)
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) <= u then lo := mid + 1 else hi := mid
+  done;
+  pool.(!lo)
 
 let gen_with t rng ~site =
   let p = t.params in
@@ -40,10 +78,24 @@ let gen_with t rng ~site =
        [hot_item_fraction] of the pool (item ids are sorted, so the hot set
        is stable across protocols and runs). *)
     let pick_skewed pool =
-      let n = Array.length pool in
-      let hot = max 1 (int_of_float (ceil (p.hot_item_fraction *. float_of_int n))) in
-      if p.hot_access_prob > 0.0 && Rng.bool rng p.hot_access_prob then pool.(Rng.int rng hot)
-      else Rng.pick rng pool
+      if p.zipf_theta > 0.0 then begin
+        let cache = if pool == readable then t.zipf_read else t.zipf_write in
+        let cum =
+          match cache.(site) with
+          | Some cum -> cum
+          | None ->
+              let cum = zipf_table p.zipf_theta pool in
+              cache.(site) <- Some cum;
+              cum
+        in
+        zipf_pick rng cum pool
+      end
+      else begin
+        let n = Array.length pool in
+        let hot = max 1 (int_of_float (ceil (p.hot_item_fraction *. float_of_int n))) in
+        if p.hot_access_prob > 0.0 && Rng.bool rng p.hot_access_prob then pool.(Rng.int rng hot)
+        else Rng.pick rng pool
+      end
     in
     let pick_distinct pool =
       let rec go tries =

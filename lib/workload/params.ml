@@ -23,6 +23,7 @@ type t = {
   read_txn_prob : float;
   hot_access_prob : float;
   hot_item_fraction : float;
+  zipf_theta : float;
   latency : float;
   lock_timeout : float;
   deadlock_policy : [ `Timeout | `Detect ];
@@ -45,6 +46,7 @@ type t = {
   profile : bool;
   batch_size : int;
   batch_linger_ms : float;
+  occ_epoch_ms : float;
 }
 
 let default =
@@ -61,6 +63,7 @@ let default =
     read_txn_prob = 0.5;
     hot_access_prob = 0.0;
     hot_item_fraction = 0.2;
+    zipf_theta = 0.0;
     latency = 0.15;
     lock_timeout = 50.0;
     deadlock_policy = `Timeout;
@@ -83,6 +86,7 @@ let default =
     profile = false;
     batch_size = 1;
     batch_linger_ms = 0.0;
+    occ_epoch_ms = 10.0;
   }
 
 let table1 t =
@@ -105,12 +109,14 @@ let pp ppf t =
   Fmt.pf ppf
     "@[<v>m=%d n=%d r=%g s=%g b=%g ops=%d threads=%d txns=%d read_op=%g read_txn=%g@ \
      latency=%gms timeout=%gms machines=%d cpu(op=%g commit=%g msg=%g) seed=%d retry=%s@ \
-     deadline=%gms stale_reads=%gms batch=%d/%gms faults=%a@ reconfig=%a@]"
+     deadline=%gms stale_reads=%gms batch=%d/%gms zipf=%g occ_epoch=%gms faults=%a@ \
+     reconfig=%a@]"
     t.n_sites t.n_items t.replication_prob t.site_prob t.backedge_prob t.ops_per_txn
     t.threads_per_site t.txns_per_thread t.read_op_prob t.read_txn_prob t.latency
     t.lock_timeout t.n_machines t.cpu_op t.cpu_commit t.cpu_msg t.seed
     (string_of_retry t.retry) t.txn_deadline t.stale_reads t.batch_size t.batch_linger_ms
-    Repdb_fault.Fault.pp t.faults Repdb_reconfig.Reconfig.pp t.reconfig
+    t.zipf_theta t.occ_epoch_ms Repdb_fault.Fault.pp t.faults Repdb_reconfig.Reconfig.pp
+    t.reconfig
 
 let validate t =
   let prob name v =
@@ -137,6 +143,8 @@ let validate t =
   prob "hot_item_fraction" t.hot_item_fraction;
   if t.hot_access_prob > 0.0 && t.hot_item_fraction = 0.0 then
     invalid_arg "Params: hot_item_fraction must be positive when hot_access_prob > 0";
+  if t.zipf_theta < 0.0 || t.zipf_theta >= 1.0 then
+    invalid_arg (Printf.sprintf "Params: zipf_theta=%g not in [0,1)" t.zipf_theta);
   if t.straggler_factor < 1.0 then invalid_arg "Params: straggler_factor must be >= 1";
   if t.straggler_machine >= t.n_machines then
     invalid_arg "Params: straggler_machine out of range";
@@ -163,5 +171,7 @@ let validate t =
   positive "batch_size" t.batch_size;
   if t.batch_linger_ms < 0.0 || not (Float.is_finite t.batch_linger_ms) then
     invalid_arg "Params: batch_linger_ms must be >= 0 and finite";
+  if t.occ_epoch_ms <= 0.0 || not (Float.is_finite t.occ_epoch_ms) then
+    invalid_arg "Params: occ_epoch_ms must be > 0 and finite";
   Repdb_fault.Fault.validate ~n_sites:t.n_sites t.faults;
   Repdb_reconfig.Reconfig.validate ~n_sites:t.n_sites ~n_items:t.n_items t.reconfig

@@ -42,6 +42,12 @@ type t = {
   hot_item_fraction : float;
       (** Fraction of each site's item pool that forms the hot set
           (default 0.2); only meaningful when [hot_access_prob > 0]. *)
+  zipf_theta : float;
+      (** Zipf skew for item selection, in [0,1). 0 (default) keeps the
+          uniform / hotspot scheme; > 0 draws items rank-weighted by
+          [1/(rank+1)^theta] over the site's (sorted) pool, so low item ids
+          become contention hot keys. Composes with neither knob:
+          [hot_access_prob] is ignored when [zipf_theta > 0]. *)
   latency : float;  (** One-way network latency, ms; default 0.15, range 0.15–100. *)
   lock_timeout : float;  (** Deadlock timeout, ms; default 50. *)
   deadlock_policy : [ `Timeout | `Detect ];
@@ -108,6 +114,11 @@ type t = {
           the simulation instant that opened the batch, so update delivery
           times are unchanged; > 0 trades propagation latency (bounded by the
           linger) for fewer, fuller messages. Ignored when [batch_size = 1]. *)
+  (* Optimistic concurrency (occ-epoch) *)
+  occ_epoch_ms : float;
+      (** Epoch boundary period for the occ-epoch protocol, simulated ms
+          (default 10): optimistic transactions buffer at their site and are
+          sent for validation in one batch per site per epoch. *)
 }
 
 val default : t

@@ -180,8 +180,8 @@ let test_metrics_throughput_consistency () =
     r.summary.throughput_per_site
 
 let test_registry () =
-  checki "eight protocols" 8 (List.length Repdb.Registry.all);
-  checki "six cyclic safe" 6 (List.length Repdb.Registry.cyclic_safe);
+  checki "ten protocols" 10 (List.length Repdb.Registry.all);
+  checki "eight cyclic safe" 8 (List.length Repdb.Registry.cyclic_safe);
   checkb "find psl" true (Repdb.Registry.find "psl" <> None);
   checkb "find general variant" true (Repdb.Registry.find "backedge-gen" <> None);
   checkb "find pipelined dag-t" true (Repdb.Registry.find "dag-t-mc" <> None);
@@ -189,7 +189,7 @@ let test_registry () =
   Alcotest.(check (list string))
     "names"
     [ "dag-wt"; "dag-t"; "backedge"; "psl"; "lazy-master"; "central"; "eager"; "naive";
-      "backedge-gen"; "dag-t-mc" ]
+      "occ-epoch"; "ssi"; "backedge-gen"; "dag-t-mc" ]
     Repdb.Registry.names
 
 let () =

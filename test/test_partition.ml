@@ -178,7 +178,15 @@ let test_sweep_csv_identical () =
     List.for_all
       (fun col ->
         List.mem col (String.split_on_char ',' header))
-      [ "aborts_deadline"; "aborts_partitioned"; "stale_reads"; "max_staleness_ms"; "unavail_ms" ])
+      [
+        "aborts_deadline_exceeded";
+        "aborts_partitioned";
+        "aborts_validation_failed";
+        "aborts_dangerous_structure";
+        "stale_reads";
+        "max_staleness_ms";
+        "unavail_ms";
+      ])
 
 let () =
   Alcotest.run "partition"
