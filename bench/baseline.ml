@@ -61,6 +61,7 @@ let figures : (string * (?pool:Pool.t -> unit -> Experiment.figure)) list =
     ("reconfig", fun ?pool () -> Experiment.sweep_reconfig ?pool ~base ());
     ("partition", fun ?pool () -> Experiment.sweep_partition ?pool ~base ());
     ("occ", fun ?pool () -> Experiment.sweep_occ ?pool ~base ());
+    ("heal", fun ?pool () -> Experiment.sweep_heal ?pool ~base ());
   ]
 
 let default_figures = [ "fig2a"; "fig2b"; "fig3a"; "fig3b" ]
@@ -160,12 +161,12 @@ let check_against file ~seq_rate ~par_rate =
     [
       "generated_by"; "txns_per_thread"; "jobs"; "recommended_domains"; "figures"; "total";
       "seq_s"; "par_s"; "speedup"; "events"; "seq_events_per_s"; "par_events_per_s"; "identical";
-      "large"; "occ";
+      "large"; "occ"; "heal";
     ];
   (* The hand-merged entries ("large" from bench/large.exe at production
-     scale, "occ" from the optimistic-vs-locking contention sweep) must carry
-     a positive events/s — a zero or missing rate means the sweep never
-     actually ran. *)
+     scale, "occ" from the optimistic-vs-locking contention sweep, "heal"
+     from the self-healing MTTR sweep) must carry a positive events/s — a
+     zero or missing rate means the sweep never actually ran. *)
   List.iter
     (fun entry ->
       match index_from_opt json 0 (Printf.sprintf "\"%s\"" entry) with
@@ -175,7 +176,7 @@ let check_against file ~seq_rate ~par_rate =
           | Some v when v > 0.0 -> ()
           | Some v -> check_fail "%s: %s.events_per_s = %g is not positive" file entry v
           | None -> check_fail "%s: %s.events_per_s missing or not a number" file entry))
-    [ "large"; "occ" ];
+    [ "large"; "occ"; "heal" ];
   let total_at =
     match index_from_opt json 0 "\"total\"" with
     | Some i -> i

@@ -33,7 +33,8 @@ let params_term =
   in
   let d = Params.default in
   let make sites items r s b ops threads txns read_op read_txn latency timeout seed retry deadline
-      stale check faults reconfig batch_size batch_linger zipf occ_epoch =
+      stale check faults reconfig batch_size batch_linger zipf occ_epoch heal heartbeat_every
+      phi_threshold anti_entropy_every =
     {
       d with
       n_sites = sites;
@@ -59,6 +60,10 @@ let params_term =
       batch_linger_ms = batch_linger;
       zipf_theta = zipf;
       occ_epoch_ms = occ_epoch;
+      heal;
+      heartbeat_every;
+      phi_threshold;
+      anti_entropy_every;
     }
   in
   const make
@@ -150,6 +155,35 @@ let params_term =
          commit latency but amortize less; longer epochs age the read sets and raise \
          validation aborts under contention."
       d.occ_epoch_ms
+  $ Arg.(
+      value & flag
+      & info [ "heal" ] ~docs
+          ~doc:
+            "Self-healing: heartbeat-driven φ-accrual failure detection, automatic primary \
+             failover through the epoch machinery when a majority of observers suspect a site, \
+             and background anti-entropy repair (Merkle digest exchange shipping divergent \
+             values from primaries). Requires a protocol with a reconfigure hook; healing \
+             $(b,psl) additionally needs $(b,--deadline) so failover drains are bounded. \
+             Enables $(b,corrupt@) fault clauses and the timeline's $(b,phi.N) columns.")
+  $ float_flag "heartbeat-every"
+      ~doc:
+        "Heartbeat period (simulated ms) of the failure detector's control plane; also the \
+         suspicion poll interval. Smaller detects faster but tolerates less jitter at a given \
+         $(b,--phi-threshold)."
+      d.heartbeat_every
+  $ float_flag "phi-threshold"
+      ~doc:
+        "φ-accrual suspicion threshold: a site is suspected once a strict majority of up \
+         observers see φ = log10(e) · silence/mean-interarrival above this. At the default \
+         25 ms heartbeat, 8 fires after ≈460 ms of silence; lower detects faster but risks \
+         false failovers under latency jitter (costing availability, never consistency)."
+      d.phi_threshold
+  $ float_flag "anti-entropy-every"
+      ~doc:
+        "Background anti-entropy period (simulated ms): one (primary, holder) pair per tick is \
+         compared by Merkle digest narrowing and repaired, round-robin over the current \
+         placement."
+      d.anti_entropy_every
 
 (* --- run ------------------------------------------------------------------ *)
 

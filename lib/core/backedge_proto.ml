@@ -214,10 +214,15 @@ let forward_special t ~src (gid, origin, writes) =
 
 let process_tree_msg t site msg =
   let c = t.c in
-  (* Epoch fence: the coordinator drains all in-flight propagation before it
-     switches routing, so tree messages never cross an epoch boundary. *)
-  (match msg with
-  | Normal { epoch; _ } | Special { epoch; _ } -> assert (epoch = c.config_epoch));
+  (* Epoch fence: the operator coordinator drains all in-flight propagation
+     before it switches routing, so tree messages never cross an epoch
+     boundary — except after a healer failover, whose weak drain lets
+     messages parked behind the outage surface under the new epoch. Those
+     are dropped with accounting (a dropped Special simply lets its origin's
+     wait time out; anti-entropy repairs dropped Normals). *)
+  let epoch = match msg with Normal { epoch; _ } | Special { epoch; _ } -> epoch in
+  if Cluster.stale_epoch c ~site ~epoch then Cluster.dec_outstanding c
+  else begin
   Cluster.use_cpu c site c.params.cpu_msg;
   match msg with
   | Normal { gid; writes; origin_commit; epoch = _ } ->
@@ -252,6 +257,7 @@ let process_tree_msg t site msg =
         if proceed then forward_special t ~src:site (gid, origin, writes);
         Cluster.dec_outstanding c
       end
+  end
 
 let tree_applier t site =
   let inbox = Network.inbox t.tree_net site in
@@ -368,10 +374,11 @@ let make_with_tree (c : Cluster.t) ~retree tr =
       retry_cap = participant_retry_cap c.params;
     }
   in
-  (* Under a reconfiguration plan a root site may acquire a tree parent at an
-     epoch switch, so every site needs a (possibly idle) applier; without a
-     plan, spawn exactly as before — spawn counts feed the event tie-break
-     order, and static runs must stay byte-identical. *)
+  (* Under a reconfiguration plan or a healer failover a root site may
+     acquire a tree parent at an epoch switch, so every site needs a
+     (possibly idle) applier; otherwise, spawn exactly as before — spawn
+     counts feed the event tie-break order, and static runs must stay
+     byte-identical. *)
   let cat = Cluster.profile_cat c "server" in
   for site = 0 to m - 1 do
     if Cluster.reconfig_planned c || Tree.parent tr site <> -1 then

@@ -3,6 +3,7 @@ module Rng = Repdb_sim.Rng
 module Resource = Repdb_sim.Resource
 module Condvar = Repdb_sim.Condvar
 module Store = Repdb_store.Store
+module Value = Repdb_store.Value
 module Wal = Repdb_store.Wal
 module Lock_mgr = Repdb_lock.Lock_mgr
 module Fault = Repdb_fault.Fault
@@ -78,6 +79,19 @@ type t = {
   lag_applied : float array;
   lag_seen : bool array; (* per-destination scratch, cleared after each use *)
   mutable inflight_fns : (unit -> int) list; (* one per network created *)
+  mutable inflight_matching_fns : ((src:int -> dst:int -> bool) -> int) list;
+      (* Per network/batcher: in-flight units on pairs selected by the
+         predicate; the healer's weak failover drain sums these to exempt
+         traffic parked behind a down or partitioned pair. *)
+  (* Self-healing (all idle unless [params.heal]) *)
+  corrupted : (int * int, unit) Hashtbl.t;
+      (* (site, item) replica copies silently scrambled by a corrupt@ fault
+         clause and not yet repaired; recovery and anti-entropy clear marks. *)
+  mutable corruption_events : int;
+  mutable corrupt_items : int; (* copies scrambled, cumulative *)
+  mutable phi_fn : (unit -> float array) option; (* healer's detector sample *)
+  stale_drop_ctr : Stats.counter option; (* "heal.stale_drop", heal only *)
+  corrupt_ctr : Stats.counter option; (* "corrupt.items", heal only *)
 }
 
 let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) placement =
@@ -108,7 +122,10 @@ let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) pl
      Under a reconfiguration plan new items can appear at a site mid-run, so
      the identity map (grow-on-demand) is kept. *)
   let locks =
-    let static = Reconfig.is_empty params.reconfig in
+    (* Healing can promote primaries (and so move items' lock sites) at a
+       failover epoch switch, so it needs the grow-on-demand identity map
+       just like an operator reconfiguration plan. *)
+    let static = Reconfig.is_empty params.reconfig && not params.heal in
     Array.init m (fun site ->
         let remap =
           if static then
@@ -199,7 +216,7 @@ let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) pl
     profile;
     timeline =
       (if params.timeline_every > 0.0 then
-         Some (Timeline.create ~n_sites:m ~interval:params.timeline_every ())
+         Some (Timeline.create ~n_sites:m ~interval:params.timeline_every ~phi:params.heal ())
        else None);
     (* Same names the driver resolves: [Stats.counter] finds-or-registers,
        so these are the very counters the clients bump. *)
@@ -211,6 +228,15 @@ let create_with ?latency ?(trace = false) ?trace_capacity (params : Params.t) pl
     lag_applied = Array.make m 0.0;
     lag_seen = Array.make m false;
     inflight_fns = [];
+    inflight_matching_fns = [];
+    corrupted = Hashtbl.create 16;
+    corruption_events = 0;
+    corrupt_items = 0;
+    phi_fn = None;
+    (* Registered only under healing: [Stats.pp_table] prints every
+       registered counter, so heal-off stats tables are unchanged. *)
+    stale_drop_ctr = (if params.heal then Some (Stats.counter stats "heal.stale_drop") else None);
+    corrupt_ctr = (if params.heal then Some (Stats.counter stats "corrupt.items") else None);
   }
 
 let create ?trace ?trace_capacity (params : Params.t) =
@@ -243,6 +269,8 @@ let make_net ?describe t =
       ~trace:t.trace ?describe ~stats:t.stats ?injector:t.injector ()
   in
   t.inflight_fns <- (fun () -> Repdb_net.Network.in_flight net) :: t.inflight_fns;
+  t.inflight_matching_fns <-
+    (fun f -> Repdb_net.Network.in_flight_matching net ~f) :: t.inflight_matching_fns;
   net
 
 (* A net whose messages are per-pair coalesced update runs. Counters and
@@ -267,6 +295,8 @@ let make_batch_net ?describe_one t =
       ~trace:t.trace ?describe ~stats:t.stats ?injector:t.injector ()
   in
   t.inflight_fns <- (fun () -> Repdb_net.Network.in_flight net) :: t.inflight_fns;
+  t.inflight_matching_fns <-
+    (fun f -> Repdb_net.Network.in_flight_matching net ~f) :: t.inflight_matching_fns;
   net
 
 let make_batcher t net =
@@ -287,6 +317,17 @@ let make_batcher t net =
       done;
       !parked)
     :: t.inflight_fns;
+  t.inflight_matching_fns <-
+    (fun f ->
+      let n = t.params.n_sites in
+      let parked = ref 0 in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if f ~src ~dst then parked := !parked + Repdb_net.Batcher.pending bat ~src ~dst
+        done
+      done;
+      !parked)
+    :: t.inflight_matching_fns;
   bat
 
 (* --- trace/metrics emission helpers (shared by the protocols) ------------- *)
@@ -416,7 +457,12 @@ let sample_timeline t =
           r_pending = Array.copy t.lag_pending;
           r_locks = Array.init m (fun s -> Lock_mgr.locks_held t.locks.(s));
           r_waiters = Array.init m (fun s -> Lock_mgr.lock_waiters t.locks.(s));
+          r_phi =
+            (if not (Timeline.has_phi tl) then [||]
+             else match t.phi_fn with Some f -> f () | None -> Array.make m 0.0);
         }
+
+let set_phi_fn t f = t.phi_fn <- Some f
 
 let maybe_wake t =
   if t.clients_running = 0 && t.outstanding = 0 then Condvar.broadcast t.quiesced
@@ -469,8 +515,26 @@ let recover_site t ~site ~downtime =
   let recovered = Wal.recover wal ~site in
   (* The redo log hooks every committed write, so the rebuild must reproduce
      the pre-crash image exactly; a mismatch means durability is broken and
-     any run that continued from it would be meaningless. *)
-  if Store.contents recovered <> Store.contents lost then
+     any run that continued from it would be meaningless. The one exception:
+     copies scrambled by a corrupt@ clause, which bypasses the log — there
+     the rebuild holds the true value, so recovery doubles as repair and the
+     mark is cleared. *)
+  let rec_contents = Store.contents recovered and lost_contents = Store.contents lost in
+  let recovery_ok =
+    List.compare_lengths rec_contents lost_contents = 0
+    && List.for_all2
+      (fun (ri, rv) (li, lv) ->
+        ri = li
+        && (Value.equal rv lv
+            ||
+            if Hashtbl.mem t.corrupted (site, ri) then begin
+              Hashtbl.remove t.corrupted (site, ri);
+              true
+            end
+            else false))
+         rec_contents lost_contents
+  in
+  if not recovery_ok then
     failwith (Printf.sprintf "Cluster: recovery of site %d diverged from its redo log" site);
   t.stores.(site) <- recovered;
   Wal.reattach wal recovered;
@@ -480,7 +544,9 @@ let recover_site t ~site ~downtime =
 
 (* --- online reconfiguration ----------------------------------------------- *)
 
-let reconfig_planned t = not (Reconfig.is_empty t.params.reconfig)
+(* A healer failover rewires the tree just like an operator plan does, so
+   heal runs provision for mid-run placement changes too. *)
+let reconfig_planned t = not (Reconfig.is_empty t.params.reconfig) || t.params.heal
 
 let txn_started t = t.active_txns <- t.active_txns + 1
 
@@ -493,6 +559,57 @@ let await_drained t =
   while not (drained_now t) do
     Condvar.await t.drained
   done
+
+(* Serialize epoch switches: the healer's failovers and the operator's
+   reconfiguration plan share the [reconfiguring] flag, so whichever
+   coordinator arrives second waits for the resume broadcast. *)
+let acquire_switch t =
+  while t.reconfiguring do
+    Condvar.await t.resume
+  done;
+  t.reconfiguring <- true
+
+let release_switch t =
+  t.reconfiguring <- false;
+  Condvar.broadcast t.resume
+
+(* --- self-healing hooks ---------------------------------------------------- *)
+
+let heal_planned t = t.params.heal
+
+(* In-flight messages the failover drain may ignore: traffic on a pair with a
+   down endpoint or an active partition between them is parked by the acked
+   links for the whole outage, and waiting for it would stall the epoch
+   switch for the downtime the failover is meant to mask. *)
+let parked_outstanding t =
+  let pred ~src ~dst =
+    (not t.site_up.(src)) || (not t.site_up.(dst))
+    ||
+    match t.injector with
+    | Some inj -> not (Fault.reachable inj ~src ~dst ~at:(Sim.now t.sim))
+    | None -> false
+  in
+  List.fold_left (fun acc f -> acc + f pred) 0 t.inflight_matching_fns
+
+(* The healer's weak drain: every transaction attempt finished and nothing in
+   flight except traffic parked behind the outage itself. *)
+let weak_drained t = t.active_txns = 0 && t.outstanding - parked_outstanding t <= 0
+
+(* A propagation message routed under an earlier epoch surfaced after a
+   weak-drain failover switch (it was parked behind the outage when routing
+   moved on). Under healing it is dropped with accounting — anti-entropy is
+   the convergence backstop; without healing the strong drain makes this
+   impossible, so it stays a hard error. *)
+let stale_epoch t ~site ~epoch =
+  if epoch = t.config_epoch then false
+  else begin
+    (match t.stale_drop_ctr with
+    | Some ctr -> Stats.incr ctr ~site
+    | None ->
+        failwith
+          (Printf.sprintf "Cluster: stale epoch %d at site %d without healing" epoch site));
+    true
+  end
 
 (* Clients call this before generating each transaction; while an epoch
    switch is in progress they stall here, and the stall is charged to the
@@ -520,6 +637,39 @@ let trace_reconfig_done t ~epoch ~duration =
 let trace_state_transfer t ~item ~src ~dst =
   if Trace.on t.trace then Trace.record t.trace (Event.State_transfer { item; src; dst })
 
+(* Silently scramble replica copies at [site]: each non-primary copy is
+   overwritten with probability [prob] via [Store.restore], which bypasses
+   the redo-log hook — the damage is invisible to WAL recovery and only the
+   anti-entropy digests can find it. Primary copies are never touched (they
+   are the repair source of truth). The RNG is derived from the seed and the
+   clause index alone, so corruption is independent of workload progress. *)
+let corrupt_site t ~site ~prob ~clause =
+  let rng = Rng.create ((t.params.seed * 131071) + (clause * 7919) + 17) in
+  let store = t.stores.(site) in
+  let n = ref 0 in
+  Array.iter
+    (fun item ->
+      if t.placement.Placement.primary.(item) <> site && Rng.float rng < prob then begin
+        let v = Store.read store item in
+        Store.restore store item
+          (Value.write ~writer:(-2) ~payload:(Printf.sprintf "corrupt.%d" clause) v);
+        Hashtbl.replace t.corrupted (site, item) ();
+        incr n
+      end)
+    (Placement.placed_at t.placement site);
+  if !n > 0 then begin
+    t.corrupt_items <- t.corrupt_items + !n;
+    match t.corrupt_ctr with Some ctr -> Stats.add ctr ~site !n | None -> ()
+  end;
+  t.corruption_events <- t.corruption_events + 1;
+  if Trace.on t.trace then Trace.record t.trace (Event.Corrupt { site; items = !n })
+
+let corrupted_copies t = Hashtbl.length t.corrupted
+let corruption_count t = t.corruption_events
+let corrupt_items_total t = t.corrupt_items
+let is_corrupt t ~site ~item = Hashtbl.mem t.corrupted (site, item)
+let clear_corrupt t ~site ~item = Hashtbl.remove t.corrupted (site, item)
+
 let schedule_faults t =
   match t.injector with
   | None -> ()
@@ -530,6 +680,12 @@ let schedule_faults t =
           Sim.at t.sim (c.at +. c.down_for) (fun () ->
               recover_site t ~site:c.site ~downtime:c.down_for))
         (Fault.schedule inj).crashes;
+      List.iteri
+        (fun clause (co : Fault.corruption) ->
+          Sim.at t.sim co.c_at (fun () ->
+              if t.site_up.(co.c_site) then
+                corrupt_site t ~site:co.c_site ~prob:co.c_prob ~clause))
+        (Fault.schedule inj).corruptions;
       (* Partitions need no link-level action here — the injector's transmit
          plans already park cross-cut messages — but the begin/heal instants
          are counted and traced. *)

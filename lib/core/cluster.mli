@@ -107,6 +107,21 @@ type t = {
   lag_seen : bool array;  (** Scratch for {!note_destined} deduplication. *)
   mutable inflight_fns : (unit -> int) list;
       (** One in-flight-message getter per network built by {!make_net}. *)
+  mutable inflight_matching_fns : ((src:int -> dst:int -> bool) -> int) list;
+      (** Per network/batcher: in-flight units on the pairs a predicate
+          selects; summed by {!parked_outstanding} for the weak drain. *)
+  corrupted : (int * int, unit) Hashtbl.t;
+      (** [(site, item)] replica copies scrambled by a [corrupt@] clause and
+          not yet repaired; cleared by recovery and anti-entropy. *)
+  mutable corruption_events : int;  (** Corruption injections executed. *)
+  mutable corrupt_items : int;  (** Copies scrambled, cumulative. *)
+  mutable phi_fn : (unit -> float array) option;
+      (** Healer-installed sampler: per-site suspicion level for the
+          timeline's φ column. *)
+  stale_drop_ctr : Stats.counter option;
+      (** ["heal.stale_drop"]; registered only when [params.heal]. *)
+  corrupt_ctr : Stats.counter option;
+      (** ["corrupt.items"]; registered only when [params.heal]. *)
 }
 
 (** [create params] — build the cluster; the placement is drawn from a
@@ -301,7 +316,10 @@ val partition_count : t -> int
     [resume]. These are the accounting hooks that protocol-independent drain
     and stall measurement need. *)
 
-(** Is a reconfiguration plan scheduled (i.e. [params.reconfig] non-empty)? *)
+(** Can the placement change mid-run — an operator plan is scheduled
+    ([params.reconfig] non-empty) or the healer may fail over
+    ([params.heal])? Protocols use this to provision appliers for sites
+    that could acquire a tree parent at a later epoch. *)
 val reconfig_planned : t -> bool
 
 (** Bracket every transaction execution attempt (including retries); the
@@ -325,3 +343,61 @@ val trace_reconfig_begin : t -> epoch:int -> unit
 val trace_reconfig_switch : t -> epoch:int -> duration:float -> unit
 val trace_reconfig_done : t -> epoch:int -> duration:float -> unit
 val trace_state_transfer : t -> item:int -> src:int -> dst:int -> unit
+
+(** {1 Self-healing}
+
+    Hooks used by {!Heal_exec} (the φ-accrual detector, failover coordinator
+    and anti-entropy repairer); all idle unless [params.heal]. *)
+
+(** Is the self-healing subsystem enabled ([params.heal])? *)
+val heal_planned : t -> bool
+
+(** Acquire the exclusive right to run an epoch switch: waits while another
+    switch (operator reconfiguration or healer failover) is in progress, then
+    sets [reconfiguring]. Release with {!release_switch}. *)
+val acquire_switch : t -> unit
+
+(** Clear [reconfiguring] and broadcast [resume], waking stalled clients and
+    any coordinator queued at {!acquire_switch}. *)
+val release_switch : t -> unit
+
+(** In-flight messages parked behind the outage itself: traffic on pairs with
+    a down endpoint or an active partition between them. *)
+val parked_outstanding : t -> int
+
+(** The healer's weak drain condition: no transaction attempt executing and
+    nothing in flight except {!parked_outstanding} traffic. The caller must
+    poll (with settle delays) — parked counts change without broadcasts. *)
+val weak_drained : t -> bool
+
+(** [stale_epoch t ~site ~epoch] — true iff [epoch] predates the current
+    configuration epoch: the message was parked behind an outage when a
+    weak-drain failover moved routing on, and the receiving protocol must
+    drop it (anti-entropy repairs the gap). Counted per site in
+    ["heal.stale_drop"].
+    @raise Failure when healing is off (the strong drain makes a stale epoch
+    a protocol bug there). *)
+val stale_epoch : t -> site:int -> epoch:int -> bool
+
+(** Install the per-site suspicion sampler feeding the timeline φ columns. *)
+val set_phi_fn : t -> (unit -> float array) -> unit
+
+(** [corrupt_site t ~site ~prob ~clause] — scramble each replica copy at
+    [site] with probability [prob] via the log-bypassing [Store.restore]
+    (primary copies are never touched). Deterministic in [(seed, clause)].
+    Driven by {!schedule_faults}; exposed for tests. *)
+val corrupt_site : t -> site:int -> prob:float -> clause:int -> unit
+
+(** Scrambled copies not yet repaired. *)
+val corrupted_copies : t -> int
+
+(** Corruption injections executed so far. *)
+val corruption_count : t -> int
+
+(** Copies scrambled so far, cumulative (repairs do not subtract). *)
+val corrupt_items_total : t -> int
+
+val is_corrupt : t -> site:int -> item:int -> bool
+
+(** Clear a corruption mark (the healer repaired or re-verified the copy). *)
+val clear_corrupt : t -> site:int -> item:int -> unit

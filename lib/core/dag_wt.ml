@@ -43,10 +43,13 @@ let forward t site (msg : msg) =
 (* One secondary subtransaction, received from the tree parent. *)
 let process_secondary t site (msg : msg) =
   let c = t.c in
-  (* Epoch fence: the coordinator drains all in-flight propagation before it
-     switches routing, so a message can never arrive under a later epoch than
-     the one it was forwarded in. *)
-  assert (msg.epoch = c.config_epoch);
+  (* Epoch fence: the operator coordinator drains all in-flight propagation
+     before it switches routing, so a later epoch cannot surface here — but a
+     healer failover drains weakly, and a message parked behind the outage
+     can deliver after the switch. Such messages are dropped with accounting;
+     anti-entropy repairs whatever they carried. *)
+  if Cluster.stale_epoch c ~site ~epoch:msg.epoch then Cluster.dec_outstanding c
+  else begin
   Cluster.use_cpu c site c.params.cpu_msg;
   let items = Routing.local_replicas c.placement site msg.writes in
   let sent = ref 0 in
@@ -57,6 +60,7 @@ let process_secondary t site (msg : msg) =
       sent := forward t site msg;
       Cluster.dec_outstanding c);
   if !sent > 0 then Cluster.use_cpu c site (float_of_int !sent *. c.params.cpu_msg)
+  end
 
 let applier t site =
   let inbox = Network.inbox t.net site in
@@ -88,10 +92,11 @@ let create_with_tree (c : Cluster.t) tr =
   let net = Cluster.make_batch_net ~describe_one:describe_msg c in
   let bat = Cluster.make_batcher c net in
   let t = { c; tr; net; bat; in_subtree = Routing.subtree_replicas c.placement tr } in
-  (* A reconfiguration can give any site a tree parent later, so under a plan
-     every site gets an applier (idle at roots); without one, spawn exactly as
-     before — spawn counts feed the event tie-break order, and static runs
-     must stay byte-identical. *)
+  (* A reconfiguration — operator-planned or a healer failover — can give any
+     site a tree parent later, so under either every site gets an applier
+     (idle at roots); without one, spawn exactly as before — spawn counts
+     feed the event tie-break order, and static runs must stay
+     byte-identical. *)
   let cat = Cluster.profile_cat c "server" in
   for site = 0 to c.params.n_sites - 1 do
     if Cluster.reconfig_planned c || Tree.parent tr site <> -1 then

@@ -32,6 +32,7 @@ type report = {
   reconfigs : int;
   state_transfers : int;
   reconfig_stall : float;
+  heal : Heal_exec.summary option;
   timeline : Timeline.t option;
   profile : Profile.t;
 }
@@ -100,13 +101,15 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
   let p = c.params in
   (* Refuse unsupported combinations up front, before any simulation runs. *)
   let reconfig_hook : P.t -> unit =
-    if Repdb_reconfig.Reconfig.is_empty p.reconfig then fun _ -> ()
+    if Repdb_reconfig.Reconfig.is_empty p.reconfig && not p.heal then fun _ -> ()
     else
       match P.reconfigure with
       | Some f -> f
       | None ->
           invalid_arg
-            (Printf.sprintf "Driver: protocol %s does not support online reconfiguration" P.name)
+            (Printf.sprintf "Driver: protocol %s does not support %s" P.name
+               (if p.heal then "healing (failover needs the reconfigure hook)"
+                else "online reconfiguration"))
   in
   let proto = P.create c in
   let gen = Generator.create c.rng p c.placement in
@@ -124,6 +127,10 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
   done;
   Cluster.schedule_faults c;
   Reconfig_exec.schedule c ~reconfigure:(fun () -> reconfig_hook proto) ~gen;
+  let healer =
+    if p.heal then Some (Heal_exec.schedule c ~reconfigure:(fun () -> reconfig_hook proto) ~gen)
+    else None
+  in
   (* The timeline ticker: samples every [timeline_every] ms of simulated
      time and stops rescheduling once the run is quiescent, so it never
      keeps the drain phase alive. *)
@@ -154,6 +161,46 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
          P.name c.clients_running c.outstanding (Sim.now c.sim));
   (* Drain any leftover timer wake-ups past the stop flag. *)
   Sim.run c.sim;
+  (* With healing on, one last full anti-entropy sweep after quiescence: the
+     backstop that makes convergence unconditional even when the relaxed
+     stale-epoch fence dropped propagation mid-failover. *)
+  (match healer with
+  | None -> ()
+  | Some h ->
+      Heal_exec.final_sweep h;
+      Sim.run c.sim);
+  let heal_summary = Option.map Heal_exec.summary healer in
+  let summary = Metrics.summarize c.metrics ~n_sites:p.n_sites ~messages:c.messages in
+  (* Fold the end-of-run breakdown into the timeline metadata so `repdb
+     report` can render it from the CSV alone. *)
+  (match c.timeline with
+  | None -> ()
+  | Some tl ->
+      let aborts =
+        List.map
+          (fun (r, n) -> ("aborts." ^ Txn.string_of_abort r, string_of_int n))
+          summary.Metrics.aborts_by_reason
+      in
+      let heal_meta =
+        match heal_summary with
+        | None -> []
+        | Some (h : Heal_exec.summary) ->
+            [
+              ("detector.suspicions", string_of_int h.suspicions);
+              ("detector.false", string_of_int h.false_suspicions);
+              ("heal.failovers", string_of_int h.failovers);
+              ("heal.promoted", string_of_int h.promoted_items);
+              ("heal.rejoins", string_of_int h.rejoins);
+              ("heal.mttr_mean_ms", Printf.sprintf "%.3f" h.mttr_mean);
+              ("heal.mttr_max_ms", Printf.sprintf "%.3f" h.mttr_max);
+              ("repair.sessions", string_of_int h.repair_sessions);
+              ("repair.items", string_of_int h.repaired_items);
+              ("heal.stale_drops", string_of_int h.stale_drops);
+              ("corrupt.events", string_of_int h.corruption_events);
+              ("corrupt.items", string_of_int h.corrupt_items);
+            ]
+      in
+      Timeline.set_meta tl (Timeline.meta tl @ aborts @ heal_meta));
   let lock_stats =
     Array.fold_left
       (fun (acc : Lock_mgr.stats) lm ->
@@ -170,7 +217,7 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
   {
     protocol = P.name;
     params = p;
-    summary = Metrics.summarize c.metrics ~n_sites:p.n_sites ~messages:c.messages;
+    summary;
     serializability =
       (if Repdb_txn.History.enabled c.history then Some (Serializability.check c.history) else None);
     divergent = (if P.updates_replicas then Some (Convergence.check c) else None);
@@ -189,6 +236,7 @@ let run_on (c : Cluster.t) (module P : Protocol.S) =
     reconfigs = c.reconfigs;
     state_transfers = c.state_transfers;
     reconfig_stall = c.stall_total;
+    heal = heal_summary;
     timeline = c.timeline;
     profile = c.profile;
   }
@@ -202,7 +250,7 @@ let run ?placement ?trace ?trace_capacity params protocol =
   run_on c protocol
 
 let pp_report ppf r =
-  Fmt.pf ppf "@[<v>[%s] %a@ %a@ %a@ copy-graph edges=%d backedges=%d replicas=%d@ locks: %d acquires, %d waits, %d timeouts, %d deadlock aborts@ %a%a%a%a@]"
+  Fmt.pf ppf "@[<v>[%s] %a@ %a@ %a@ copy-graph edges=%d backedges=%d replicas=%d@ locks: %d acquires, %d waits, %d timeouts, %d deadlock aborts@ %a%a%a%a%a@]"
     r.protocol Params.pp r.params Metrics.pp_summary r.summary Metrics.pp_per_site r.summary
     r.copy_graph_edges r.n_backedges
     r.n_replicas r.lock_stats.acquires r.lock_stats.waits r.lock_stats.timeouts
@@ -216,6 +264,11 @@ let pp_report ppf r =
       if not (Repdb_reconfig.Reconfig.is_empty r.params.reconfig) then
         Fmt.pf ppf "reconfig: %d epoch switches, %d state transfers, %.1f ms client stall@ "
           r.reconfigs r.state_transfers r.reconfig_stall)
+    r
+    (fun ppf r ->
+      match r.heal with
+      | None -> ()
+      | Some h -> Fmt.pf ppf "%a@ " Heal_exec.pp_summary h)
     r
     (Fmt.option (fun ppf v -> Fmt.pf ppf "serializability: %a@ " Serializability.pp_verdict v))
     r.serializability

@@ -41,6 +41,9 @@ type report = {
   reconfig_stall : float;
       (** Total simulated ms clients spent stalled at the epoch barrier —
           the run's aggregate mid-run throughput dip. *)
+  heal : Heal_exec.summary option;
+      (** Self-healing totals (suspicions, failovers, MTTR, repairs);
+          [Some] iff [params.heal]. *)
   timeline : Repdb_obs.Timeline.t option;
       (** Fixed-interval telemetry samples; [Some] iff
           [params.timeline_every > 0]. Export with

@@ -259,6 +259,43 @@ let sweep_partition ?pool ?(base = Params.default) () =
         })
     ()
 
+let sweep_heal ?pool ?(base = Params.default) () =
+  (* Self-healing MTTR vs detector threshold. Every point runs the same
+     crash-the-primary-plus-corruption schedule with healing on and no
+     operator-scheduled recovery: site 1 (a primary for ~1/m of the items)
+     crashes mid-run and silent corruption scrambles site 2's replica copies;
+     the healer must detect, fail over, and repair on its own. The x axis is
+     the φ suspicion threshold: low values detect fast but risk false
+     failovers under latency jitter, high values sit through long outages —
+     the availability trade-off the mttr_ms/unavail_ms columns quantify.
+     b = 0 keeps DAG(WT) applicable; deadline + retry keep the weak drain
+     bounded (PSL's synchronous remote reads need the deadline) and let
+     clients ride the outage out. *)
+  let base =
+    {
+      base with
+      Params.backedge_prob = 0.0;
+      heal = true;
+      txn_deadline = 400.0;
+      retry = Params.default_backoff;
+      txns_per_thread = max base.txns_per_thread 200;
+      faults =
+        {
+          Repdb_fault.Fault.empty with
+          crashes = [ { site = 1; at = 400.0; down_for = 800.0 } ];
+          corruptions = [ { c_site = 2; c_at = 600.0; c_prob = 0.3 } ];
+        };
+    }
+  in
+  let protocols : Protocol.t list =
+    [ (module Backedge_proto : Protocol.S); (module Dag_wt : Protocol.S); (module Psl : Protocol.S) ]
+  in
+  sweep ?pool ~id:"heal" ~title:"Self-healing: MTTR and availability vs detector threshold"
+    ~xlabel:"phi suspicion threshold" ~protocols
+    ~values:[ 2.0; 4.0; 8.0; 16.0; 32.0 ]
+    ~params_of:(fun phi -> { base with phi_threshold = phi })
+    ()
+
 let sweep_occ ?pool ?(base = Params.default) () =
   (* Optimistic vs locking under contention. The x axis is the Zipf skew of
      item selection: at theta = 0 access is uniform and optimistic execution
@@ -434,13 +471,19 @@ let to_csv fig =
   Buffer.add_string buf
     ("figure,x,protocol,throughput_per_site,abort_rate,avg_response,p99_response,avg_propagation,messages,reconfigs,state_transfers,reconfig_stall_ms,"
     ^ String.concat "," abort_columns
-    ^ ",stale_reads,max_staleness_ms,unavail_ms\n");
+    ^ ",stale_reads,max_staleness_ms,unavail_ms,mttr_ms,failovers,repaired_items\n");
   List.iter
     (fun pt ->
       List.iter
         (fun (name, (r : Driver.report)) ->
+          let mttr, failovers, repaired =
+            match r.heal with
+            | None -> (0.0, 0, 0)
+            | Some h -> (h.Heal_exec.mttr_mean, h.failovers, h.repaired_items)
+          in
           Buffer.add_string buf
-            (Printf.sprintf "%s,%g,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%d,%d,%d,%.2f,%s,%d,%.2f,%.2f\n"
+            (Printf.sprintf
+               "%s,%g,%s,%.4f,%.4f,%.2f,%.2f,%.2f,%d,%d,%d,%.2f,%s,%d,%.2f,%.2f,%.2f,%d,%d\n"
                fig.id pt.x name r.summary.throughput_per_site r.summary.abort_rate
                r.summary.avg_response r.summary.p99_response r.summary.avg_propagation
                r.summary.messages r.reconfigs r.state_transfers r.reconfig_stall
@@ -448,7 +491,8 @@ let to_csv fig =
                   (List.map
                      (fun reason -> string_of_int (reason_count r reason))
                      Repdb_txn.Txn.all_abort_reasons))
-               r.summary.stale_reads r.summary.max_staleness r.summary.unavail_ms))
+               r.summary.stale_reads r.summary.max_staleness r.summary.unavail_ms mttr failovers
+               repaired))
         pt.reports)
     fig.points;
   Buffer.contents buf
@@ -494,6 +538,7 @@ let registry =
     { exp_id = "reconfig"; doc = "throughput and switch cost vs online reconfigurations"; run = fig sweep_reconfig };
     { exp_id = "partition"; doc = "availability, deadline aborts and stale reads vs partition duration"; run = fig sweep_partition };
     { exp_id = "occ"; doc = "optimistic (occ-epoch, ssi) vs locking vs Zipf contention"; run = fig sweep_occ };
+    { exp_id = "heal"; doc = "self-healing MTTR and availability vs detector threshold"; run = fig sweep_heal };
   ]
 
 let ids = List.map (fun e -> e.exp_id) registry

@@ -132,6 +132,16 @@ val sweep_partition : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
     [aborts_deadlock]). *)
 val sweep_occ : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
 
+(** Self-healing sweep: MTTR, failovers and repairs vs the φ suspicion
+    threshold (2 / 4 / 8 / 16 / 32) under a fixed
+    crash-the-primary-plus-corruption schedule with healing on and no
+    operator-scheduled recovery. [b = 0] keeps DAG(WT) applicable alongside
+    BackEdge and PSL; deadline + retry keep the failover drain bounded. The
+    trade-off lands in the [mttr_ms] / [unavail_ms] columns: low thresholds
+    detect fast but risk false failovers, high ones sit through the
+    outage. *)
+val sweep_heal : ?pool:Repdb_par.Pool.t -> ?base:Params.t -> unit -> figure
+
 (** {1 Registry} *)
 
 (** What an experiment produces: a swept figure, or a flat list of labelled

@@ -35,9 +35,9 @@ let execute_step (c : Cluster.t) net ~reconfigure ~gen (ts : Reconfig.timed) =
   Cluster.trace_reconfig_begin c ~epoch:c.config_epoch;
   (* Stall clients at the barrier and wait until no transaction attempt is
      executing and no propagation is in flight: the old epoch is fully
-     applied everywhere it will ever be. *)
-  c.reconfiguring <- true;
-  Cluster.await_drained c;
+     applied everywhere it will ever be. [acquire_switch] also serializes
+     against a healer failover in progress. *)
+  Cluster.acquire_switch c;
   let np = Placement.apply_step c.placement ts.step in
   (* Bulk-copy current primary values to newly added replicas. The transfer
      rides the typed network (latency, CPU, fault injection), and each
@@ -62,8 +62,7 @@ let execute_step (c : Cluster.t) net ~reconfigure ~gen (ts : Reconfig.timed) =
   let switch = Sim.now c.sim -. t0 in
   (match c.switch_hist with Some h -> Stats.observe h ~site:0 switch | None -> ());
   Cluster.trace_reconfig_switch c ~epoch:c.config_epoch ~duration:switch;
-  c.reconfiguring <- false;
-  Condvar.broadcast c.resume;
+  Cluster.release_switch c;
   Cluster.trace_reconfig_done c ~epoch:c.config_epoch ~duration:(Sim.now c.sim -. t0)
 
 let receive_server c net site =

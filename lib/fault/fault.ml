@@ -13,10 +13,13 @@ type window = {
 
 type partition = { from_t : float; until_t : float; groups : int list list }
 
+type corruption = { c_site : int; c_at : float; c_prob : float }
+
 type schedule = {
   crashes : crash list;
   windows : window list;
   partitions : partition list;
+  corruptions : corruption list;
   rto : float;
 }
 
@@ -24,8 +27,11 @@ let default_rto = 5.0
 let default_down = 500.0
 let max_attempts = 10_000
 
-let empty = { crashes = []; windows = []; partitions = []; rto = default_rto }
-let is_empty s = s.crashes = [] && s.windows = [] && s.partitions = []
+let empty =
+  { crashes = []; windows = []; partitions = []; corruptions = []; rto = default_rto }
+
+let is_empty s =
+  s.crashes = [] && s.windows = [] && s.partitions = [] && s.corruptions = []
 
 let string_of_groups groups =
   String.concat "|" (List.map (fun g -> String.concat "." (List.map string_of_int g)) groups)
@@ -39,7 +45,8 @@ let last_event s =
   in
   (* Heals count as events: messages parked behind a partition only depart
      after [until_t], so run horizons must extend past it. *)
-  List.fold_left (fun acc p -> Float.max acc p.until_t) m s.partitions
+  let m = List.fold_left (fun acc p -> Float.max acc p.until_t) m s.partitions in
+  List.fold_left (fun acc c -> Float.max acc c.c_at) m s.corruptions
 
 let validate ~n_sites s =
   let fail fmt = Printf.ksprintf invalid_arg fmt in
@@ -102,7 +109,14 @@ let validate ~n_sites s =
               Hashtbl.replace seen site ())
             g)
         p.groups)
-    s.partitions
+    s.partitions;
+  List.iter
+    (fun c ->
+      site_ok ~any:false "corrupt site" c.c_site;
+      if c.c_at < 0.0 || not (Float.is_finite c.c_at) then fail "Fault: corrupt at %g ms" c.c_at;
+      if c.c_prob <= 0.0 || c.c_prob > 1.0 then
+        fail "Fault: corrupt probability %g not in (0,1]" c.c_prob)
+    s.corruptions
 
 (* --- spec parsing --------------------------------------------------------- *)
 
@@ -211,6 +225,11 @@ let parse_clause acc clause =
           let* from_t, until_t = parse_span arg in
           let* groups = req_field opts "groups" parse_groups in
           Ok { acc with partitions = { from_t; until_t; groups } :: acc.partitions }
+      | "corrupt" ->
+          let* c_at = parse_float "corrupt time" arg in
+          let* c_site = req_field opts "site" parse_int in
+          let* c_prob = req_field opts "p" parse_float in
+          Ok { acc with corruptions = { c_site; c_at; c_prob } :: acc.corruptions }
       | other -> Error (Printf.sprintf "faults: unknown clause %S" other))
   | None -> (
       match String.index_opt head '=' with
@@ -230,6 +249,10 @@ let of_string spec =
       crashes = List.sort (fun a b -> compare (a.at, a.site) (b.at, b.site)) (List.rev s.crashes);
       windows = List.rev s.windows;
       partitions = List.rev s.partitions;
+      corruptions =
+        List.sort
+          (fun a b -> compare (a.c_at, a.c_site) (b.c_at, b.c_site))
+          (List.rev s.corruptions);
     }
 
 let to_string s =
@@ -242,6 +265,7 @@ let to_string s =
   List.iter
     (fun p -> clause "partition@%g-%g:groups=%s" p.from_t p.until_t (string_of_groups p.groups))
     s.partitions;
+  List.iter (fun c -> clause "corrupt@%g:site=%d,p=%g" c.c_at c.c_site c.c_prob) s.corruptions;
   List.iter
     (fun w ->
       let pair () =
@@ -259,7 +283,8 @@ let to_string s =
 let pp ppf s =
   if is_empty s then Fmt.string ppf "(none)" else Fmt.string ppf (to_string s)
 
-let synthetic ~n_sites ~seed ~n_crashes ?(mean_downtime = 300.0) ?(window = (200.0, 4000.0)) () =
+let synthetic ~n_sites ~seed ~n_crashes ?(n_corruptions = 0) ?(mean_downtime = 300.0)
+    ?(window = (200.0, 4000.0)) () =
   let rng = Rng.create ((seed * 73) + 5) in
   let lo, hi = window in
   let site_free = Array.make n_sites 0.0 in
@@ -282,9 +307,18 @@ let synthetic ~n_sites ~seed ~n_crashes ?(mean_downtime = 300.0) ?(window = (200
         crashes := { site; at; down_for } :: !crashes
     | None -> ()
   done;
+  let corruptions = ref [] in
+  for _ = 1 to n_corruptions do
+    let c_at = Float.round (Rng.float_range rng lo hi) in
+    let c_site = Rng.int rng n_sites in
+    let c_prob = 0.1 +. (0.4 *. Rng.float rng) in
+    corruptions := { c_site; c_at; c_prob } :: !corruptions
+  done;
   {
     empty with
     crashes = List.sort (fun a b -> compare (a.at, a.site) (b.at, b.site)) !crashes;
+    corruptions =
+      List.sort (fun a b -> compare (a.c_at, a.c_site) (b.c_at, b.c_site)) !corruptions;
   }
 
 (* --- injection ------------------------------------------------------------ *)

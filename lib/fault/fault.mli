@@ -57,10 +57,19 @@ type window = {
     disjoint, non-empty and at least two ({!validate}). *)
 type partition = { from_t : float; until_t : float; groups : int list list }
 
+(** Silent replica corruption: at [c_at], each {e replica} copy held at
+    [c_site] (never a primary copy) has its stored payload scrambled with
+    probability [c_prob], bypassing the WAL hook — modelling bit-rot that
+    redo recovery cannot see. Nothing in the passive fault machinery notices;
+    the self-healing anti-entropy repair ({!Repdb_heal}) is what detects and
+    fixes it, so runs with corruption clauses should enable [--heal]. *)
+type corruption = { c_site : int; c_at : float; c_prob : float }
+
 type schedule = {
   crashes : crash list;  (** Sorted by [at] after {!validate}. *)
   windows : window list;
   partitions : partition list;
+  corruptions : corruption list;  (** Sorted by [c_at] after {!of_string}. *)
   rto : float;  (** Retransmit timeout, ms, for dropped attempts. *)
 }
 
@@ -94,6 +103,7 @@ crash@T:site=S[,down=D]       crash site S at T ms, restart after D (default 500
 drop@T1-T2:p=P[,src=A][,dst=B]    drop attempts with prob P in the window
 delay@T1-T2:add=MS[,src=A][,dst=B]  add MS ms to deliveries in the window
 partition@T1-T2:groups=G1|G2[|..]  separate site groups (sites joined by '.')
+corrupt@T:site=S,p=P          scramble each replica at S with prob P at T ms
 rto=MS                        retransmit timeout (default 5)
     v}
 
@@ -112,11 +122,15 @@ val pp : Format.formatter -> schedule -> unit
     from a seeded generator: crash instants uniform in [window] (default
     200–4000 ms), downtimes exponential with [mean_downtime] (default 300 ms,
     clamped to 100–2000), sites chosen so per-site downtimes never overlap.
-    Deterministic in its arguments; used by the fault-sweep experiment. *)
+    [n_corruptions] (default 0) additionally draws that many [corrupt]
+    clauses with instants uniform in [window] and probabilities in
+    [0.1, 0.5). Deterministic in its arguments; used by the fault-sweep and
+    heal-sweep experiments and the chaos fuzzer. *)
 val synthetic :
   n_sites:int ->
   seed:int ->
   n_crashes:int ->
+  ?n_corruptions:int ->
   ?mean_downtime:float ->
   ?window:float * float ->
   unit ->

@@ -1,0 +1,67 @@
+(* φ-accrual failure detection, exponential-model variant.
+
+   The classic accrual detector (Hayashibara et al., SRDS 2004) outputs a
+   suspicion level φ = -log10 P(no heartbeat yet | the site is alive) rather
+   than a boolean. Under the exponential inter-arrival model with mean μ,
+   P(gap > g) = exp(-g/μ), so
+
+     φ(g) = -log10 exp(-g/μ) = g / (μ ln 10) ≈ 0.4343 · g / μ.
+
+   φ grows linearly in the silence gap and inversely in the observed mean
+   inter-arrival time: a threshold of 8 at a 25 ms heartbeat period fires
+   after ≈ 460 ms of silence on a quiet link, later on a jittery one. The
+   estimator is a sliding window of inter-arrival samples, each clamped to
+   [0.1, 10] heartbeat periods so that the post-outage delivery burst of
+   parked heartbeats (near-zero gaps) and the outage gap itself (one huge
+   sample) cannot poison the mean. *)
+
+type t = {
+  hb_every : float;
+  window : int;
+  samples : float array; (* ring buffer of clamped inter-arrival gaps *)
+  mutable n : int; (* samples currently held, <= window *)
+  mutable idx : int; (* next ring slot *)
+  mutable sum : float; (* running sum of held samples *)
+  mutable last : float; (* arrival time of the newest heartbeat *)
+  mutable arrivals : int;
+}
+
+let create ?(window = 20) ~hb_every ~now () =
+  if hb_every <= 0.0 || not (Float.is_finite hb_every) then
+    invalid_arg "Detector.create: hb_every must be > 0 and finite";
+  if window < 1 then invalid_arg "Detector.create: window must be >= 1";
+  {
+    hb_every;
+    window;
+    samples = Array.make window 0.0;
+    n = 0;
+    idx = 0;
+    sum = 0.0;
+    (* Treat creation as a virtual first arrival so φ is well-defined (and
+       grows) before the first real heartbeat lands. *)
+    last = now;
+    arrivals = 0;
+  }
+
+let clamp t gap = Float.min (10.0 *. t.hb_every) (Float.max (0.1 *. t.hb_every) gap)
+
+let record t ~now =
+  let gap = clamp t (now -. t.last) in
+  if t.n = t.window then t.sum <- t.sum -. t.samples.(t.idx) else t.n <- t.n + 1;
+  t.samples.(t.idx) <- gap;
+  t.idx <- (t.idx + 1) mod t.window;
+  t.sum <- t.sum +. gap;
+  t.last <- now;
+  t.arrivals <- t.arrivals + 1
+
+let mean t = if t.n = 0 then t.hb_every else t.sum /. float_of_int t.n
+
+(* log10 e: φ = gap / (μ ln 10) = log10(e) · gap / μ *)
+let log10_e = 0.43429448190325176
+
+let phi t ~now =
+  let gap = now -. t.last in
+  if gap <= 0.0 then 0.0 else log10_e *. gap /. mean t
+
+let last_arrival t = t.last
+let arrivals t = t.arrivals

@@ -1,0 +1,39 @@
+(** φ-accrual failure detector state for one monitored heartbeat stream
+    (one ordered site pair), exponential-model variant.
+
+    Suspicion is a level, not a boolean: [phi] returns
+    φ ≈ 0.4343 · gap / μ where [gap] is the current silence and μ the mean
+    inter-arrival time over a sliding window of samples (each clamped to
+    [0.1, 10] heartbeat periods, so outage gaps and post-outage delivery
+    bursts cannot poison the estimate). φ = 8 at a 25 ms period fires after
+    ≈ 460 ms of silence on a quiet link; a jittery link raises μ and
+    postpones suspicion proportionally. The caller turns per-observer φ
+    values into a cluster-level verdict (e.g. a majority quorum).
+
+    Purely functional in simulated time: the caller supplies every [now], so
+    runs stay deterministic and byte-identical. *)
+
+type t
+
+(** [create ~hb_every ~now ()] — a detector expecting one heartbeat per
+    [hb_every] ms, created at time [now] (creation counts as a virtual first
+    arrival so φ is well-defined and growing before any real heartbeat).
+    [window] is the sliding-window size (default 20 samples). *)
+val create : ?window:int -> hb_every:float -> now:float -> unit -> t
+
+(** A heartbeat arrived at [now]: push the (clamped) inter-arrival gap into
+    the window. *)
+val record : t -> now:float -> unit
+
+(** Suspicion level at [now]; 0 when a heartbeat just arrived, growing
+    linearly with silence. *)
+val phi : t -> now:float -> float
+
+(** Mean inter-arrival estimate, ms ([hb_every] until the first sample). *)
+val mean : t -> float
+
+(** Arrival time of the newest heartbeat (creation time if none yet). *)
+val last_arrival : t -> float
+
+(** Real heartbeats recorded. *)
+val arrivals : t -> int

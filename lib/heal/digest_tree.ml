@@ -1,0 +1,52 @@
+(* Merkle-style range narrowing over a sorted item list.
+
+   Anti-entropy compares a primary's copies against a replica holder's
+   without shipping every checksum: the shared item set is split into
+   [fanout] contiguous chunks, one digest is exchanged per chunk, and only
+   mismatching chunks are split further. Chunks at or below [leaf] items are
+   compared item-by-item. For a single scrambled copy among n shared items
+   this exchanges O(fanout · log_fanout n) digests instead of n checksums.
+
+   The module is pure: callers supply the digest and per-item comparison
+   callbacks (which is where the network round trips live), so the narrowing
+   logic is testable without a simulator. *)
+
+let chunk ~fanout items =
+  if fanout < 2 then invalid_arg "Digest_tree.chunk: fanout must be >= 2";
+  let n = List.length items in
+  if n = 0 then []
+  else begin
+    let per = (n + fanout - 1) / fanout in
+    let rec take k acc rest =
+      if k = 0 then (List.rev acc, rest)
+      else match rest with [] -> (List.rev acc, []) | x :: tl -> take (k - 1) (x :: acc) tl
+    in
+    let rec go rest acc =
+      match rest with
+      | [] -> List.rev acc
+      | _ ->
+          let c, rest = take per [] rest in
+          go rest (c :: acc)
+    in
+    go items []
+  end
+
+(* [narrow ~fanout ~leaf ~equal_digest ~check_items items] — the mismatching
+   items among [items]. [equal_digest chunk] answers "do both sides digest
+   this chunk identically?" (one round trip); [check_items chunk] compares a
+   leaf chunk item-by-item and returns the mismatches (one round trip
+   carrying per-item checksums). *)
+let rec narrow ~fanout ~leaf ~equal_digest ~check_items items =
+  match items with
+  | [] -> []
+  | _ when List.length items <= leaf -> check_items items
+  | _ ->
+      List.concat_map
+        (fun c ->
+          if equal_digest c then []
+          else narrow ~fanout ~leaf ~equal_digest ~check_items c)
+        (chunk ~fanout items)
+
+(* Digests exchanged by [narrow] in the worst case for one mismatching item:
+   the tree depth times the fanout (used by tests and cost accounting). *)
+let rec depth ~fanout ~leaf n = if n <= leaf then 0 else 1 + depth ~fanout ~leaf ((n + fanout - 1) / fanout)

@@ -1,0 +1,27 @@
+(** Merkle-style range narrowing for anti-entropy digest exchange.
+
+    Pure list machinery: the caller supplies the chunk-digest equality and
+    leaf item-check callbacks (where the network round trips live), so the
+    narrowing is testable without a simulator. See {!narrow}. *)
+
+(** Split a (sorted) list into at most [fanout] contiguous chunks of
+    near-equal size, preserving order.
+    @raise Invalid_argument when [fanout < 2]. *)
+val chunk : fanout:int -> 'a list -> 'a list list
+
+(** [narrow ~fanout ~leaf ~equal_digest ~check_items items] — the
+    mismatching items among [items]: recursively splits into [fanout]
+    chunks, descends only into chunks where [equal_digest] says the two
+    sides differ, and compares chunks of at most [leaf] items with
+    [check_items] (which returns the mismatching subset). *)
+val narrow :
+  fanout:int ->
+  leaf:int ->
+  equal_digest:('a list -> bool) ->
+  check_items:('a list -> 'a list) ->
+  'a list ->
+  'a list
+
+(** Narrowing depth for [n] items: how many digest rounds a single
+    mismatching item costs before the leaf check. *)
+val depth : fanout:int -> leaf:int -> int -> int

@@ -28,6 +28,10 @@ type 'a t = {
   recv_ctr : Stats.counter option;
   drop_ctr : Stats.counter option;
   injector : Fault.injector option;
+  inflight_pair : int array;
+      (* Per ordered pair (src * n + dst): units accepted minus units
+         delivered, so the healer can drain "everything except traffic parked
+         behind a crashed or partitioned pair". *)
   fifo_clear : float array array;
       (* Per ordered pair: latest delivery instant scheduled so far. Faulty
          transmissions finish at irregular times, so later sends clamp to this
@@ -64,6 +68,7 @@ let create ~sim ~n_sites ~latency ?(arity = fun _ -> 1) ?(on_send = fun _ -> ())
       | Some _ -> Option.map (fun s -> Stats.counter s "msg.drop") stats
       | None -> None);
     injector;
+    inflight_pair = Array.make (n_sites * n_sites) 0;
     fifo_clear = Array.init n_sites (fun _ -> Array.make n_sites 0.0);
   }
 
@@ -86,10 +91,13 @@ let send t ~src ~dst msg =
   if src = dst then invalid_arg "Network.send: src = dst";
   let units = t.arity msg in
   t.sent <- t.sent + units;
+  let pair = (src * t.n) + dst in
+  t.inflight_pair.(pair) <- t.inflight_pair.(pair) + units;
   t.on_send units;
   (match t.sent_ctr with Some c -> Stats.add c ~site:src units | None -> ());
   let deliver () =
     t.delivered <- t.delivered + units;
+    t.inflight_pair.(pair) <- t.inflight_pair.(pair) - units;
     (match t.recv_ctr with Some c -> Stats.add c ~site:dst units | None -> ());
     match t.targets.(dst) with
     | Inbox mb -> Mailbox.send mb (src, msg)
@@ -150,6 +158,24 @@ let messages_delivered t = t.delivered
    one per message regardless of retransmissions (drops are re-sent by the
    acked link until the single delivery fires). *)
 let in_flight t = t.sent - t.delivered
+
+let in_flight_to t dst =
+  check t dst;
+  let acc = ref 0 in
+  for src = 0 to t.n - 1 do
+    acc := !acc + t.inflight_pair.((src * t.n) + dst)
+  done;
+  !acc
+
+let in_flight_matching t ~f =
+  let acc = ref 0 in
+  for src = 0 to t.n - 1 do
+    for dst = 0 to t.n - 1 do
+      let v = t.inflight_pair.((src * t.n) + dst) in
+      if v <> 0 && f ~src ~dst then acc := !acc + v
+    done
+  done;
+  !acc
 
 let inbox_depth t dst =
   check t dst;

@@ -81,6 +81,18 @@ val messages_delivered : 'a t -> int
     regardless of how many faulty transmission attempts it took. *)
 val in_flight : 'a t -> int
 
+(** [in_flight_to t dst] — the subset of {!in_flight} destined for [dst].
+    @raise Invalid_argument on an out-of-range site. *)
+val in_flight_to : 'a t -> int -> int
+
+(** [in_flight_matching t ~f] — logical in-flight messages on ordered pairs
+    selected by [f ~src ~dst]. The healer's failover drain waits for
+    [in_flight - in_flight_matching ~f:parked] to reach zero, where [parked]
+    selects pairs with a down endpoint or an active partition between them:
+    traffic parked behind a crashed site must not stall the epoch switch for
+    the whole downtime. *)
+val in_flight_matching : 'a t -> f:(src:int -> dst:int -> bool) -> int
+
 (** Undrained messages in [dst]'s inbox mailbox (0 for handler targets,
     which consume at delivery time). *)
 val inbox_depth : 'a t -> int -> int

@@ -32,6 +32,14 @@ type kind =
   | Txn_deadline of { gid : int; site : int }
   | Stale_read of { site : int; item : int; staleness : float }
   | Span_phase of { gid : int; site : int; phase : string; t0 : float; dur : float }
+  | Suspect of { site : int; phi : float }
+  | Unsuspect of { site : int; downtime : float }
+  | Failover_begin of { site : int; epoch : int }
+  | Failover_done of { site : int; epoch : int; duration : float; promoted : int }
+  | Corrupt of { site : int; items : int }
+  | Repair_session of { primary : int; holder : int; mismatched : int }
+  | Repair_item of { item : int; src : int; dst : int }
+  | Rejoin of { site : int; repaired : int }
 
 type t = { time : float; kind : kind }
 
@@ -67,6 +75,14 @@ let label = function
   | Txn_deadline _ -> "txn_deadline"
   | Stale_read _ -> "stale_read"
   | Span_phase _ -> "span_phase"
+  | Suspect _ -> "suspect"
+  | Unsuspect _ -> "unsuspect"
+  | Failover_begin _ -> "failover_begin"
+  | Failover_done _ -> "failover_done"
+  | Corrupt _ -> "corrupt"
+  | Repair_session _ -> "repair_session"
+  | Repair_item _ -> "repair_item"
+  | Rejoin _ -> "rejoin"
 
 let site = function
   | Txn_begin { site; _ }
@@ -89,7 +105,17 @@ let site = function
   | Backedge_decide { site; _ }
   | Txn_deadline { site; _ }
   | Stale_read { site; _ }
-  | Span_phase { site; _ } -> site
+  | Span_phase { site; _ }
+  (* Healer events ride the track of the site being suspected / failed over /
+     corrupted / rejoined — the subject, not the coordinator. *)
+  | Suspect { site; _ }
+  | Unsuspect { site; _ }
+  | Failover_begin { site; _ }
+  | Failover_done { site; _ }
+  | Corrupt { site; _ }
+  | Rejoin { site; _ } -> site
+  | Repair_session { holder; _ } -> holder
+  | Repair_item { dst; _ } -> dst
   | Msg_send { src; _ } -> src
   | Msg_recv { dst; _ } | Msg_drop { dst; _ } | Dummy_emit { dst; _ } -> dst
   (* Coordinator / injector events are cluster-wide; they ride site 0's track. *)
@@ -132,6 +158,17 @@ let args = function
       [ ("item", `Int item); ("staleness", `Float staleness) ]
   | Span_phase { gid; phase; t0; dur; _ } ->
       [ ("gid", `Int gid); ("phase", `String phase); ("t0", `Float t0); ("dur", `Float dur) ]
+  | Suspect { phi; _ } -> [ ("phi", `Float phi) ]
+  | Unsuspect { downtime; _ } -> [ ("downtime", `Float downtime) ]
+  | Failover_begin { epoch; _ } -> [ ("epoch", `Int epoch) ]
+  | Failover_done { epoch; duration; promoted; _ } ->
+      [ ("epoch", `Int epoch); ("duration", `Float duration); ("promoted", `Int promoted) ]
+  | Corrupt { items; _ } -> [ ("items", `Int items) ]
+  | Repair_session { primary; mismatched; _ } ->
+      [ ("primary", `Int primary); ("mismatched", `Int mismatched) ]
+  | Repair_item { item; src; dst } ->
+      [ ("item", `Int item); ("src", `Int src); ("dst", `Int dst) ]
+  | Rejoin { repaired; _ } -> [ ("repaired", `Int repaired) ]
 
 let pp ppf e =
   Fmt.pf ppf "@[%.3f %s@%d%a@]" e.time (label e.kind) (site e.kind)

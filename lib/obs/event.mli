@@ -71,6 +71,30 @@ type kind =
       (** One lifecycle phase of a finished transaction attempt ([phase] in
           ["lock"], ["exec"], ["prop"], ["commit"]): it occupied [dur] ms
           starting at [t0]. Emitted at attempt completion by [Span]. *)
+  | Suspect of { site : int; phi : float }
+      (** The failure detector declared [site] suspect: a majority of its
+          peers' φ values crossed the threshold ([phi] is the median). *)
+  | Unsuspect of { site : int; downtime : float }
+      (** Heartbeats resumed and [site] was cleared after [downtime] ms
+          under suspicion. *)
+  | Failover_begin of { site : int; epoch : int }
+      (** The healer started draining epoch [epoch] to fail over the
+          primaries held by suspected [site]. *)
+  | Failover_done of { site : int; epoch : int; duration : float; promoted : int }
+      (** Routing switched to epoch [epoch]; [promoted] items changed
+          primary, after [duration] ms of weak drain + transfer. *)
+  | Corrupt of { site : int; items : int }
+      (** The injector silently scrambled [items] replica copies at [site]
+          (bypassing the redo log — only anti-entropy can see it). *)
+  | Repair_session of { primary : int; holder : int; mismatched : int }
+      (** One anti-entropy digest exchange between [primary] and replica
+          [holder] finished; [mismatched] items needed repair. *)
+  | Repair_item of { item : int; src : int; dst : int }
+      (** Anti-entropy shipped the primary copy of [item] from [src] and
+          installed it at [dst] (redo-logged). *)
+  | Rejoin of { site : int; repaired : int }
+      (** A recovered (or demoted-then-cleared) site finished catch-up
+          repair: [repaired] items were refreshed from their primaries. *)
 
 type t = { time : float;  (** Simulated ms. *) kind : kind }
 

@@ -95,6 +95,16 @@ let fsum = List.fold_left ( +. ) 0.0
 let fmean xs = match xs with [] -> 0.0 | _ -> fsum xs /. float_of_int (List.length xs)
 let last xs = match List.rev xs with [] -> 0.0 | x :: _ -> x
 
+(* Meta entries whose key starts with [prefix], as [(key, value)] in file
+   order — the driver folds end-of-run breakdowns (per-reason aborts, the
+   detector/repair counters of a healing run) into the CSV meta line so the
+   report can render them from the file alone. *)
+let meta_prefixed t prefix =
+  let plen = String.length prefix in
+  List.filter
+    (fun (k, _) -> String.length k > plen && String.sub k 0 plen = prefix)
+    t.meta
+
 (* --- Sparklines ----------------------------------------------------------- *)
 
 let spark_chars = [| "\u{2581}"; "\u{2582}"; "\u{2583}"; "\u{2584}"; "\u{2585}"; "\u{2586}"; "\u{2587}"; "\u{2588}" |]
@@ -172,6 +182,35 @@ let to_markdown t =
       pf "|--------|-----------|-------|-------------|\n";
       pf "| commits | `%s` | %.0f | %.0f |\n" (sparkline ctotal) (fsum ctotal) (fmax ctotal);
       pf "| aborts | `%s` | %.0f | %.0f |\n" (sparkline atotal) (fsum atotal) (fmax atotal));
+  (match meta_prefixed t "aborts." with
+  | [] -> ()
+  | reasons ->
+      pf "\n## Aborts by reason\n\n";
+      pf "| reason | count |\n|--------|-------|\n";
+      List.iter
+        (fun (k, v) ->
+          pf "| %s | %s |\n" (String.sub k 7 (String.length k - 7)) (md_escape v))
+        reasons);
+  (match site_columns t "phi" with
+  | [] -> ()
+  | phis ->
+      pf "\n## Failure detector (φ suspicion level)\n\n";
+      pf "| site | phi over time | max | last |\n";
+      pf "|------|---------------|-----|------|\n";
+      List.iter
+        (fun (site, xs) ->
+          pf "| %d | `%s` | %.2f | %.2f |\n" site (sparkline xs) (fmax xs) (last xs))
+        phis);
+  (let heal =
+     meta_prefixed t "detector." @ meta_prefixed t "heal." @ meta_prefixed t "repair."
+     @ meta_prefixed t "corrupt."
+   in
+   match heal with
+   | [] -> ()
+   | counters ->
+       pf "\n## Self-healing\n\n";
+       pf "| counter | value |\n|---------|-------|\n";
+       List.iter (fun (k, v) -> pf "| %s | %s |\n" (md_escape k) (md_escape v)) counters);
   let gauge name col =
     match column t col with
     | None | Some [] -> ()
@@ -285,6 +324,37 @@ let to_html t =
              ("commits", sum_series (List.map snd commits));
              ("aborts", sum_series (List.map snd aborts));
            ]));
+  (match meta_prefixed t "aborts." with
+  | [] -> ()
+  | reasons ->
+      pf "<h2>Aborts by reason</h2><table><tr><th>reason</th><th>count</th></tr>";
+      List.iter
+        (fun (k, v) ->
+          pf "<tr><td>%s</td><td>%s</td></tr>"
+            (html_escape (String.sub k 7 (String.length k - 7)))
+            (html_escape v))
+        reasons;
+      pf "</table>");
+  (match site_columns t "phi" with
+  | [] -> ()
+  | phis ->
+      pf "<h2>Failure detector</h2>";
+      pf "%s"
+        (svg_chart ~title:"per-site suspicion level φ"
+           (List.map (fun (s, xs) -> (Printf.sprintf "site %d" s, xs)) phis)));
+  (let heal =
+     meta_prefixed t "detector." @ meta_prefixed t "heal." @ meta_prefixed t "repair."
+     @ meta_prefixed t "corrupt."
+   in
+   match heal with
+   | [] -> ()
+   | counters ->
+       pf "<h2>Self-healing</h2><table><tr><th>counter</th><th>value</th></tr>";
+       List.iter
+         (fun (k, v) ->
+           pf "<tr><td>%s</td><td>%s</td></tr>" (html_escape k) (html_escape v))
+         counters;
+       pf "</table>");
   let gauges =
     List.filter_map
       (fun (name, col) -> Option.map (fun xs -> (name, xs)) (column t col))

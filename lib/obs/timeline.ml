@@ -8,24 +8,27 @@ type row = {
   r_pending : int array;
   r_locks : int array;
   r_waiters : int array;
+  r_phi : float array;
 }
 
 type t = {
   n_sites : int;
   interval : float;
+  phi : bool;
   mutable meta : (string * string) list;
   mutable rev_rows : row list;
   mutable len : int;
 }
 
-let create ~n_sites ~interval () =
+let create ~n_sites ~interval ?(phi = false) () =
   if n_sites < 1 then invalid_arg "Timeline.create: need at least one site";
   if interval <= 0.0 || not (Float.is_finite interval) then
     invalid_arg "Timeline.create: interval must be positive and finite";
-  { n_sites; interval; meta = []; rev_rows = []; len = 0 }
+  { n_sites; interval; phi; meta = []; rev_rows = []; len = 0 }
 
 let n_sites t = t.n_sites
 let interval t = t.interval
+let has_phi t = t.phi
 let length t = t.len
 let meta t = t.meta
 let set_meta t meta = t.meta <- meta
@@ -41,6 +44,9 @@ let push t row =
   check "pending" (Array.length row.r_pending);
   check "locks" (Array.length row.r_locks);
   check "waiters" (Array.length row.r_waiters);
+  (if t.phi then check "phi" (Array.length row.r_phi)
+   else if Array.length row.r_phi <> 0 then
+     invalid_arg "Timeline.push: phi column disabled but r_phi is non-empty");
   t.rev_rows <- row :: t.rev_rows;
   t.len <- t.len + 1
 
@@ -62,6 +68,7 @@ let header t =
   group "pending";
   group "locks_held";
   group "lock_waiters";
+  if t.phi then group "phi";
   Buffer.contents buf
 
 let meta_line t =
@@ -87,6 +94,7 @@ let to_csv t write =
       Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%d" v)) r.r_pending;
       Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%d" v)) r.r_locks;
       Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%d" v)) r.r_waiters;
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf ",%.3f" v)) r.r_phi;
       Buffer.add_char buf '\n';
       write (Buffer.contents buf))
     (rows t)
@@ -113,11 +121,15 @@ let to_json_string t =
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char buf ',';
+      let phi_field =
+        if t.phi then Printf.sprintf ",\"phi\":[%s]" (floats r.r_phi) else ""
+      in
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"t_ms\":%.3f,\"active\":%d,\"inflight\":%d,\"commits\":[%s],\"aborts\":[%s],\"lag_ms\":[%s],\"pending\":[%s],\"locks_held\":[%s],\"lock_waiters\":[%s]}"
+           "{\"t_ms\":%.3f,\"active\":%d,\"inflight\":%d,\"commits\":[%s],\"aborts\":[%s],\"lag_ms\":[%s],\"pending\":[%s],\"locks_held\":[%s],\"lock_waiters\":[%s]%s}"
            r.r_time r.r_active r.r_inflight (ints r.r_commits) (ints r.r_aborts)
-           (floats r.r_lag) (ints r.r_pending) (ints r.r_locks) (ints r.r_waiters)))
+           (floats r.r_lag) (ints r.r_pending) (ints r.r_locks) (ints r.r_waiters)
+           phi_field))
     (rows t);
   Buffer.add_string buf "]}";
   Buffer.contents buf

@@ -21,12 +21,23 @@ type row = {
   r_pending : int array;  (** per-site propagated updates not yet applied *)
   r_locks : int array;  (** per-site locks currently held *)
   r_waiters : int array;  (** per-site lock requests currently waiting *)
+  r_phi : float array;
+      (** per-site failure-detector suspicion level (median φ held by the
+          other sites about this one); must be empty ([[||]]) when the
+          timeline was created without [~phi:true], so heal-off CSVs keep
+          their exact historical shape *)
 }
 
 type t
 
-val create : n_sites:int -> interval:float -> unit -> t
+(** [~phi:true] (default false) appends a per-site [phi.N] column group:
+    rows must then carry an [n_sites]-long [r_phi]. *)
+val create : n_sites:int -> interval:float -> ?phi:bool -> unit -> t
+
 val n_sites : t -> int
+
+(** Whether the φ column group is enabled. *)
+val has_phi : t -> bool
 
 (** Sampling interval, ms. *)
 val interval : t -> float

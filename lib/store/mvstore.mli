@@ -45,3 +45,10 @@ val drop : t -> item:int -> unit
 val items : t -> int list
 
 val chain_length : t -> item:int -> int
+
+(** [checksum t ~item] — deterministic digest of the newest chain entry's
+    version (commit timestamps excluded: converging on the same version at
+    different instants is not divergence). [None] if the item has no chain
+    here. Used by the anti-entropy layer to cross-check version chains
+    alongside {!Repdb_store.Store.checksum}. *)
+val checksum : t -> item:int -> int option

@@ -55,3 +55,36 @@ let restore t item v = Hash_index.set t.table item v
 let items t = Hash_index.fold (fun item _ acc -> item :: acc) t.table [] |> List.sort compare
 let size t = Hash_index.length t.table
 let iter f t = Hash_index.iter f t.table
+
+(* --- anti-entropy digests ------------------------------------------------- *)
+
+let checksum t item = Value.checksum (read t item)
+
+(* Item id folded into the per-copy checksum so that swapping the values of
+   two items cannot cancel out in a combined digest. *)
+let keyed_sum item v =
+  let mask = (1 lsl 62) - 1 in
+  (Value.checksum v + (item * 0x1e3779b97f4a7c15)) land mask
+
+(* Commutative combine (masked sum), so the digest is independent of hash
+   index iteration order. *)
+let range_digest t ~lo ~hi =
+  let mask = (1 lsl 62) - 1 in
+  let acc = ref 0 and n = ref 0 in
+  Hash_index.iter
+    (fun item v ->
+      if item >= lo && item < hi then begin
+        acc := (!acc + keyed_sum item v) land mask;
+        incr n
+      end)
+    t.table;
+  (!acc, !n)
+
+let digest_over t items =
+  let mask = (1 lsl 62) - 1 in
+  List.fold_left
+    (fun acc item ->
+      match Hash_index.find t.table item with
+      | Some v -> (acc + keyed_sum item v) land mask
+      | None -> acc)
+    0 items

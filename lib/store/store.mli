@@ -61,3 +61,24 @@ val size : t -> int
 
 (** [iter f t] applies [f item value] to every copy. *)
 val iter : (item -> Value.t -> unit) -> t -> unit
+
+(** {1 Anti-entropy digests}
+
+    Deterministic content summaries used by the self-healing subsystem's
+    Merkle-style digest exchange ({!Repdb_heal}): two stores agree on a range
+    digest iff (modulo 62-bit collisions) their copies in the range are
+    value-equal. All digests are stable across repeats and [-j] levels. *)
+
+(** [checksum t item] — {!Value.checksum} of the local copy.
+    @raise Invalid_argument if [item] is not placed at this site. *)
+val checksum : t -> item -> int
+
+(** [range_digest t ~lo ~hi] — commutative combined digest and copy count
+    over the copies placed here with [lo <= item < hi]. The item id is folded
+    into each summand, so permuting values across items changes the digest. *)
+val range_digest : t -> lo:int -> hi:int -> int * int
+
+(** [digest_over t items] — the same combined digest restricted to the
+    listed items (absent items are skipped). Both ends of a digest-exchange
+    session compute this over the shared item set. *)
+val digest_over : t -> item list -> int

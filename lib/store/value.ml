@@ -8,4 +8,22 @@ let write ~writer ?payload v =
 
 let equal a b = a.version = b.version && a.writer = b.writer && String.equal a.payload b.payload
 
+(* FNV-1a over the three fields, masked to 62 bits so the result is a
+   portable positive [int]. Spelled out rather than [Hashtbl.hash] so the
+   digest bytes are stable across compiler versions — they end up in
+   timeline CSVs and must be byte-identical across repeats. *)
+let checksum v =
+  let mask = (1 lsl 62) - 1 in
+  let fnv_prime = 0x100000001b3 in
+  let h = ref 0x0bf29ce484222325 in
+  let mix byte = h := (!h lxor byte) * fnv_prime land mask in
+  mix (v.version land 0xff);
+  mix ((v.version lsr 8) land 0xff);
+  mix ((v.version lsr 16) land 0xff);
+  mix (v.writer land 0xff);
+  mix ((v.writer lsr 8) land 0xff);
+  mix ((v.writer lsr 16) land 0xff);
+  String.iter (fun c -> mix (Char.code c)) v.payload;
+  !h
+
 let pp ppf v = Fmt.pf ppf "v%d/T%d%s" v.version v.writer (if v.payload = "" then "" else ":" ^ v.payload)

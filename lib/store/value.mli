@@ -20,4 +20,11 @@ val initial : t
 val write : writer:int -> ?payload:string -> t -> t
 
 val equal : t -> t -> bool
+
+(** Deterministic 62-bit content checksum (FNV-1a over version, writer and
+    payload bytes). [equal a b] implies [checksum a = checksum b]; collisions
+    are possible but astronomically unlikely at simulation scale. Stable
+    across OCaml versions — never [Hashtbl.hash]. *)
+val checksum : t -> int
+
 val pp : Format.formatter -> t -> unit

@@ -47,6 +47,10 @@ type t = {
   batch_size : int;
   batch_linger_ms : float;
   occ_epoch_ms : float;
+  heal : bool;
+  heartbeat_every : float;
+  phi_threshold : float;
+  anti_entropy_every : float;
 }
 
 let default =
@@ -87,6 +91,10 @@ let default =
     batch_size = 1;
     batch_linger_ms = 0.0;
     occ_epoch_ms = 10.0;
+    heal = false;
+    heartbeat_every = 25.0;
+    phi_threshold = 8.0;
+    anti_entropy_every = 200.0;
   }
 
 let table1 t =
@@ -109,14 +117,18 @@ let pp ppf t =
   Fmt.pf ppf
     "@[<v>m=%d n=%d r=%g s=%g b=%g ops=%d threads=%d txns=%d read_op=%g read_txn=%g@ \
      latency=%gms timeout=%gms machines=%d cpu(op=%g commit=%g msg=%g) seed=%d retry=%s@ \
-     deadline=%gms stale_reads=%gms batch=%d/%gms zipf=%g occ_epoch=%gms faults=%a@ \
+     deadline=%gms stale_reads=%gms batch=%d/%gms zipf=%g occ_epoch=%gms heal=%s faults=%a@ \
      reconfig=%a@]"
     t.n_sites t.n_items t.replication_prob t.site_prob t.backedge_prob t.ops_per_txn
     t.threads_per_site t.txns_per_thread t.read_op_prob t.read_txn_prob t.latency
     t.lock_timeout t.n_machines t.cpu_op t.cpu_commit t.cpu_msg t.seed
     (string_of_retry t.retry) t.txn_deadline t.stale_reads t.batch_size t.batch_linger_ms
-    t.zipf_theta t.occ_epoch_ms Repdb_fault.Fault.pp t.faults Repdb_reconfig.Reconfig.pp
-    t.reconfig
+    t.zipf_theta t.occ_epoch_ms
+    (if t.heal then
+       Printf.sprintf "on(hb=%g,phi=%g,ae=%g)" t.heartbeat_every t.phi_threshold
+         t.anti_entropy_every
+     else "off")
+    Repdb_fault.Fault.pp t.faults Repdb_reconfig.Reconfig.pp t.reconfig
 
 let validate t =
   let prob name v =
@@ -173,5 +185,14 @@ let validate t =
     invalid_arg "Params: batch_linger_ms must be >= 0 and finite";
   if t.occ_epoch_ms <= 0.0 || not (Float.is_finite t.occ_epoch_ms) then
     invalid_arg "Params: occ_epoch_ms must be > 0 and finite";
+  if t.heartbeat_every <= 0.0 || not (Float.is_finite t.heartbeat_every) then
+    invalid_arg "Params: heartbeat_every must be > 0 and finite";
+  if t.phi_threshold <= 0.0 || not (Float.is_finite t.phi_threshold) then
+    invalid_arg "Params: phi_threshold must be > 0 and finite";
+  if t.anti_entropy_every <= 0.0 || not (Float.is_finite t.anti_entropy_every) then
+    invalid_arg "Params: anti_entropy_every must be > 0 and finite";
+  if t.heal && t.n_sites < 2 then invalid_arg "Params: heal needs at least two sites";
+  if t.faults.corruptions <> [] && not t.heal then
+    invalid_arg "Params: corrupt@ fault clauses need --heal (only anti-entropy can see them)";
   Repdb_fault.Fault.validate ~n_sites:t.n_sites t.faults;
   Repdb_reconfig.Reconfig.validate ~n_sites:t.n_sites ~n_items:t.n_items t.reconfig

@@ -119,6 +119,25 @@ type t = {
       (** Epoch boundary period for the occ-epoch protocol, simulated ms
           (default 10): optimistic transactions buffer at their site and are
           sent for validation in one batch per site per epoch. *)
+  (* Self-healing (lib/heal) *)
+  heal : bool;
+      (** Enable the self-healing subsystem: the heartbeat-driven φ-accrual
+          failure detector, automatic primary failover through the epoch
+          machinery, and background anti-entropy repair. Default false — all
+          healing machinery (and its stats/timeline columns) stays off. *)
+  heartbeat_every : float;
+      (** Heartbeat period, simulated ms (default 25): every up site sends a
+          heartbeat to every other site each period; the detector estimates
+          inter-arrival statistics per ordered pair. *)
+  phi_threshold : float;
+      (** φ-accrual suspicion threshold (default 8). A site is suspected once
+          a majority of its peers' φ values for it cross this; lower values
+          detect faster but false-positive under latency jitter. *)
+  anti_entropy_every : float;
+      (** Period, simulated ms (default 200), between background
+          digest-exchange repair sessions; each session compares one
+          (primary, replica-holder) pair with Merkle-style range narrowing
+          and ships diffs for mismatching items. *)
 }
 
 val default : t

@@ -273,7 +273,7 @@ let test_experiment_registry () =
     [
       "fig2a"; "fig2b"; "fig3a"; "fig3b"; "resp"; "sites"; "threads"; "latency"; "readtxn";
       "ablation"; "eager-scaling"; "tree-routing"; "deadlock-policy"; "dummy-period"; "hotspot";
-      "straggler"; "site-order"; "faults"; "reconfig"; "partition"; "occ";
+      "straggler"; "site-order"; "faults"; "reconfig"; "partition"; "occ"; "heal";
     ]
     Repdb.Experiment.ids;
   checki "ids are unique"

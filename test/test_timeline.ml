@@ -55,6 +55,7 @@ let test_timeline_validation () =
       r_pending = Array.make 2 0;
       r_locks = Array.make 2 0;
       r_waiters = Array.make 2 0;
+      r_phi = [||];
     }
   in
   Alcotest.check_raises "wrong arity rejected"
